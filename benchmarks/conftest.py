@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and prints it, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the whole evaluation
+section on the terminal.  The full study run is shared session-wide; each
+bench times its own aggregation/regeneration step.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.study.runner import run_study
+
+
+@pytest.fixture(scope="session")
+def study():
+    """One full 145-run study shared by all benches."""
+    return run_study()
+
+
+def emit(capsys_or_none, text: str) -> None:
+    """Print bench output so it survives pytest's capture with -s."""
+    print()
+    print(text)

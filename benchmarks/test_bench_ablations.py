@@ -1,0 +1,53 @@
+"""Bench: ablations of the reproduction's own design choices (DESIGN.md §5).
+
+Not a paper artifact — these quantify which modelled effect carries which
+share of each metric's error:
+
+* ``no_noise`` isolates the run-to-run noise floor;
+* ``absolute_mode`` shows why Equation 1's base anchoring matters (it
+  cancels the convolver's systematic absolute bias);
+* ``coarse_tracing`` degrades the MetaSim sample size 16x.
+"""
+
+import pytest
+
+from repro.study.ablation import run_ablation
+from repro.study.runner import StudyConfig
+
+#: Reduced matrix: ablations run the study once per variant.
+SMALL = StudyConfig(
+    applications=("AVUS-standard", "HYCOM-standard", "RFCTH-standard"),
+    systems=("ERDC_O3800", "ASC_SC45", "ARL_Xeon", "ARL_Altix", "NAVO_655", "ARL_Opteron"),
+)
+
+VARIANTS = ["no_noise", "absolute_mode", "coarse_tracing"]
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_ablation("baseline", SMALL)
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_bench_ablation(benchmark, baseline, variant):
+    """Time one ablation study and print its per-metric error deltas."""
+    outcome = benchmark.pedantic(
+        lambda: run_ablation(variant, SMALL), rounds=1, iterations=1
+    )
+    delta = outcome.delta_from(baseline)
+    print()
+    print(f"Ablation: {variant} (positive delta = worse than baseline)")
+    print("=" * 50)
+    for m in sorted(delta):
+        print(
+            f"metric #{m}: {outcome.errors[m]:6.1f}%   "
+            f"(baseline {baseline.errors[m]:6.1f}%, delta {delta[m]:+6.1f})"
+        )
+
+    if variant == "no_noise":
+        # removing noise cannot hurt the best metric
+        assert delta[9] < 1.0
+    if variant == "absolute_mode":
+        # without the Equation 1 anchor, the convolver's systematic absolute
+        # bias (no FP-ILP or dependency model in metrics 5-8) is exposed
+        assert delta[6] > 20.0 and delta[7] > 20.0

@@ -1,0 +1,32 @@
+"""Bench: regenerate Appendix Tables 6-10 — observed times-to-solution.
+
+Prints our simulated wall-clock times next to the paper's, and checks the
+magnitudes stay within the reproduction band (4x) wherever both exist.
+"""
+
+import pytest
+
+from repro.apps.suite import list_applications
+from repro.study.paper_data import PAPER_RUNTIMES
+from repro.study.tables import appendix_runtimes
+
+TABLE_NUMBERS = dict(
+    zip(list_applications(), ["Table 6", "Table 7", "Table 8", "Table 9", "Table 10"])
+)
+
+
+@pytest.mark.parametrize("application", list_applications())
+def test_bench_appendix(benchmark, study, application):
+    """Time the appendix-table build; compare against the paper's values."""
+    table = benchmark(lambda: appendix_runtimes(study, application))
+    print()
+    print(f"{TABLE_NUMBERS[application]} ({application})")
+    print(table.render())
+
+    data = PAPER_RUNTIMES[application]
+    for system, times in data["times"].items():
+        for cpus, t_paper in zip(data["cpu_counts"], times):
+            t_model = study.observed.get((application, system, cpus))
+            if t_paper is None or t_model is None:
+                continue
+            assert 0.25 < t_model / t_paper < 4.0, (system, cpus)

@@ -1,0 +1,43 @@
+"""Bench: Section 6's best-predictor and pairwise-win statistics.
+
+Paper claims reproduced as counts over the 15 (test case, cpu count) cases:
+GUPS beats STREAM in most cases; STREAM beats HPL in almost all; Metric #9
+is best (or tied) most often; HPL is never best.
+"""
+
+from repro.study.analysis import (
+    best_predictor_counts,
+    pairwise_win_counts,
+    ranking_quality,
+)
+
+
+def test_bench_best_predictor(benchmark, study):
+    """Time the case-level analysis sweep."""
+
+    def run():
+        return (
+            best_predictor_counts(study),
+            pairwise_win_counts(study, 3, 2),
+            pairwise_win_counts(study, 2, 1),
+            {m: ranking_quality(study, m) for m in (1, 3, 6, 9)},
+        )
+
+    counts, gups_vs_stream, stream_vs_hpl, rankings = benchmark(run)
+
+    print()
+    print("Best predictor per (test case, cpu count) — 15 cases")
+    print("====================================================")
+    for metric in sorted(counts):
+        print(f"metric #{metric}: best or tied in {counts[metric]} cases")
+    print(f"GUPS vs STREAM: {gups_vs_stream}   (paper: GUPS better in 11/15)")
+    print(f"STREAM vs HPL:  {stream_vs_hpl}   (paper: STREAM better in 14/15)")
+    print()
+    print("Ranking quality (mean Kendall tau over 15 cases)")
+    for m, q in rankings.items():
+        print(f"metric #{m}: tau={q['kendall_tau']:.2f} rho={q['spearman_rho']:.2f}")
+
+    assert counts.get(1, 0) == 0 and counts.get(4, 0) == 0
+    assert gups_vs_stream["wins"] > gups_vs_stream["losses"]
+    assert stream_vs_hpl["wins"] > stream_vs_hpl["losses"]
+    assert rankings[9]["kendall_tau"] > rankings[1]["kendall_tau"]

@@ -1,0 +1,44 @@
+"""Bench: regenerate Figure 1 — unit-stride MAPS bandwidth vs size.
+
+Paper claim reproduced: "the IBM Opteron scored best for executions from
+main memory ... if the size of STREAM were reduced to fit into L2 cache and
+subsequently L1 cache, the SGI Altix and IBM p655 would score best,
+respectively."
+"""
+
+from repro.machines.registry import get_machine
+from repro.probes.maps import run_maps
+from repro.reporting.ascii_charts import line_chart
+from repro.study.tables import figure1_series
+from repro.util.units import KIB, MIB
+
+
+def test_bench_figure1_maps_curves(benchmark):
+    """Time the MAPS sweep for the figure's three systems."""
+
+    def run():
+        return {
+            name: run_maps(get_machine(name))
+            for name in ("ARL_Opteron", "ARL_Altix", "NAVO_655")
+        }
+
+    maps = benchmark(run)
+
+    series = {name: (m.unit.sizes, m.unit.bandwidths / 1e9) for name, m in maps.items()}
+    print()
+    print(
+        line_chart(
+            series,
+            title="Figure 1. Unit-stride memory bandwidth versus working-set size",
+            x_label="working set (bytes, log scale)",
+            y_label="bandwidth (GB/s, log scale)",
+        )
+    )
+
+    # the paper's cache-level ordering claims
+    opteron, altix, p655 = maps["ARL_Opteron"], maps["ARL_Altix"], maps["NAVO_655"]
+    assert p655.unit.lookup(16 * KIB) > altix.unit.lookup(16 * KIB)
+    assert p655.unit.lookup(16 * KIB) > opteron.unit.lookup(16 * KIB)
+    assert altix.unit.lookup(128 * KIB) > p655.unit.lookup(128 * KIB)
+    assert opteron.unit.lookup(256 * MIB) > p655.unit.lookup(256 * MIB)
+    assert opteron.unit.lookup(256 * MIB) > altix.unit.lookup(256 * MIB)

@@ -1,0 +1,26 @@
+"""Bench: regenerate Figures 3-7 — per-application error assessments.
+
+One bar table per TI-05 test case, errors per metric at each processor
+count, as the paper's Figures 3 through 7 plot.
+"""
+
+import pytest
+
+from repro.apps.suite import list_applications
+from repro.study.tables import figures3_7_series
+
+FIGURES = dict(zip(list_applications(), ["Figure 3", "Figure 4", "Figure 5", "Figure 6", "Figure 7"]))
+
+
+@pytest.mark.parametrize("application", list_applications())
+def test_bench_per_app_errors(benchmark, study, application):
+    """Time the per-application aggregation; print the figure's table."""
+    table = benchmark(lambda: figures3_7_series(study, application))
+    print()
+    print(f"{FIGURES[application]} ({application})")
+    print(table.render())
+    # every application's HPL row must be beaten by metric #9's row
+    rows = {r[0]: r[1:] for r in table.rows}
+    hpl = [v for v in rows["1-S HPL"] if v == v]
+    best = [v for v in rows["9-P HPL+MAPS+NET+DEP"] if v == v]
+    assert sum(best) / len(best) < sum(hpl) / len(hpl)

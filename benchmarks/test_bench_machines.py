@@ -1,0 +1,28 @@
+"""Bench: regenerate the paper's Tables 1 and 2 (system inventory).
+
+Times the probe suite across all eleven systems — the "benchmarking
+campaign" cost of the reproduction.
+"""
+
+from repro.machines.registry import MACHINES
+from repro.probes.suite import clear_probe_cache, probe_machine
+from repro.study.tables import table1_architectures, table2_systems
+
+
+def test_bench_probe_all_systems(benchmark):
+    """Time probing every system (HPL+STREAM+GUPS+MAPS+NETBENCH x 11)."""
+
+    def run():
+        clear_probe_cache()
+        return [probe_machine(m) for m in MACHINES.values()]
+
+    probes = benchmark(run)
+    assert len(probes) == 11
+    print()
+    print(table1_architectures().render())
+    print(table2_systems().render())
+    print("Probe summaries")
+    print("===============")
+    for p in probes:
+        row = "  ".join(f"{k}={v:.3g}" for k, v in p.summary().items())
+        print(f"{p.machine:15s} {row}")

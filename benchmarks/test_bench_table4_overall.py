@@ -1,0 +1,30 @@
+"""Bench: regenerate Table 4 and Figure 2 — overall error per metric.
+
+This is the paper's headline result: simple metrics 33-63% average absolute
+error, trace-convolution metrics 18-24%, Metric #9 best.
+"""
+
+from repro.study.analysis import shape_check
+from repro.study.runner import run_study
+from repro.study.tables import figure2_series, table4_overall
+from repro.reporting.ascii_charts import bar_chart
+
+
+def test_bench_table4(benchmark, study):
+    """Time the full study (145 runs, 1305 predictions) end to end."""
+    result = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    assert result.n_predictions == study.n_predictions
+
+    print()
+    print(table4_overall(result).render())
+    series = figure2_series(result)
+    print(
+        bar_chart(
+            {f"#{m}": err for m, (err, _s) in series.items()},
+            title="Figure 2. Average absolute error by metric",
+            errors={f"#{m}": std for m, (_e, std) in series.items()},
+        )
+    )
+    check = shape_check(result)
+    print(f"shape check: {'PASS' if check.passed else 'FAIL ' + str(check.failures())}")
+    assert check.passed

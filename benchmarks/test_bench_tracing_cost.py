@@ -1,0 +1,31 @@
+"""Bench: the Section 3 effort-vs-accuracy tradeoff.
+
+"Dilated execution time must be a weighed consideration when evaluating
+metric accuracy (one should ask 'was the increase in accuracy worth the
+effort?')".  Prices each metric's data-acquisition cost (30x tracing
+dilation, counter-level overhead, or nothing) against its measured error.
+"""
+
+from repro.study.cost import metric_costs
+
+
+def test_bench_tracing_cost(benchmark, study):
+    """Time the cost accounting over the full study."""
+    rows = benchmark(lambda: metric_costs(study))
+
+    print()
+    print("Effort vs accuracy (Section 3 discussion)")
+    print("=========================================")
+    print(f"{'metric':>6s} {'needs':>9s} {'base-system hours':>18s} {'avg |err| %':>12s}")
+    for row in rows:
+        print(
+            f"#{row.metric:5d} {row.requirement:>9s} "
+            f"{row.acquisition_hours:18.0f} {row.mean_abs_error:12.1f}"
+        )
+
+    by_metric = {r.metric: r for r in rows}
+    # simple metrics are free; tracing metrics pay ~30x the native runtime;
+    # the paper's point: the expensive tier is also the accurate tier
+    assert by_metric[3].acquisition_hours == 0.0
+    assert by_metric[9].acquisition_hours > 20 * by_metric[4].acquisition_hours
+    assert by_metric[9].mean_abs_error < by_metric[3].mean_abs_error

@@ -1,0 +1,60 @@
+"""Run the paper's complete study and print every table.
+
+This is the whole evaluation section in one command: 145 observed runs,
+1305 predictions, Tables 4 and 5, the per-application figures and the
+appendix runtime tables — with the paper's published numbers alongside.
+
+Run:  python examples/full_study.py
+"""
+
+import time
+
+from repro import run_study
+from repro.apps.suite import list_applications
+from repro.reporting.ascii_charts import bar_chart
+from repro.study.analysis import best_predictor_counts, shape_check
+from repro.study.tables import (
+    appendix_runtimes,
+    figure2_series,
+    figures3_7_series,
+    table4_overall,
+    table5_systems,
+)
+
+
+def main() -> None:
+    start = time.perf_counter()
+    result = run_study()
+    elapsed = time.perf_counter() - start
+    print(
+        f"Ran {result.n_runs} application executions and "
+        f"{result.n_predictions} predictions in {elapsed:.1f} s"
+    )
+    print()
+
+    print(table4_overall(result).render())
+    series = figure2_series(result)
+    print(
+        bar_chart(
+            {f"#{m}": err for m, (err, _s) in series.items()},
+            title="Figure 2. Average absolute error by metric",
+            errors={f"#{m}": std for m, (_e, std) in series.items()},
+        )
+    )
+
+    print(table5_systems(result, include_paper=True).render())
+
+    for app in list_applications():
+        print(figures3_7_series(result, app).render())
+        print(appendix_runtimes(result, app).render())
+
+    counts = best_predictor_counts(result)
+    print("Best (or tied) predictor per case:", dict(sorted(counts.items())))
+
+    check = shape_check(result)
+    status = "PASS" if check.passed else f"FAIL: {check.failures()}"
+    print(f"Qualitative shape check against the paper: {status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Quickstart: predict one application's runtime on one target system.
+
+Traces AVUS (standard test case) on the base NAVO p690, probes the ARL
+Opteron cluster, and predicts the 64-processor wall-clock time with every
+metric of the paper's Table 3, comparing against the simulated "real" run.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ALL_METRICS,
+    PerformancePredictor,
+    get_application,
+    get_machine,
+    observed_time,
+    signed_error,
+)
+
+
+def main() -> None:
+    app = get_application("AVUS-standard")
+    target = get_machine("ARL_Opteron")
+    cpus = 64
+
+    print(f"Application : {app.label} — {app.description}")
+    print(f"Target      : {target.name} ({target.description})")
+    print(f"Processors  : {cpus}")
+    print()
+
+    predictor = PerformancePredictor()  # traces + anchors on the NAVO p690
+    actual = observed_time(target, app, cpus)
+    print(f"simulated 'real' runtime: {actual:8.0f} s")
+    print()
+    print(f"{'metric':28s} {'predicted (s)':>13s} {'error':>8s}")
+    for number, metric in ALL_METRICS.items():
+        predicted = predictor.predict(app, target, cpus, metric=number)
+        err = signed_error(predicted, actual)
+        print(f"{metric.label:28s} {predicted:13.0f} {err:+7.1f}%")
+
+    print()
+    print("Metric #9 (HPL+MAPS+NET+DEP) is the paper's best predictor;")
+    print("metric #1 (the HPL ratio) is the Top500-style baseline.")
+
+
+if __name__ == "__main__":
+    main()

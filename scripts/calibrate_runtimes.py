@@ -1,0 +1,54 @@
+"""Calibration helper: compare simulated times-to-solution to the paper's
+appendix tables and report per-app scale factors and per-machine ratios.
+
+Run:  python scripts/calibrate_runtimes.py
+"""
+
+import importlib.util
+import math
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _load_paper_data():
+    path = ROOT / "src" / "repro" / "study" / "paper_data.py"
+    spec = importlib.util.spec_from_file_location("paper_data_standalone", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def main():
+    pd = _load_paper_data()
+    from repro.apps import get_application, GroundTruthExecutor
+    from repro.machines import get_machine
+
+    grand = []
+    for label, data in pd.PAPER_RUNTIMES.items():
+        app = get_application(label)
+        print(f"\n== {label}  counts={data['cpu_counts']}  (model/paper ratio)")
+        ratios = []
+        for system, times in data["times"].items():
+            m = get_machine(system)
+            row = []
+            for cpus, t_paper in zip(data["cpu_counts"], times):
+                if t_paper is None or cpus > m.cpus:
+                    row.append("     -")
+                    continue
+                t_model = GroundTruthExecutor(m).run(app, cpus).total_seconds
+                r = t_model / t_paper
+                ratios.append(r)
+                row.append(f"{r:6.2f}")
+            print(f"  {system:15s}", *row)
+        gm = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        spread = max(ratios) / min(ratios)
+        print(f"  -> geomean ratio {gm:.3f}  spread {spread:.2f}  (divide app counts by {gm:.3f})")
+        grand.extend(ratios)
+    gm = math.exp(sum(math.log(r) for r in grand) / len(grand))
+    print(f"\nGRAND geomean {gm:.3f} over {len(grand)} cells")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

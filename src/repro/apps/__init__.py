@@ -1,0 +1,45 @@
+"""Application workload models and the ground-truth executor.
+
+The paper's five TI-05 application test cases (AVUS standard/large, HYCOM,
+OVERFLOW2, RFCTH) are modelled as collections of *basic blocks* — each with
+per-cell floating-point and memory operation counts, a stride signature, a
+working-set scaling law and a dependence fraction — plus an MPI
+communication signature per timestep (:mod:`repro.apps.model`,
+:mod:`repro.apps.suite`).
+
+:mod:`repro.apps.execution` is the ground-truth executor: it runs a model on
+a machine with *every* effect enabled (per-level bandwidth, dependency
+serialisation, FP/memory overlap, network contention, load imbalance,
+deterministic noise), producing the "observed" wall-clock times that stand
+in for the paper's Appendix Tables 6-10.
+"""
+
+from repro.apps.model import ApplicationModel, BasicBlock, CommEvent
+from repro.apps.suite import (
+    APPLICATIONS,
+    avus_large,
+    avus_standard,
+    get_application,
+    hycom_standard,
+    list_applications,
+    overflow2_standard,
+    rfcth_standard,
+)
+from repro.apps.execution import ExecutionResult, GroundTruthExecutor, observed_time
+
+__all__ = [
+    "ApplicationModel",
+    "BasicBlock",
+    "CommEvent",
+    "APPLICATIONS",
+    "avus_standard",
+    "avus_large",
+    "hycom_standard",
+    "overflow2_standard",
+    "rfcth_standard",
+    "get_application",
+    "list_applications",
+    "GroundTruthExecutor",
+    "ExecutionResult",
+    "observed_time",
+]

@@ -1,0 +1,256 @@
+"""Ground-truth application executor.
+
+This module stands in for "running the real application on the real
+machine".  It interprets an :class:`~repro.apps.model.ApplicationModel` on a
+:class:`~repro.machines.spec.MachineSpec` with every modelled effect
+enabled:
+
+* per-level memory bandwidth from the analytic hierarchy, separately for
+  each stride class and for the dependent/independent split of each block;
+* block FP rates interpolated between the machine's dependent-chain and
+  high-ILP efficiencies by the block's intrinsic ILP;
+* FP/memory overlap (machine-specific ``overlap_factor``);
+* network time from the shared network model, inflated by the machine's
+  ``contention_factor`` (probes never see contention — that is one of the
+  predictors' blind spots);
+* Amdahl serial fraction and load imbalance growing with processor count;
+* a systematic per-(machine, application) "port factor" representing
+  compiler/runtime maturity differences across systems — deterministic,
+  but invisible to every probe;
+* deterministic run-to-run noise keyed by (machine, application, cpus).
+
+Every predictive metric models a strict subset of these effects, so the
+executor's output plays the role of the paper's observed times-to-solution
+(Appendix Tables 6-10).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.apps.model import ApplicationModel, BasicBlock
+from repro.machines.spec import MachineSpec
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.patterns import AccessPattern, StrideClass
+from repro.network.model import NetworkModel
+from repro.util.rng import stable_rng
+
+__all__ = ["GroundTruthExecutor", "ExecutionResult", "observed_time", "BlockTiming"]
+
+#: Log-scale spread of the per-(machine, application) port factor: how much
+#: compiler and runtime maturity moves whole-application performance on one
+#: system relative to another.  No synthetic probe observes this.
+PORT_SIGMA = 0.10
+
+
+@dataclass(frozen=True)
+class BlockTiming:
+    """Per-timestep timing of one basic block on one rank.
+
+    Attributes
+    ----------
+    name:
+        Block name.
+    fp_seconds:
+        Time the FP work alone would take.
+    mem_seconds:
+        Time the memory traffic alone would take.
+    seconds:
+        Combined time after overlap.
+    working_set:
+        The block's working set (bytes) at this processor count.
+    """
+
+    name: str
+    fp_seconds: float
+    mem_seconds: float
+    seconds: float
+    working_set: float
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of one simulated application run.
+
+    Attributes
+    ----------
+    machine, application, cpus:
+        Identifiers of the run.
+    total_seconds:
+        Simulated wall-clock time-to-solution (what the paper's appendix
+        tables report).
+    compute_seconds:
+        Per-run compute portion (all timesteps, after serial/imbalance
+        scaling, before noise).
+    comm_seconds:
+        Per-run communication portion (with contention).
+    noise_factor:
+        The deterministic noise multiplier that was applied.
+    blocks:
+        Per-block, per-timestep breakdown.
+    """
+
+    machine: str
+    application: str
+    cpus: int
+    total_seconds: float
+    compute_seconds: float
+    comm_seconds: float
+    noise_factor: float
+    blocks: tuple[BlockTiming, ...] = field(repr=False, default=())
+
+
+class GroundTruthExecutor:
+    """Execute application models on machine models with full fidelity.
+
+    Parameters
+    ----------
+    machine:
+        Target system.
+    noise:
+        Disable to make runs perfectly deterministic functions of the models
+        (used by ablation benches to isolate the noise contribution).
+    """
+
+    def __init__(self, machine: MachineSpec, *, noise: bool = True):
+        self.machine = machine
+        self.noise = noise
+        self.hierarchy = MemoryHierarchy.of(machine)
+        self.network = NetworkModel.of(machine)
+
+    # ------------------------------------------------------------------
+    # per-block compute
+    # ------------------------------------------------------------------
+    def _fp_rate(self, block: BasicBlock) -> float:
+        """Achieved FLOP/s for ``block`` on this machine."""
+        proc = self.machine.processor
+        eff = proc.dependent_fp_efficiency + block.fp_ilp * (
+            proc.ilp_efficiency - proc.dependent_fp_efficiency
+        )
+        return proc.peak_flops * eff
+
+    def _mem_time(self, block: BasicBlock, rank_cells: float, rank_bytes: float) -> float:
+        """Seconds of memory traffic for one timestep of ``block`` on one rank."""
+        ws = block.working_set(rank_bytes)
+        total_bytes = block.bytes_per_cell * rank_cells
+        dep = block.dependency_fraction
+        time = 0.0
+        for stride_class in StrideClass:
+            frac = block.stride.fraction(stride_class)
+            if frac <= 0.0:
+                continue
+            class_bytes = total_bytes * frac
+            for dependent, part in ((False, 1.0 - dep), (True, dep)):
+                if part <= 0.0:
+                    continue
+                pattern = AccessPattern(
+                    working_set=ws,
+                    stride=stride_class,
+                    stride_elems=block.stride.short_stride_elems,
+                    dependent=dependent,
+                    chase_fraction=block.chase_fraction,
+                )
+                time += self.hierarchy.access_time(pattern, class_bytes * part)
+        return time
+
+    def block_timing(
+        self, block: BasicBlock, rank_cells: float, rank_bytes: float
+    ) -> BlockTiming:
+        """Time one timestep of ``block`` on one rank."""
+        t_fp = block.fp_per_cell * rank_cells / self._fp_rate(block)
+        t_mem = self._mem_time(block, rank_cells, rank_bytes)
+        hidden = self.machine.overlap_factor * min(t_fp, t_mem)
+        return BlockTiming(
+            name=block.name,
+            fp_seconds=t_fp,
+            mem_seconds=t_mem,
+            seconds=t_fp + t_mem - hidden,
+            working_set=block.working_set(rank_bytes),
+        )
+
+    def _port_factor(self, app: ApplicationModel) -> float:
+        """Systematic code-quality multiplier for ``app`` on this machine.
+
+        Log-normal with sigma :data:`PORT_SIGMA`, stable per (machine,
+        application family) — the same factor at every processor count,
+        as a compiler effect is.
+        """
+        rng = stable_rng("port-factor", self.machine.name, app.name, app.testcase)
+        return float(math.exp(rng.normal(0.0, PORT_SIGMA)))
+
+    # ------------------------------------------------------------------
+    # communication
+    # ------------------------------------------------------------------
+    def comm_time_per_step(self, app: ApplicationModel, cpus: int) -> float:
+        """Per-timestep communication seconds (with contention) at ``cpus``."""
+        if cpus == 1:
+            return 0.0
+        rank_bytes = app.rank_bytes(cpus)
+        contention = self.machine.network.contention_factor
+        time = 0.0
+        for event in app.comms:
+            size = event.size_bytes(rank_bytes)
+            if event.is_p2p:
+                per = self.network.point_to_point(size) * event.neighbors
+            else:
+                per = self.network.collective(event.kind, cpus, size)
+            time += event.count * per
+        return time * contention
+
+    # ------------------------------------------------------------------
+    # full run
+    # ------------------------------------------------------------------
+    def run(self, app: ApplicationModel, cpus: int) -> ExecutionResult:
+        """Simulate ``app`` at ``cpus`` processors; return the full breakdown."""
+        if cpus <= 0:
+            raise ValueError(f"cpus must be > 0, got {cpus}")
+        if cpus > self.machine.cpus:
+            raise ValueError(
+                f"{self.machine.name} has {self.machine.cpus} processors; "
+                f"cannot run at {cpus}"
+            )
+        rank_cells = app.rank_cells(cpus)
+        rank_bytes = app.rank_bytes(cpus)
+
+        timings = tuple(
+            self.block_timing(block, rank_cells, rank_bytes) for block in app.blocks
+        )
+        step_compute = sum(t.seconds for t in timings)
+        step_compute *= self._port_factor(app)
+
+        # Amdahl: a serial fraction of the whole-problem work is not divided.
+        amdahl = 1.0 - app.serial_fraction + app.serial_fraction * cpus
+        # Load imbalance grows slowly with the rank count.
+        imbalance = 1.0 + app.imbalance * math.log2(max(cpus, 2)) / 10.0
+        step_compute *= amdahl * imbalance
+
+        step_comm = self.comm_time_per_step(app, cpus)
+
+        compute = step_compute * app.timesteps
+        comm = step_comm * app.timesteps
+
+        noise_factor = 1.0
+        if self.noise:
+            rng = stable_rng("exec-noise", self.machine.name, app.label, cpus)
+            draw = float(rng.normal(0.0, self.machine.noise_level))
+            # clip to 3 sigma so a single unlucky key cannot distort a table
+            limit = 3.0 * self.machine.noise_level
+            noise_factor = 1.0 + max(-limit, min(limit, draw))
+
+        total = (compute + comm) * noise_factor
+        return ExecutionResult(
+            machine=self.machine.name,
+            application=app.label,
+            cpus=cpus,
+            total_seconds=total,
+            compute_seconds=compute,
+            comm_seconds=comm,
+            noise_factor=noise_factor,
+            blocks=timings,
+        )
+
+
+def observed_time(machine: MachineSpec, app: ApplicationModel, cpus: int) -> float:
+    """Convenience wrapper: simulated time-to-solution in seconds."""
+    return GroundTruthExecutor(machine).run(app, cpus).total_seconds

@@ -1,0 +1,437 @@
+"""The five TI-05 application test cases (paper Section 2).
+
+Each factory returns an :class:`~repro.apps.model.ApplicationModel` whose
+basic blocks mirror the dominant loop nests of the real code: operation
+mixes, stride signatures, working-set scaling and dependence fractions are
+chosen to reflect what is publicly known about each solver (unstructured
+finite-volume CFD for AVUS, layered ocean dynamics for HYCOM, overset
+structured grids with ADI line solves for OVERFLOW2, AMR shock physics for
+RFCTH).  Absolute operation counts are calibrated so that simulated
+times-to-solution on the base p690 land in the range of the paper's
+Appendix tables.
+
+These are models, not the applications themselves (which are
+export-controlled / unavailable); DESIGN.md §2 records the substitution.
+"""
+
+from __future__ import annotations
+
+from repro.apps.model import ApplicationModel, BasicBlock, CommEvent
+from repro.memory.patterns import StrideHistogram
+from repro.network.model import CollectiveKind
+from repro.util.units import MIB
+
+__all__ = [
+    "avus_standard",
+    "avus_large",
+    "hycom_standard",
+    "overflow2_standard",
+    "rfcth_standard",
+    "APPLICATIONS",
+    "get_application",
+    "list_applications",
+]
+
+
+def _hist(unit: float, short: float, random: float, stride: int = 4) -> StrideHistogram:
+    return StrideHistogram.normalised(
+        unit=unit, short=short, random=random, short_stride_elems=stride
+    )
+
+
+def _avus_blocks() -> tuple[BasicBlock, ...]:
+    """Shared loop-nest structure of both AVUS test cases."""
+    return (
+        BasicBlock(
+            name="flux_assembly",
+            fp_per_cell=25_000.0,
+            loads_per_cell=7_800.0,
+            stores_per_cell=1_700.0,
+            stride=_hist(0.55, 0.15, 0.30),
+            ws_scale=8.0,
+            ws_exponent=2.0 / 3.0,  # face-loop reuse window
+            dependency_fraction=0.25,
+            chase_fraction=0.7,
+            fp_ilp=0.60,
+        ),
+        BasicBlock(
+            name="gradient_reconstruction",
+            fp_per_cell=8_300.0,
+            loads_per_cell=2_500.0,
+            stores_per_cell=830.0,
+            stride=_hist(0.70, 0.20, 0.10),
+            ws_scale=4.0,
+            ws_exponent=2.0 / 3.0,
+            dependency_fraction=0.10,
+            chase_fraction=0.4,
+            fp_ilp=0.70,
+        ),
+        BasicBlock(
+            name="implicit_smoother",
+            fp_per_cell=11_000.0,
+            loads_per_cell=3_300.0,
+            stores_per_cell=1_100.0,
+            stride=_hist(0.60, 0.10, 0.30),
+            ws_exponent=1.0,  # Gauss-Seidel sweeps the full rank data
+            dependency_fraction=0.55,
+            chase_fraction=0.5,
+            fp_ilp=0.30,
+        ),
+        BasicBlock(
+            name="turbulence_source",
+            fp_per_cell=6_900.0,
+            loads_per_cell=830.0,
+            stores_per_cell=280.0,
+            stride=_hist(0.80, 0.10, 0.10),
+            ws_scale=2.0,
+            ws_exponent=2.0 / 3.0,
+            dependency_fraction=0.05,
+            chase_fraction=0.3,
+            fp_ilp=0.85,
+        ),
+    )
+
+
+def _avus_comms() -> tuple[CommEvent, ...]:
+    return (
+        CommEvent(
+            name="halo_exchange",
+            kind="p2p",
+            count=60.0,
+            size_scale=2.0,
+            size_exponent=2.0 / 3.0,
+            neighbors=6,
+        ),
+        CommEvent(
+            name="residual_allreduce",
+            kind=CollectiveKind.ALLREDUCE,
+            count=15.0,
+            size_scale=8.0,
+            size_exponent=0.0,
+        ),
+    )
+
+
+def avus_standard() -> ApplicationModel:
+    """AVUS standard: wing/flap/end-plates, 7 M cells, 100 timesteps."""
+    return ApplicationModel(
+        name="AVUS",
+        testcase="standard",
+        description=(
+            "AFRL unstructured finite-volume CFD; fluid flow and turbulence "
+            "of a wing with flap and end plates (7M cells, 100 timesteps)"
+        ),
+        cells=7.0e6,
+        bytes_per_cell=2000.0,
+        timesteps=100,
+        cpu_counts=(32, 64, 128),
+        blocks=_avus_blocks(),
+        comms=_avus_comms(),
+        serial_fraction=0.0005,
+        imbalance=0.06,
+    )
+
+
+def avus_large() -> ApplicationModel:
+    """AVUS large: unmanned aerial vehicle, 24 M cells, 150 timesteps."""
+    return ApplicationModel(
+        name="AVUS",
+        testcase="large",
+        description=(
+            "AFRL unstructured finite-volume CFD; unmanned aerial vehicle "
+            "(24M cells, 150 timesteps)"
+        ),
+        cells=24.0e6,
+        bytes_per_cell=2000.0,
+        timesteps=150,
+        cpu_counts=(128, 256, 384),
+        blocks=_avus_blocks(),
+        comms=_avus_comms(),
+        serial_fraction=0.0005,
+        imbalance=0.08,
+    )
+
+
+def hycom_standard() -> ApplicationModel:
+    """HYCOM standard: global quarter-degree ocean model."""
+    return ApplicationModel(
+        name="HYCOM",
+        testcase="standard",
+        description=(
+            "NRL/LANL/U-Miami hybrid-coordinate ocean model; all of the "
+            "world's oceans at 1/4 degree equatorial resolution"
+        ),
+        cells=2.0e7,
+        bytes_per_cell=1600.0,
+        timesteps=180,
+        cpu_counts=(59, 96, 124),
+        blocks=(
+            BasicBlock(
+                name="baroclinic_update",
+                fp_per_cell=4_700.0,
+                loads_per_cell=1_000.0,
+                stores_per_cell=250.0,
+                stride=_hist(0.80, 0.15, 0.05),
+                ws_exponent=1.0,
+                dependency_fraction=0.10,
+                chase_fraction=0.3,
+                fp_ilp=0.75,
+            ),
+            BasicBlock(
+                name="barotropic_solver",
+                fp_per_cell=1_000.0,
+                loads_per_cell=200.0,
+                stores_per_cell=67.0,
+                stride=_hist(0.85, 0.10, 0.05),
+                ws_scale=3.0,
+                ws_exponent=2.0 / 3.0,  # 2D surface arrays
+                dependency_fraction=0.15,
+                chase_fraction=0.4,
+                fp_ilp=0.60,
+            ),
+            BasicBlock(
+                name="vertical_remap",
+                fp_per_cell=2_000.0,
+                loads_per_cell=500.0,
+                stores_per_cell=170.0,
+                stride=_hist(0.40, 0.45, 0.15, stride=6),
+                ws_exponent=1.0,
+                dependency_fraction=0.35,
+                chase_fraction=0.7,
+                fp_ilp=0.50,
+            ),
+            BasicBlock(
+                name="equation_of_state",
+                fp_per_cell=1_700.0,
+                loads_per_cell=250.0,
+                stores_per_cell=83.0,
+                stride=_hist(0.90, 0.05, 0.05),
+                ws_exponent=1.0,
+                dependency_fraction=0.05,
+                chase_fraction=0.2,
+                fp_ilp=0.85,
+            ),
+        ),
+        comms=(
+            CommEvent(
+                name="barotropic_halo",
+                kind="p2p",
+                count=120.0,
+                size_scale=0.8,
+                size_exponent=2.0 / 3.0,
+                neighbors=4,
+            ),
+            CommEvent(
+                name="solver_allreduce",
+                kind=CollectiveKind.ALLREDUCE,
+                count=40.0,
+                size_scale=8.0,
+                size_exponent=0.0,
+            ),
+        ),
+        serial_fraction=0.002,
+        imbalance=0.12,
+    )
+
+
+def overflow2_standard() -> ApplicationModel:
+    """OVERFLOW2 standard: five spheres, 30 M grid points, 600 timesteps."""
+    return ApplicationModel(
+        name="OVERFLOW2",
+        testcase="standard",
+        description=(
+            "NASA overset structured-grid CFD; fluid flow over five spheres "
+            "(30M grid points, 600 timesteps)"
+        ),
+        cells=3.0e7,
+        bytes_per_cell=1400.0,
+        timesteps=600,
+        cpu_counts=(32, 48, 64),
+        blocks=(
+            BasicBlock(
+                name="rhs_stencil",
+                fp_per_cell=1_000.0,
+                loads_per_cell=230.0,
+                stores_per_cell=57.0,
+                stride=_hist(0.60, 0.35, 0.05, stride=4),
+                ws_exponent=1.0,
+                dependency_fraction=0.05,
+                chase_fraction=0.3,
+                fp_ilp=0.80,
+            ),
+            BasicBlock(
+                name="adi_line_solve",
+                fp_per_cell=860.0,
+                loads_per_cell=260.0,
+                stores_per_cell=86.0,
+                stride=_hist(0.45, 0.45, 0.10, stride=8),
+                ws_scale=400.0,
+                ws_exponent=1.0 / 3.0,  # pencil working sets
+                dependency_fraction=0.60,
+                chase_fraction=0.25,
+                fp_ilp=0.35,
+            ),
+            BasicBlock(
+                name="turbulence_model",
+                fp_per_cell=340.0,
+                loads_per_cell=100.0,
+                stores_per_cell=29.0,
+                stride=_hist(0.70, 0.20, 0.10),
+                ws_exponent=1.0,
+                dependency_fraction=0.20,
+                chase_fraction=0.4,
+                fp_ilp=0.60,
+            ),
+            BasicBlock(
+                name="overset_interp",
+                fp_per_cell=86.0,
+                loads_per_cell=43.0,
+                stores_per_cell=14.0,
+                stride=_hist(0.20, 0.20, 0.60),
+                ws_exponent=2.0 / 3.0,
+                dependency_fraction=0.40,
+                chase_fraction=0.8,
+                fp_ilp=0.50,
+            ),
+        ),
+        comms=(
+            CommEvent(
+                name="grid_halo",
+                kind="p2p",
+                count=20.0,
+                size_scale=1.0,
+                size_exponent=2.0 / 3.0,
+                neighbors=6,
+            ),
+            CommEvent(
+                name="chimera_bcast",
+                kind=CollectiveKind.BROADCAST,
+                count=2.0,
+                size_scale=4096.0,
+                size_exponent=0.0,
+            ),
+            CommEvent(
+                name="norm_allreduce",
+                kind=CollectiveKind.ALLREDUCE,
+                count=8.0,
+                size_scale=8.0,
+                size_exponent=0.0,
+            ),
+        ),
+        serial_fraction=0.002,
+        imbalance=0.10,
+    )
+
+
+def rfcth_standard() -> ApplicationModel:
+    """RFCTH standard: rod impacting a plate, AMR with 5 refinement levels."""
+    return ApplicationModel(
+        name="RFCTH",
+        testcase="standard",
+        description=(
+            "Sandia shock physics (non-export-controlled CTH); ten-material "
+            "rod impacting an eight-material plate, 5-level AMR"
+        ),
+        cells=1.2e7,
+        bytes_per_cell=2400.0,
+        timesteps=120,
+        cpu_counts=(16, 32, 64),
+        blocks=(
+            BasicBlock(
+                name="hydro_sweep",
+                fp_per_cell=770.0,
+                loads_per_cell=205.0,
+                stores_per_cell=64.0,
+                stride=_hist(0.55, 0.25, 0.20),
+                ws_exponent=1.0,
+                dependency_fraction=0.30,
+                chase_fraction=0.5,
+                fp_ilp=0.50,
+            ),
+            BasicBlock(
+                name="material_interface",
+                fp_per_cell=385.0,
+                loads_per_cell=115.0,
+                stores_per_cell=38.0,
+                stride=_hist(0.35, 0.15, 0.50),
+                ws_exponent=1.0,
+                dependency_fraction=0.50,
+                chase_fraction=0.7,
+                fp_ilp=0.40,
+            ),
+            BasicBlock(
+                name="amr_regrid",
+                fp_per_cell=128.0,
+                loads_per_cell=90.0,
+                stores_per_cell=45.0,
+                stride=_hist(0.20, 0.10, 0.70),
+                ws_exponent=1.0,
+                dependency_fraction=0.55,
+                chase_fraction=0.9,
+                fp_ilp=0.30,
+            ),
+            BasicBlock(
+                name="eos_tables",
+                fp_per_cell=256.0,
+                loads_per_cell=64.0,
+                stores_per_cell=13.0,
+                stride=_hist(0.30, 0.20, 0.50),
+                ws_scale=12.0 * MIB,
+                ws_exponent=0.0,  # fixed-size material tables
+                dependency_fraction=0.45,
+                chase_fraction=0.6,
+                fp_ilp=0.50,
+            ),
+        ),
+        comms=(
+            CommEvent(
+                name="block_halo",
+                kind="p2p",
+                count=30.0,
+                size_scale=1.5,
+                size_exponent=2.0 / 3.0,
+                neighbors=6,
+            ),
+            CommEvent(
+                name="dt_allreduce",
+                kind=CollectiveKind.ALLREDUCE,
+                count=15.0,
+                size_scale=8.0,
+                size_exponent=0.0,
+            ),
+            CommEvent(
+                name="regrid_alltoall",
+                kind=CollectiveKind.ALLTOALL,
+                count=0.2,
+                size_scale=0.05,
+                size_exponent=2.0 / 3.0,
+            ),
+        ),
+        serial_fraction=0.003,
+        imbalance=0.15,
+    )
+
+
+#: Factories for the five test cases, keyed by study label.
+APPLICATIONS = {
+    "AVUS-standard": avus_standard,
+    "AVUS-large": avus_large,
+    "HYCOM-standard": hycom_standard,
+    "OVERFLOW2-standard": overflow2_standard,
+    "RFCTH-standard": rfcth_standard,
+}
+
+
+def get_application(label: str) -> ApplicationModel:
+    """Instantiate the test case called ``label`` (e.g. ``"AVUS-standard"``)."""
+    try:
+        factory = APPLICATIONS[label]
+    except KeyError:
+        known = ", ".join(APPLICATIONS)
+        raise KeyError(f"unknown application {label!r}; known: {known}") from None
+    return factory()
+
+
+def list_applications() -> list[str]:
+    """Labels of the five TI-05 test cases in study order."""
+    return list(APPLICATIONS)

@@ -1,0 +1,163 @@
+"""Command-line front end: ``repro-study`` / ``python -m repro``.
+
+Subcommands regenerate the paper's artifacts on the terminal:
+
+* ``table4`` — overall error per metric (Table 4 / Figure 2);
+* ``table5`` — per-system error (Table 5);
+* ``figures`` — per-application error assessments (Figures 3-7);
+* ``figure1`` — unit-stride MAPS curves (Figure 1);
+* ``appendix`` — observed times-to-solution (Tables 6-10);
+* ``probes`` — probe summary per system;
+* ``cost`` — the Section 3 effort-vs-accuracy table;
+* ``all`` — everything above;
+* ``csv`` — raw prediction records as CSV on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps.suite import list_applications
+from repro.machines.registry import MACHINES
+from repro.probes.suite import probe_machine
+from repro.reporting.ascii_charts import bar_chart, line_chart
+from repro.reporting.export import result_to_csv
+from repro.study.runner import StudyResult, run_study
+from repro.study import tables as T
+
+__all__ = ["main"]
+
+
+def _print_table4(result: StudyResult) -> None:
+    print(T.table4_overall(result).render())
+    bars = {
+        f"#{m}": err for m, (err, _std) in T.figure2_series(result).items()
+    }
+    stds = {f"#{m}": std for m, (_err, std) in T.figure2_series(result).items()}
+    print(bar_chart(bars, title="Figure 2. Average absolute error by metric", errors=stds))
+
+
+def _print_table5(result: StudyResult) -> None:
+    print(T.table5_systems(result, include_paper=True).render())
+
+
+def _print_figures(result: StudyResult) -> None:
+    for app in list_applications():
+        print(T.figures3_7_series(result, app).render())
+
+
+def _print_figure1() -> None:
+    series = {
+        name: (sizes, bws / 1e9)
+        for name, (sizes, bws) in T.figure1_series().items()
+    }
+    print(
+        line_chart(
+            series,
+            title="Figure 1. Unit-stride memory bandwidth vs working-set size",
+            x_label="working set (bytes, log)",
+            y_label="GB/s (log)",
+        )
+    )
+
+
+def _print_appendix(result: StudyResult) -> None:
+    for app in list_applications():
+        print(T.appendix_runtimes(result, app).render())
+
+
+def _print_cost(result: StudyResult) -> None:
+    from repro.study.cost import metric_costs
+
+    print("Effort vs accuracy (Section 3)")
+    print("==============================")
+    print(f"{'metric':>6s} {'needs':>9s} {'base hours':>11s} {'avg |err| %':>12s}")
+    for row in metric_costs(result):
+        print(
+            f"#{row.metric:5d} {row.requirement:>9s} "
+            f"{row.acquisition_hours:11.0f} {row.mean_abs_error:12.1f}"
+        )
+    print()
+
+
+def _print_probes() -> None:
+    for name, machine in MACHINES.items():
+        summary = probe_machine(machine).summary()
+        row = "  ".join(f"{k}={v:.3g}" for k, v in summary.items())
+        print(f"{name:15s} {row}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro-study``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description="Reproduce the SC'05 simple-metrics prediction study.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=[
+            "table4",
+            "table5",
+            "figures",
+            "figure1",
+            "appendix",
+            "probes",
+            "cost",
+            "csv",
+            "all",
+        ],
+        nargs="?",
+        default="table4",
+        help="which paper artifact to regenerate (default: table4)",
+    )
+    parser.add_argument(
+        "--no-noise",
+        action="store_true",
+        help="disable run-to-run noise in the ground-truth executor",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=["relative", "absolute"],
+        default="relative",
+        help="convolver anchoring (default: relative, as the paper)",
+    )
+    args = parser.parse_args(argv)
+
+    needs_study = args.artifact in {
+        "table4",
+        "table5",
+        "figures",
+        "appendix",
+        "cost",
+        "csv",
+        "all",
+    }
+    result = None
+    if needs_study:
+        from repro.study.runner import StudyConfig
+
+        config = StudyConfig(mode=args.mode, noise=not args.no_noise)
+        result = run_study(config)
+
+    if args.artifact in {"table4", "all"}:
+        _print_table4(result)
+    if args.artifact in {"table5", "all"}:
+        _print_table5(result)
+    if args.artifact in {"figure1", "all"}:
+        _print_figure1()
+    if args.artifact in {"figures", "all"}:
+        _print_figures(result)
+    if args.artifact in {"appendix", "all"}:
+        _print_appendix(result)
+    if args.artifact in {"cost", "all"}:
+        _print_cost(result)
+    if args.artifact in {"probes", "all"}:
+        _print_probes()
+    if args.artifact == "csv":
+        sys.stdout.write(result_to_csv(result))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""The paper's primary contribution: metric-based performance prediction.
+
+* :mod:`repro.core.errors` — Equation 2 error statistics.
+* :mod:`repro.core.convolver` — the MetaSim Convolver: divides traced
+  operation counts by probe-measured rates per basic block, handles
+  FP/memory overlap and the optional network term.
+* :mod:`repro.core.metrics` — the nine metrics of Table 3 (three simple
+  Equation-1 ratios, six convolver configurations) behind one interface.
+* :mod:`repro.core.balanced` — the IDC balanced-rating linear combination,
+  with equal and regression-optimised weights (paper Section 4).
+* :mod:`repro.core.predictor` — a facade tying machines, probes, traces
+  and metrics together (the library's main entry point).
+* :mod:`repro.core.ranking` — system-ranking utilities (Kendall/Spearman
+  agreement between predicted and observed rankings).
+"""
+
+from repro.core.errors import ErrorSummary, absolute_error, signed_error, summarise
+from repro.core.convolver import ConvolvedTime, Convolver, MemoryModel
+from repro.core.metrics import (
+    ALL_METRICS,
+    Metric,
+    PredictionContext,
+    PredictiveMetric,
+    SimpleMetric,
+    get_metric,
+)
+from repro.core.balanced import BalancedRating, optimise_weights
+from repro.core.predictor import PerformancePredictor
+from repro.core.ranking import rank_agreement, rank_systems
+
+__all__ = [
+    "signed_error",
+    "absolute_error",
+    "summarise",
+    "ErrorSummary",
+    "Convolver",
+    "ConvolvedTime",
+    "MemoryModel",
+    "Metric",
+    "SimpleMetric",
+    "PredictiveMetric",
+    "PredictionContext",
+    "ALL_METRICS",
+    "get_metric",
+    "BalancedRating",
+    "optimise_weights",
+    "PerformancePredictor",
+    "rank_systems",
+    "rank_agreement",
+]

@@ -1,0 +1,219 @@
+"""MetaSim Convolver analogue.
+
+"Operation counts, once determined by tracing, are divided by corresponding
+operation rates ... to yield an execution time for the current basic block
+per operation type.  Execution time is subsequently 'predicted' by summing
+the estimated execution time for all basic blocks and carefully taking into
+account the overlap of the different operation types."  (paper Section 3)
+
+The convolver consumes only an :class:`~repro.tracing.trace.ApplicationTrace`
+and a :class:`~repro.probes.results.MachineProbes` — never a machine spec —
+so each metric's blindness is structural:
+
+=============  =====================================================
+MemoryModel    memory rate source
+=============  =====================================================
+``NONE``       memory ignored (Metric #4)
+``STREAM``     every reference at STREAM triad (Metric #5)
+``STREAM_GUPS``strided at STREAM, random at GUPS (Metric #6)
+``MAPS``       MAPS curves looked up at the traced working set (#7, #8)
+``MAPS_DEP``   ENHANCED MAPS dependent curves blended by the static
+               dependency weight (Metric #9)
+=============  =====================================================
+
+The network term (Metrics #8/#9) prices the MPIDTRACE events with
+NETBENCH's fitted latency/bandwidth and measured all_reduce table.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.network.model import CollectiveKind
+from repro.probes.results import MachineProbes
+from repro.tracing.trace import ApplicationTrace, BlockTrace, CommRecord
+from repro.util.validation import check_fraction
+
+__all__ = ["MemoryModel", "Convolver", "ConvolvedTime", "BlockPrediction"]
+
+#: Fraction of min(FP, memory) time the convolver assumes is hidden by
+#: overlap.  A single number for all machines — the predictor cannot know
+#: each target's true overlap behaviour, which varies (another honest gap).
+DEFAULT_OVERLAP = 0.75
+
+
+class MemoryModel(enum.Enum):
+    """How the convolver prices memory references."""
+
+    NONE = "none"
+    STREAM = "stream"
+    STREAM_GUPS = "stream+gups"
+    MAPS = "maps"
+    MAPS_DEP = "maps+dep"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class BlockPrediction:
+    """Predicted per-timestep time of one basic block.
+
+    Attributes
+    ----------
+    name:
+        Block name.
+    fp_seconds, mem_seconds:
+        Component estimates before overlap.
+    seconds:
+        Combined estimate.
+    """
+
+    name: str
+    fp_seconds: float
+    mem_seconds: float
+    seconds: float
+
+
+@dataclass(frozen=True)
+class ConvolvedTime:
+    """Full convolver output for one (trace, machine) pair.
+
+    Attributes
+    ----------
+    machine:
+        Probed target system.
+    application, cpus:
+        Identity of the trace.
+    compute_seconds:
+        Sum of block estimates over all timesteps.
+    comm_seconds:
+        Network term (zero unless the network model is enabled).
+    blocks:
+        Per-block breakdown (per timestep).
+    """
+
+    machine: str
+    application: str
+    cpus: int
+    compute_seconds: float
+    comm_seconds: float
+    blocks: tuple[BlockPrediction, ...]
+
+    @property
+    def total_seconds(self) -> float:
+        """Predicted wall-clock seconds."""
+        return self.compute_seconds + self.comm_seconds
+
+
+class Convolver:
+    """Convolve application traces with machine probe results.
+
+    Parameters
+    ----------
+    memory_model:
+        Memory-rate source (see module docstring).
+    network:
+        Include the NETBENCH communication term.
+    overlap:
+        Assumed fraction of min(FP, memory) hidden by overlap.
+    """
+
+    def __init__(
+        self,
+        memory_model: MemoryModel = MemoryModel.MAPS,
+        *,
+        network: bool = False,
+        overlap: float = DEFAULT_OVERLAP,
+    ):
+        self.memory_model = MemoryModel(memory_model)
+        self.network = bool(network)
+        self.overlap = check_fraction("overlap", overlap)
+
+    # ------------------------------------------------------------------
+    def _mem_seconds(self, block: BlockTrace, probes: MachineProbes) -> float:
+        """Price one timestep of ``block``'s memory traffic."""
+        model = self.memory_model
+        if model is MemoryModel.NONE:
+            return 0.0
+        total_bytes = block.bytes
+        if model is MemoryModel.STREAM:
+            return total_bytes / probes.stream.bandwidth
+
+        strided_bytes = total_bytes * block.stride.strided
+        random_bytes = total_bytes * block.stride.random
+        if model is MemoryModel.STREAM_GUPS:
+            return (
+                strided_bytes / probes.stream.bandwidth
+                + random_bytes / probes.gups.random_bandwidth
+            )
+
+        ws = block.working_set
+        maps = probes.maps
+        if model is MemoryModel.MAPS:
+            return strided_bytes / maps.unit.lookup(ws) + random_bytes / maps.random.lookup(ws)
+
+        if model is MemoryModel.MAPS_DEP:
+            w = block.dependency_weight
+            t = strided_bytes * (1.0 - w) / maps.unit.lookup(ws)
+            t += random_bytes * (1.0 - w) / maps.random.lookup(ws)
+            if w > 0.0:
+                t += strided_bytes * w / maps.unit_dep.lookup(ws)
+                t += random_bytes * w / maps.random_dep.lookup(ws)
+            return t
+        raise AssertionError(f"unhandled memory model {model!r}")
+
+    def predict_block(self, block: BlockTrace, probes: MachineProbes) -> BlockPrediction:
+        """Predict one timestep of ``block`` on the probed machine."""
+        t_fp = block.fp_ops / probes.hpl.rmax_flops
+        t_mem = self._mem_seconds(block, probes)
+        hidden = self.overlap * min(t_fp, t_mem)
+        return BlockPrediction(
+            name=block.name,
+            fp_seconds=t_fp,
+            mem_seconds=t_mem,
+            seconds=t_fp + t_mem - hidden,
+        )
+
+    # ------------------------------------------------------------------
+    def _comm_seconds(
+        self, records: tuple[CommRecord, ...], probes: MachineProbes, cpus: int
+    ) -> float:
+        """Price one timestep of traced MPI events with NETBENCH results."""
+        net = probes.netbench
+        time = 0.0
+        for rec in records:
+            if rec.is_p2p:
+                per = net.point_to_point(rec.size_bytes) * rec.neighbors
+            elif rec.kind is CollectiveKind.ALLREDUCE:
+                per = net.allreduce_time(cpus, rec.size_bytes)
+            elif rec.kind is CollectiveKind.BARRIER:
+                per = net.allreduce_time(cpus, 8.0) / 2.0
+            elif rec.kind is CollectiveKind.BROADCAST:
+                depth = math.ceil(math.log2(max(cpus, 2)))
+                per = depth * net.point_to_point(rec.size_bytes)
+            elif rec.kind is CollectiveKind.ALLTOALL:
+                per = (cpus - 1) * net.point_to_point(rec.size_bytes)
+            else:
+                raise ValueError(f"unhandled comm kind {rec.kind!r}")
+            time += rec.count * per
+        return time
+
+    # ------------------------------------------------------------------
+    def predict(self, trace: ApplicationTrace, probes: MachineProbes) -> ConvolvedTime:
+        """Predict the traced application's wall-clock time on ``probes``' machine."""
+        blocks = tuple(self.predict_block(b, probes) for b in trace.blocks)
+        compute = sum(b.seconds for b in blocks) * trace.timesteps
+        comm = 0.0
+        if self.network:
+            comm = self._comm_seconds(trace.comm, probes, trace.cpus) * trace.timesteps
+        return ConvolvedTime(
+            machine=probes.machine,
+            application=trace.application,
+            cpus=trace.cpus,
+            compute_seconds=compute,
+            comm_seconds=comm,
+            blocks=blocks,
+        )

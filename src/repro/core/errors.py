@@ -1,0 +1,78 @@
+"""Prediction-error statistics (paper Equation 2).
+
+Signed error keeps the direction — "negative error indicates the
+prediction was faster than the actual runtime" — while absolute error is
+what the paper averages, "preventing error cancellation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+import numpy as np
+
+__all__ = ["signed_error", "absolute_error", "summarise", "ErrorSummary"]
+
+
+def signed_error(predicted: float, actual: float) -> float:
+    """Equation 2: ``(T' - T) / T * 100`` percent.
+
+    Negative = predicted faster than actual; positive = predicted slower.
+    """
+    if actual <= 0:
+        raise ValueError(f"actual time must be > 0, got {actual!r}")
+    if predicted < 0:
+        raise ValueError(f"predicted time must be >= 0, got {predicted!r}")
+    return (predicted - actual) / actual * 100.0
+
+
+def absolute_error(predicted: float, actual: float) -> float:
+    """Magnitude of the Equation 2 error, percent."""
+    return abs(signed_error(predicted, actual))
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Aggregate of a set of prediction errors.
+
+    Attributes
+    ----------
+    mean_abs:
+        Average absolute error, percent (the paper's headline statistic).
+    std_abs:
+        Standard deviation of the absolute errors, percent.
+    mean_signed:
+        Average signed error (bias), percent.
+    count:
+        Number of predictions aggregated.
+    """
+
+    mean_abs: float
+    std_abs: float
+    mean_signed: float
+    count: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.mean_abs:.0f}% +/- {self.std_abs:.0f}% "
+            f"(bias {self.mean_signed:+.0f}%, n={self.count})"
+        )
+
+
+def summarise(signed_errors: Iterable[float]) -> ErrorSummary:
+    """Summarise a collection of signed Equation-2 errors.
+
+    The standard deviation uses the population convention (ddof=0),
+    matching a straight "std of the error column" reading of Table 4.
+    """
+    arr = np.asarray(list(signed_errors), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarise zero errors")
+    abs_arr = np.abs(arr)
+    return ErrorSummary(
+        mean_abs=float(abs_arr.mean()),
+        std_abs=float(abs_arr.std()),
+        mean_signed=float(arr.mean()),
+        count=int(arr.size),
+    )

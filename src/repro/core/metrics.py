@@ -1,0 +1,181 @@
+"""The nine synthetic metrics of the paper's Table 3.
+
+Simple metrics (#1-#3) apply Equation 1: the application is assumed faster
+or slower exactly as the ratio of one benchmark result between the target
+and the base system.  (Equation 1 is written for time-like results; our
+benchmark numbers are rates, where higher is faster, so the ratio inverts:
+``T' = R(X0)/R(X) * T(X0, Y)``.)
+
+Predictive metrics (#4-#9) run the MetaSim Convolver with progressively
+richer rate sources.  By default they predict *base-relative*:
+``T'(X) = C(X)/C(X0) * T(X0)`` where ``C`` is the convolved time — scaling
+the base system's measured runtime by the convolver's cross-machine ratio.
+This is the reading under which the paper's Metric #4 is *identical* to
+Metric #1 (both reduce to the Rmax ratio), as Table 4 reports.  The
+``absolute`` mode returns the convolver's raw time instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.convolver import Convolver, MemoryModel
+from repro.probes.results import MachineProbes
+from repro.tracing.trace import ApplicationTrace
+from repro.util.validation import check_in
+
+__all__ = [
+    "PredictionContext",
+    "Metric",
+    "SimpleMetric",
+    "PredictiveMetric",
+    "ALL_METRICS",
+    "get_metric",
+]
+
+
+@dataclass(frozen=True)
+class PredictionContext:
+    """Everything a metric may consume to predict one run.
+
+    Attributes
+    ----------
+    trace:
+        The application's transfer function (traced on the base system).
+        Simple metrics ignore it.
+    target_probes, base_probes:
+        Probe suites of the target system X and base system X0.
+    base_time:
+        Measured wall-clock time ``T(X0, Y)`` on the base system.
+    mode:
+        ``"relative"`` (default, base-anchored) or ``"absolute"``
+        (convolver output taken at face value; simple metrics have no
+        absolute form and always use Equation 1).
+    """
+
+    trace: ApplicationTrace
+    target_probes: MachineProbes
+    base_probes: MachineProbes
+    base_time: float
+    mode: str = "relative"
+
+    def __post_init__(self) -> None:
+        check_in("mode", self.mode, ("relative", "absolute"))
+        if self.base_time <= 0:
+            raise ValueError(f"base_time must be > 0, got {self.base_time!r}")
+
+
+class Metric:
+    """Common interface of all Table 3 metrics.
+
+    Attributes
+    ----------
+    number:
+        Metric number (1-9) as in Table 3.
+    name:
+        Short composition label (e.g. ``"HPL+MAPS+NET"``).
+    kind:
+        ``"simple"`` or ``"predictive"``.
+    """
+
+    number: int
+    name: str
+    kind: str
+
+    def predict(self, ctx: PredictionContext) -> float:
+        """Predicted wall-clock seconds ``T'(X, Y)``."""
+        raise NotImplementedError
+
+    @property
+    def label(self) -> str:
+        """Display label, e.g. ``"3-S GUPS"``."""
+        return f"{self.number}-{self.kind[0].upper()} {self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Metric #{self.number} {self.name}>"
+
+
+class SimpleMetric(Metric):
+    """Equation-1 ratio prediction from a single benchmark rate.
+
+    Parameters
+    ----------
+    number, name:
+        Table 3 identity.
+    rate_name:
+        Which probe rate to ratio: ``"hpl"``, ``"stream"`` or ``"gups"``.
+    """
+
+    kind = "simple"
+
+    def __init__(self, number: int, name: str, rate_name: str):
+        self.number = number
+        self.name = name
+        self.rate_name = rate_name
+
+    def predict(self, ctx: PredictionContext) -> float:
+        r_target = ctx.target_probes.simple_rate(self.rate_name)
+        r_base = ctx.base_probes.simple_rate(self.rate_name)
+        return (r_base / r_target) * ctx.base_time
+
+
+class PredictiveMetric(Metric):
+    """Convolver-backed prediction (Metrics #4-#9).
+
+    Parameters
+    ----------
+    number, name:
+        Table 3 identity.
+    memory_model:
+        The convolver's memory rate source.
+    network:
+        Include the NETBENCH term.
+    """
+
+    kind = "predictive"
+
+    def __init__(
+        self,
+        number: int,
+        name: str,
+        memory_model: MemoryModel,
+        *,
+        network: bool = False,
+    ):
+        self.number = number
+        self.name = name
+        self.convolver = Convolver(memory_model, network=network)
+
+    def predict(self, ctx: PredictionContext) -> float:
+        c_target = self.convolver.predict(ctx.trace, ctx.target_probes).total_seconds
+        if ctx.mode == "absolute":
+            return c_target
+        c_base = self.convolver.predict(ctx.trace, ctx.base_probes).total_seconds
+        return (c_target / c_base) * ctx.base_time
+
+
+def _build_metrics() -> dict[int, Metric]:
+    return {
+        1: SimpleMetric(1, "HPL", "hpl"),
+        2: SimpleMetric(2, "STREAM", "stream"),
+        3: SimpleMetric(3, "GUPS", "gups"),
+        4: PredictiveMetric(4, "HPL", MemoryModel.NONE),
+        5: PredictiveMetric(5, "HPL+STREAM", MemoryModel.STREAM),
+        6: PredictiveMetric(6, "HPL+STREAM+GUPS", MemoryModel.STREAM_GUPS),
+        7: PredictiveMetric(7, "HPL+MAPS", MemoryModel.MAPS),
+        8: PredictiveMetric(8, "HPL+MAPS+NET", MemoryModel.MAPS, network=True),
+        9: PredictiveMetric(9, "HPL+MAPS+NET+DEP", MemoryModel.MAPS_DEP, network=True),
+    }
+
+
+#: The nine metrics of Table 3, keyed by number.
+ALL_METRICS: dict[int, Metric] = _build_metrics()
+
+
+def get_metric(number: int) -> Metric:
+    """Return metric ``number`` (1-9)."""
+    try:
+        return ALL_METRICS[number]
+    except KeyError:
+        raise KeyError(f"metric number must be 1-9, got {number!r}") from None

@@ -1,0 +1,153 @@
+"""High-level prediction facade — the library's main entry point.
+
+:class:`PerformancePredictor` wires the whole pipeline together: it probes
+machines (cached), traces applications on the base system (cached), runs
+the base system's "real" execution for Equation 1's ``T(X0, Y)``, and
+applies any Table 3 metric.
+
+    >>> from repro import PerformancePredictor
+    >>> predictor = PerformancePredictor()
+    >>> t = predictor.predict("AVUS-standard", "ARL_Opteron", cpus=64, metric=9)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.execution import GroundTruthExecutor
+from repro.apps.model import ApplicationModel
+from repro.apps.suite import get_application
+from repro.core.metrics import ALL_METRICS, Metric, PredictionContext, get_metric
+from repro.machines.registry import BASE_SYSTEM, get_machine
+from repro.machines.spec import MachineSpec
+from repro.probes.suite import probe_machine
+from repro.tracing.metasim import DEFAULT_SAMPLE_SIZE, trace_application
+
+__all__ = ["PerformancePredictor", "Prediction"]
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One prediction with its provenance.
+
+    Attributes
+    ----------
+    application, system, cpus, metric:
+        What was predicted with what.
+    predicted_seconds:
+        The metric's estimate ``T'(X, Y)``.
+    base_seconds:
+        The base-system time the prediction was anchored to.
+    """
+
+    application: str
+    system: str
+    cpus: int
+    metric: int
+    predicted_seconds: float
+    base_seconds: float
+
+
+class PerformancePredictor:
+    """Predict application wall-clock times across systems.
+
+    Parameters
+    ----------
+    base_system:
+        Name of the base (tracing + Equation 1 anchor) system; defaults to
+        the paper's NAVO p690.
+    mode:
+        ``"relative"`` (paper) or ``"absolute"`` convolution.
+    sample_size:
+        MetaSim tracer references per basic block.
+    noise:
+        Whether base-system "measurements" include run-to-run noise.
+    """
+
+    def __init__(
+        self,
+        base_system: str = BASE_SYSTEM,
+        *,
+        mode: str = "relative",
+        sample_size: int = DEFAULT_SAMPLE_SIZE,
+        noise: bool = True,
+    ):
+        self.base_machine = get_machine(base_system)
+        self.mode = mode
+        self.sample_size = sample_size
+        self.noise = noise
+        self._base_times: dict[tuple[str, int], float] = {}
+
+    # ------------------------------------------------------------------
+    def _resolve_app(self, app: ApplicationModel | str) -> ApplicationModel:
+        return get_application(app) if isinstance(app, str) else app
+
+    def _resolve_machine(self, machine: MachineSpec | str) -> MachineSpec:
+        return get_machine(machine) if isinstance(machine, str) else machine
+
+    def base_time(self, app: ApplicationModel | str, cpus: int) -> float:
+        """Measured (simulated) base-system time ``T(X0, Y)``, cached."""
+        model = self._resolve_app(app)
+        key = (model.label, cpus)
+        if key not in self._base_times:
+            executor = GroundTruthExecutor(self.base_machine, noise=self.noise)
+            self._base_times[key] = executor.run(model, cpus).total_seconds
+        return self._base_times[key]
+
+    def context(
+        self, app: ApplicationModel | str, machine: MachineSpec | str, cpus: int
+    ) -> PredictionContext:
+        """Assemble the full prediction context for one run."""
+        model = self._resolve_app(app)
+        target = self._resolve_machine(machine)
+        trace = trace_application(model, cpus, self.base_machine, self.sample_size)
+        return PredictionContext(
+            trace=trace,
+            target_probes=probe_machine(target),
+            base_probes=probe_machine(self.base_machine),
+            base_time=self.base_time(model, cpus),
+            mode=self.mode,
+        )
+
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        app: ApplicationModel | str,
+        machine: MachineSpec | str,
+        cpus: int,
+        metric: int | Metric = 9,
+    ) -> float:
+        """Predict ``app``'s wall-clock seconds on ``machine`` at ``cpus``.
+
+        ``metric`` is a Table 3 number (1-9) or a :class:`Metric` instance.
+        """
+        m = get_metric(metric) if isinstance(metric, int) else metric
+        return m.predict(self.context(app, machine, cpus))
+
+    def predict_detail(
+        self,
+        app: ApplicationModel | str,
+        machine: MachineSpec | str,
+        cpus: int,
+        metric: int | Metric = 9,
+    ) -> Prediction:
+        """Like :meth:`predict` but returns provenance alongside the value."""
+        model = self._resolve_app(app)
+        target = self._resolve_machine(machine)
+        m = get_metric(metric) if isinstance(metric, int) else metric
+        value = m.predict(self.context(model, target, cpus))
+        return Prediction(
+            application=model.label,
+            system=target.name,
+            cpus=cpus,
+            metric=m.number,
+            predicted_seconds=value,
+            base_seconds=self.base_time(model, cpus),
+        )
+
+    def predict_all_metrics(
+        self, app: ApplicationModel | str, machine: MachineSpec | str, cpus: int
+    ) -> dict[int, float]:
+        """Predictions from all nine metrics for one run."""
+        ctx = self.context(app, machine, cpus)
+        return {num: metric.predict(ctx) for num, metric in ALL_METRICS.items()}

@@ -1,0 +1,40 @@
+"""Machine models: parameterised descriptions of the HPCMP systems.
+
+A :class:`~repro.machines.spec.MachineSpec` captures everything the
+reproduction knows about a system: processor (clock, peak FP issue, ILP
+efficiency), the cache/memory hierarchy (per-level size, streaming bandwidth,
+latency, line size, memory-level parallelism, dependent-access throughput),
+and the interconnect (latency, bandwidth, collective behaviour).
+
+The registry (:mod:`repro.machines.registry`) instantiates the eleven
+systems of the paper's Tables 1 and 2 — the ten prediction targets plus the
+NAVO p690 base system used for tracing and as the reference of Equation 1.
+Parameters are tuned to the published characteristics of each architecture;
+they are *models*, standing in for hardware we do not have (see DESIGN.md §2).
+"""
+
+from repro.machines.spec import (
+    MachineSpec,
+    MemoryLevelSpec,
+    NetworkSpec,
+    ProcessorSpec,
+)
+from repro.machines.registry import (
+    BASE_SYSTEM,
+    MACHINES,
+    TARGET_SYSTEMS,
+    get_machine,
+    list_machines,
+)
+
+__all__ = [
+    "MachineSpec",
+    "MemoryLevelSpec",
+    "NetworkSpec",
+    "ProcessorSpec",
+    "MACHINES",
+    "TARGET_SYSTEMS",
+    "BASE_SYSTEM",
+    "get_machine",
+    "list_machines",
+]

@@ -1,0 +1,364 @@
+"""The eleven HPCMP systems of the study (Tables 1, 2 and 5 of the paper).
+
+The ten *target* systems are the rows of the paper's Table 5; the eleventh,
+``NAVO_690`` (an IBM p690 1.3 GHz), is the base system on which applications
+are traced and whose measured runtime anchors Equation 1.
+
+Parameter values are per-processor models tuned to the published
+characteristics of each architecture (clock, peak issue width, cache sizes,
+STREAM-class memory bandwidth, memory latency, interconnect latency and
+bandwidth).  They stand in for hardware we do not have; see DESIGN.md §2.
+The values matter only through the *diversity* they induce — e.g. the Xeon's
+high clock with a weak shared front-side bus, the Opteron's integrated
+memory controller (low latency, high bandwidth), the Altix's large fast L3
+with high NUMA main-memory latency — because that diversity is what makes
+single-number metrics mispredict, which is the phenomenon under study.
+"""
+
+from __future__ import annotations
+
+from repro.machines.spec import (
+    MachineSpec,
+    MemoryLevelSpec,
+    NetworkSpec,
+    ProcessorSpec,
+)
+from repro.util.units import GB, KIB, MIB
+
+__all__ = ["MACHINES", "TARGET_SYSTEMS", "BASE_SYSTEM", "get_machine", "list_machines"]
+
+_INF = float("inf")
+
+
+def _lvl(
+    name: str,
+    size: float,
+    bw_gbs: float,
+    lat_ns: float,
+    line: int,
+    mlp: float = 4.0,
+    dep: float = 0.4,
+) -> MemoryLevelSpec:
+    """Shorthand constructor using GB/s and nanoseconds."""
+    return MemoryLevelSpec(
+        name=name,
+        size_bytes=size,
+        bandwidth=bw_gbs * GB,
+        latency=lat_ns * 1e-9,
+        line_bytes=line,
+        mlp=mlp,
+        dependent_stream_factor=dep,
+    )
+
+
+def _net(
+    name: str, lat_us: float, bw_gbs: float, coll: float, cont: float
+) -> NetworkSpec:
+    """Shorthand constructor using microseconds and GB/s."""
+    return NetworkSpec(
+        name=name,
+        latency=lat_us * 1e-6,
+        bandwidth=bw_gbs * GB,
+        collective_efficiency=coll,
+        contention_factor=cont,
+    )
+
+
+# --- interconnect families -------------------------------------------------
+
+_NUMALINK3 = _net("NUMALink3", lat_us=2.5, bw_gbs=1.00, coll=0.90, cont=1.10)
+_NUMALINK4 = _net("NUMALink4", lat_us=1.3, bw_gbs=3.00, coll=0.90, cont=1.08)
+_COLONY_P3 = _net("Colony", lat_us=20.0, bw_gbs=0.35, coll=0.70, cont=1.20)
+_COLONY_690 = _net("Colony", lat_us=17.0, bw_gbs=0.50, coll=0.70, cont=1.20)
+_FEDERATION = _net("Federation", lat_us=6.0, bw_gbs=1.50, coll=0.80, cont=1.15)
+_QUADRICS = _net("Quadrics", lat_us=4.5, bw_gbs=0.30, coll=0.85, cont=1.15)
+_MYRINET_XEON = _net("Myrinet", lat_us=8.5, bw_gbs=0.23, coll=0.70, cont=1.20)
+_MYRINET_OPT = _net("Myrinet", lat_us=7.5, bw_gbs=0.24, coll=0.70, cont=1.20)
+
+
+def _power3(name: str, cpus: int, description: str) -> MachineSpec:
+    return MachineSpec(
+        name=name,
+        architecture="IBM_P3_375MHz_COL",
+        vendor="IBM",
+        model="Power 3",
+        cpus=cpus,
+        processor=ProcessorSpec(
+            clock_ghz=0.375,
+            flops_per_cycle=4.0,
+            ilp_efficiency=0.78,
+            dependent_fp_efficiency=0.14,
+        ),
+        memory_levels=(
+            _lvl("L1", 64 * KIB, 6.0, 8.0, 128, mlp=2.0, dep=0.55),
+            _lvl("L2", 8 * MIB, 2.2, 35.0, 128, mlp=3.0, dep=0.55),
+            _lvl("MEM", _INF, 0.65, 350.0, 128, mlp=3.0, dep=0.50),
+        ),
+        network=_COLONY_P3,
+        overlap_factor=0.65,
+        noise_level=0.07,
+        description=description,
+    )
+
+
+def _power4(
+    name: str,
+    clock: float,
+    network: NetworkSpec,
+    cpus: int,
+    mem_bw: float,
+    description: str,
+    l3_bw: float = 4.5,
+    mem_lat: float = 210.0,
+    mem_mlp: float = 5.0,
+) -> MachineSpec:
+    scale = clock / 1.3
+    return MachineSpec(
+        name=name,
+        architecture=f"IBM_690_{clock}GHz_{'FED' if network is _FEDERATION else 'COL'}"
+        if "690" in name
+        else "IBM_655_1.7GHz_FED",
+        vendor="IBM",
+        model="p690" if "690" in name else "p655",
+        cpus=cpus,
+        processor=ProcessorSpec(
+            clock_ghz=clock,
+            flops_per_cycle=4.0,
+            ilp_efficiency=0.65,
+            dependent_fp_efficiency=0.10,
+        ),
+        memory_levels=(
+            _lvl("L1", 32 * KIB, 20.0 * scale, 3.0 / scale, 128, mlp=4.0, dep=0.45),
+            _lvl("L2", 1.5 * MIB, 10.0 * scale, 9.0 / scale, 128, mlp=5.0, dep=0.45),
+            _lvl("L3", 16 * MIB, l3_bw * scale, 80.0, 512, mlp=mem_mlp, dep=0.40),
+            _lvl("MEM", _INF, mem_bw, mem_lat, 128, mlp=mem_mlp, dep=0.40),
+        ),
+        network=network,
+        overlap_factor=0.75,
+        noise_level=0.08,
+        description=description,
+    )
+
+
+MACHINES: dict[str, MachineSpec] = {}
+
+
+def _register(spec: MachineSpec) -> MachineSpec:
+    if spec.name in MACHINES:
+        raise ValueError(f"duplicate machine name {spec.name!r}")
+    MACHINES[spec.name] = spec
+    return spec
+
+
+_register(
+    MachineSpec(
+        name="ERDC_O3800",
+        architecture="SGI_O3800_400MHz_NUMA",
+        vendor="SGI",
+        model="Origin 3800",
+        cpus=504,
+        processor=ProcessorSpec(
+            clock_ghz=0.400,
+            flops_per_cycle=2.0,
+            ilp_efficiency=0.75,
+            dependent_fp_efficiency=0.15,
+        ),
+        memory_levels=(
+            _lvl("L1", 32 * KIB, 3.2, 5.0, 32, mlp=2.0, dep=0.55),
+            _lvl("L2", 8 * MIB, 2.8, 25.0, 128, mlp=4.0, dep=0.55),
+            _lvl("MEM", _INF, 0.70, 280.0, 128, mlp=6.0, dep=0.45),
+        ),
+        network=_NUMALINK3,
+        overlap_factor=0.60,
+        noise_level=0.07,
+        description="SGI Origin 3800, 400 MHz MIPS R14000, NUMAlink ccNUMA",
+    )
+)
+
+_register(_power3("MHPCC_P3", cpus=736, description="IBM SP Power3-II 375 MHz, Colony switch (MHPCC)"))
+_register(_power3("NAVO_P3", cpus=928, description="IBM SP Power3-II 375 MHz, Colony switch (NAVO)"))
+
+_register(
+    MachineSpec(
+        name="ASC_SC45",
+        architecture="HP_SC45_1GHz_QUAD",
+        vendor="HP",
+        model="SC45",
+        cpus=472,
+        processor=ProcessorSpec(
+            clock_ghz=1.000,
+            flops_per_cycle=2.0,
+            ilp_efficiency=0.80,
+            dependent_fp_efficiency=0.15,
+        ),
+        memory_levels=(
+            _lvl("L1", 64 * KIB, 16.0, 2.0, 64, mlp=4.0, dep=0.50),
+            _lvl("L2", 8 * MIB, 4.8, 18.0, 64, mlp=5.0, dep=0.50),
+            _lvl("MEM", _INF, 1.30, 130.0, 64, mlp=6.0, dep=0.45),
+        ),
+        network=_QUADRICS,
+        overlap_factor=0.75,
+        noise_level=0.07,
+        description="HP AlphaServer SC45, 1 GHz EV68, Quadrics QsNet",
+    )
+)
+
+_register(
+    _power4(
+        "NAVO_690",
+        clock=1.3,
+        network=_COLONY_690,
+        cpus=1408,
+        mem_bw=1.9,
+        description="IBM p690 1.3 GHz Power4, Colony switch (NAVO) — base system",
+    )
+)
+_register(
+    _power4(
+        "MHPCC_690_1.3",
+        clock=1.3,
+        network=_COLONY_690,
+        cpus=320,
+        mem_bw=1.9,
+        description="IBM p690 1.3 GHz Power4, Colony switch (MHPCC)",
+    )
+)
+_register(
+    _power4(
+        "ARL_690_1.7",
+        clock=1.7,
+        network=_FEDERATION,
+        cpus=128,
+        mem_bw=2.1,
+        l3_bw=5.2,
+        mem_lat=240.0,
+        description="IBM p690 1.7 GHz Power4+, Federation switch (ARL)",
+    )
+)
+
+_register(
+    MachineSpec(
+        name="ARL_Xeon",
+        architecture="LNX_Xeon_3.06GHz_MNET",
+        vendor="LNX",
+        model="Xeon",
+        cpus=256,
+        processor=ProcessorSpec(
+            clock_ghz=3.060,
+            flops_per_cycle=2.0,
+            ilp_efficiency=0.55,
+            dependent_fp_efficiency=0.08,
+        ),
+        memory_levels=(
+            _lvl("L1", 8 * KIB, 24.0, 1.3, 64, mlp=4.0, dep=0.35),
+            _lvl("L2", 512 * KIB, 12.0, 6.0, 64, mlp=6.0, dep=0.35),
+            _lvl("MEM", _INF, 1.50, 140.0, 64, mlp=4.0, dep=0.35),
+        ),
+        network=_MYRINET_XEON,
+        overlap_factor=0.60,
+        noise_level=0.10,
+        description="Linux Networx Xeon 3.06 GHz cluster, shared FSB, Myrinet",
+    )
+)
+
+_register(
+    MachineSpec(
+        name="ARL_Altix",
+        architecture="SGI_Altix_1.5GHz_NUMA",
+        vendor="SGI",
+        model="Altix",
+        cpus=256,
+        processor=ProcessorSpec(
+            clock_ghz=1.500,
+            flops_per_cycle=4.0,
+            ilp_efficiency=0.85,
+            dependent_fp_efficiency=0.10,
+        ),
+        memory_levels=(
+            # FP loads bypass the Itanium2 L1; L2 is the first FP level.
+            _lvl("L2", 256 * KIB, 24.0, 4.0, 128, mlp=8.0, dep=0.45),
+            _lvl("L3", 6 * MIB, 16.0, 10.0, 128, mlp=10.0, dep=0.45),
+            _lvl("MEM", _INF, 2.10, 180.0, 128, mlp=12.0, dep=0.45),
+        ),
+        network=_NUMALINK4,
+        overlap_factor=0.80,
+        noise_level=0.08,
+        description="SGI Altix 3700, 1.5 GHz Itanium2, NUMAlink4 ccNUMA",
+    )
+)
+
+_register(
+    _power4(
+        "NAVO_655",
+        clock=1.7,
+        network=_FEDERATION,
+        cpus=2832,
+        mem_bw=2.6,
+        l3_bw=6.5,
+        mem_lat=180.0,
+        mem_mlp=8.0,
+        description="IBM p655 1.7 GHz Power4+, Federation switch (NAVO)",
+    )
+)
+
+_register(
+    MachineSpec(
+        name="ARL_Opteron",
+        architecture="IBM_Opteron_2.2GHz_MNET",
+        vendor="IBM",
+        model="Opteron",
+        cpus=2304,
+        processor=ProcessorSpec(
+            clock_ghz=2.200,
+            flops_per_cycle=2.0,
+            ilp_efficiency=0.80,
+            dependent_fp_efficiency=0.16,
+        ),
+        memory_levels=(
+            _lvl("L1", 64 * KIB, 17.0, 1.4, 64, mlp=4.0, dep=0.55),
+            _lvl("L2", 1 * MIB, 8.0, 5.5, 64, mlp=6.0, dep=0.55),
+            _lvl("MEM", _INF, 3.00, 90.0, 64, mlp=8.0, dep=0.50),
+        ),
+        network=_MYRINET_OPT,
+        overlap_factor=0.75,
+        noise_level=0.08,
+        description="IBM e325 Opteron 2.2 GHz cluster, on-die memory controller, Myrinet",
+    )
+)
+
+#: Name of the base system used for tracing and as X0 in Equation 1.
+BASE_SYSTEM = "NAVO_690"
+
+#: The ten prediction-target systems, in the row order of the paper's Table 5.
+TARGET_SYSTEMS: tuple[str, ...] = (
+    "ERDC_O3800",
+    "MHPCC_P3",
+    "NAVO_P3",
+    "ASC_SC45",
+    "MHPCC_690_1.3",
+    "ARL_690_1.7",
+    "ARL_Xeon",
+    "ARL_Altix",
+    "NAVO_655",
+    "ARL_Opteron",
+)
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Return the registered machine called ``name``.
+
+    Raises
+    ------
+    KeyError
+        With the list of known systems if ``name`` is not registered.
+    """
+    try:
+        return MACHINES[name]
+    except KeyError:
+        known = ", ".join(sorted(MACHINES))
+        raise KeyError(f"unknown machine {name!r}; known systems: {known}") from None
+
+
+def list_machines() -> list[str]:
+    """Names of all registered systems (targets + base), registry order."""
+    return list(MACHINES)

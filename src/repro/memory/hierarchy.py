@@ -1,0 +1,148 @@
+"""Analytic cache/memory hierarchy model.
+
+Given a machine's :class:`~repro.machines.spec.MemoryLevelSpec` levels and an
+:class:`~repro.memory.patterns.AccessPattern`, the model produces the
+*achieved useful bandwidth* — bytes the kernel actually consumes per second.
+
+The model prices each access by the level that serves it:
+
+* residency — data is assumed to occupy the hierarchy greedily, so for a
+  working set ``W`` and level sizes ``s1 < s2 < ...`` the fraction of
+  references served at level ``i`` is ``min(1, s_i/W) - min(1, s_{i-1}/W)``
+  (an inclusive-capacity, fully-warm steady-state approximation);
+* unit stride — streaming at the level's bandwidth;
+* short stride ``k`` — a full line is transferred for every
+  ``min(k·elem, line)`` bytes advanced, wasting the rest;
+* random, independent — throughput is latency/MLP bound
+  (``mlp · elem / latency``), capped by the level's streaming bandwidth;
+* dependent accesses serialise: strided dependence blends a prefetchable
+  portion (``bandwidth * dependent_stream_factor``) with full-latency
+  chases according to the pattern's ``chase_fraction``; dependent random
+  access degenerates to a pure pointer chase (``elem / latency``).
+
+This single surface is interrogated by both the synthetic probes and the
+ground-truth application executor (DESIGN.md §5.2): probes see it through
+probe-shaped patterns, applications through their own — the gap between the
+two is exactly the prediction error the paper studies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.machines.spec import MachineSpec, MemoryLevelSpec
+from repro.memory.patterns import AccessPattern, StrideClass
+
+__all__ = ["MemoryHierarchy"]
+
+
+class MemoryHierarchy:
+    """Behavioural model of one machine's memory hierarchy.
+
+    Parameters
+    ----------
+    levels:
+        Hierarchy levels ordered nearest to farthest; the last must be main
+        memory (infinite size).  Usually taken from
+        :attr:`repro.machines.spec.MachineSpec.memory_levels`.
+    """
+
+    def __init__(self, levels: Sequence[MemoryLevelSpec]):
+        if not levels:
+            raise ValueError("hierarchy requires at least one level")
+        if levels[-1].size_bytes != float("inf"):
+            raise ValueError("last level must be main memory (size=inf)")
+        self.levels: tuple[MemoryLevelSpec, ...] = tuple(levels)
+        self._sizes = np.array([lvl.size_bytes for lvl in levels])
+
+    @classmethod
+    def of(cls, machine: MachineSpec) -> "MemoryHierarchy":
+        """Build the hierarchy model for ``machine``."""
+        return cls(machine.memory_levels)
+
+    # ------------------------------------------------------------------
+    # residency
+    # ------------------------------------------------------------------
+    def residency_fractions(self, working_set: float) -> np.ndarray:
+        """Fraction of references served by each level for ``working_set``.
+
+        Fractions are non-negative and sum to 1; a working set that fits in
+        L1 is served entirely by L1, one far larger than the last cache is
+        served (almost) entirely by main memory.
+        """
+        if working_set <= 0:
+            raise ValueError(f"working_set must be > 0, got {working_set!r}")
+        cum = np.minimum(1.0, self._sizes / working_set)
+        cum[-1] = 1.0  # main memory holds everything
+        fractions = np.diff(np.concatenate(([0.0], cum)))
+        return np.maximum(fractions, 0.0)
+
+    # ------------------------------------------------------------------
+    # per-level pricing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def level_useful_bandwidth(level: MemoryLevelSpec, pattern: AccessPattern) -> float:
+        """Useful bytes/s when every access of ``pattern`` is served by ``level``."""
+        elem = pattern.element_bytes
+        if pattern.stride is StrideClass.RANDOM:
+            if pattern.dependent:
+                # Pure pointer chase: one outstanding miss, full latency each.
+                return elem / level.latency
+            # Independent misses overlap up to the level's MLP; useful
+            # throughput is elem bytes per latency per outstanding miss,
+            # never exceeding the streaming bandwidth.
+            return min(elem * level.mlp / level.latency, level.bandwidth)
+
+        # Strided access: a line is consumed every line/stride_bytes accesses,
+        # so the useful fraction of transferred bytes is elem/min(stride,line).
+        waste = min(pattern.stride_bytes, level.line_bytes) / elem
+        bw = level.bandwidth / waste
+        if pattern.dependent:
+            # A dependent strided access is a mix of prefetchable dependence
+            # (throughput bw * dependent_stream_factor) and full-latency
+            # chases; the mix is the pattern's chase_fraction.
+            cf = pattern.chase_fraction
+            t_per_byte = (1.0 - cf) / (bw * level.dependent_stream_factor)
+            t_per_byte += cf * level.latency / elem
+            return 1.0 / t_per_byte
+        return bw
+
+    # ------------------------------------------------------------------
+    # pattern pricing
+    # ------------------------------------------------------------------
+    def effective_bandwidth(self, pattern: AccessPattern) -> float:
+        """Achieved useful bandwidth (B/s) for ``pattern`` on this hierarchy.
+
+        Averages per-level access costs weighted by residency: the time per
+        access is ``sum_i f_i * elem / bw_i`` and the useful bandwidth is its
+        reciprocal times ``elem``.
+        """
+        fractions = self.residency_fractions(pattern.working_set)
+        time_per_byte = 0.0
+        for frac, level in zip(fractions, self.levels):
+            if frac <= 0.0:
+                continue
+            time_per_byte += frac / self.level_useful_bandwidth(level, pattern)
+        return 1.0 / time_per_byte
+
+    def access_time(self, pattern: AccessPattern, total_bytes: float) -> float:
+        """Seconds to consume ``total_bytes`` of useful data under ``pattern``."""
+        if total_bytes < 0:
+            raise ValueError(f"total_bytes must be >= 0, got {total_bytes!r}")
+        if total_bytes == 0:
+            return 0.0
+        return total_bytes / self.effective_bandwidth(pattern)
+
+    # ------------------------------------------------------------------
+    # introspection helpers (used by probes and reports)
+    # ------------------------------------------------------------------
+    def serving_level(self, working_set: float) -> MemoryLevelSpec:
+        """The level that serves the majority of references for ``working_set``."""
+        fractions = self.residency_fractions(working_set)
+        return self.levels[int(np.argmax(fractions))]
+
+    def level_names(self) -> list[str]:
+        """Names of the hierarchy levels, nearest first."""
+        return [lvl.name for lvl in self.levels]

@@ -1,0 +1,147 @@
+"""Access-pattern descriptors.
+
+An :class:`AccessPattern` is the lingua franca of the reproduction: probes
+describe their synthetic kernels with it, the ground-truth executor
+describes each basic block's memory behaviour with it, and the analytic
+hierarchy model (:mod:`repro.memory.hierarchy`) prices it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["StrideClass", "AccessPattern", "StrideHistogram"]
+
+#: Largest stride (in elements) still classified as "short"; beyond this the
+#: EMPS-style detector of the paper bins a reference as random.
+SHORT_STRIDE_MAX = 8
+
+
+class StrideClass(enum.Enum):
+    """Stride classification used by the paper's MetaSim stride detector."""
+
+    UNIT = "unit"  #: stride-1 (and stride -1) streaming access
+    SHORT = "short"  #: non-unit strides up to ±8 elements
+    RANDOM = "random"  #: everything else
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """One homogeneous memory access pattern.
+
+    Attributes
+    ----------
+    working_set:
+        Bytes of distinct data the kernel cycles over.
+    stride:
+        Stride classification.
+    stride_elems:
+        Numeric stride in elements; only meaningful for
+        :attr:`StrideClass.SHORT` (unit patterns are stride 1 by definition
+        and random patterns have no stride).
+    element_bytes:
+        Bytes consumed per access (8 for double precision).
+    dependent:
+        True when each access depends on the previous one (pointer chase /
+        loop-carried dependence), serialising the memory system.
+    chase_fraction:
+        For *dependent strided* access only: the share of dependent accesses
+        that form full-latency pointer chases, versus dependence the
+        hardware prefetcher can still stream behind.  ENHANCED MAPS induces
+        a fixed mix (0.5); real application dependence chains vary — that
+        mismatch is a residual error source for Metric #9.
+    """
+
+    working_set: float
+    stride: StrideClass = StrideClass.UNIT
+    stride_elems: int = 4
+    element_bytes: int = 8
+    dependent: bool = False
+    chase_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_positive("working_set", self.working_set)
+        check_positive("element_bytes", self.element_bytes)
+        check_fraction("chase_fraction", self.chase_fraction)
+        if self.stride is StrideClass.SHORT:
+            if not 2 <= self.stride_elems <= SHORT_STRIDE_MAX:
+                raise ValueError(
+                    "short-stride pattern requires 2 <= stride_elems <= "
+                    f"{SHORT_STRIDE_MAX}, got {self.stride_elems}"
+                )
+
+    @property
+    def stride_bytes(self) -> int:
+        """Byte distance between consecutive accesses (unit/short only)."""
+        if self.stride is StrideClass.UNIT:
+            return self.element_bytes
+        if self.stride is StrideClass.SHORT:
+            return self.stride_elems * self.element_bytes
+        raise ValueError("random patterns have no defined stride_bytes")
+
+
+@dataclass(frozen=True)
+class StrideHistogram:
+    """Fractions of memory references per stride class.
+
+    This is the "memory signature" the tracer extracts per basic block and
+    the convolver consumes.  Fractions are normalised to sum to 1.
+
+    Attributes
+    ----------
+    unit, short, random:
+        Fractions of references in each class.
+    short_stride_elems:
+        Representative stride (elements) for the short-stride bin.
+    """
+
+    unit: float
+    short: float
+    random: float
+    short_stride_elems: int = 4
+
+    def __post_init__(self) -> None:
+        check_fraction("unit", self.unit)
+        check_fraction("short", self.short)
+        check_fraction("random", self.random)
+        total = self.unit + self.short + self.random
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"stride fractions must sum to 1, got {total!r}")
+
+    @classmethod
+    def normalised(
+        cls,
+        unit: float,
+        short: float,
+        random: float,
+        short_stride_elems: int = 4,
+    ) -> "StrideHistogram":
+        """Build a histogram from unnormalised non-negative weights."""
+        total = unit + short + random
+        if total <= 0:
+            raise ValueError("at least one stride weight must be positive")
+        return cls(
+            unit=unit / total,
+            short=short / total,
+            random=random / total,
+            short_stride_elems=short_stride_elems,
+        )
+
+    @property
+    def strided(self) -> float:
+        """Combined fraction treated as 'strided' by Metrics #5/#6 (unit+short)."""
+        return self.unit + self.short
+
+    def fraction(self, stride: StrideClass) -> float:
+        """Fraction of references in ``stride``."""
+        return {
+            StrideClass.UNIT: self.unit,
+            StrideClass.SHORT: self.short,
+            StrideClass.RANDOM: self.random,
+        }[stride]

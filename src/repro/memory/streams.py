@@ -1,0 +1,104 @@
+"""Synthetic address-stream generators.
+
+These produce the reference streams that MetaSim Tracer samples per basic
+block and that the MAPS/GUPS-style probes conceptually replay.  All
+generators are deterministic given an explicit NumPy generator (see
+:func:`repro.util.rng.stable_rng`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = ["strided_addresses", "random_addresses", "pointer_chase_addresses"]
+
+
+def _ws_elements(working_set: float, element_bytes: int) -> int:
+    n = int(working_set) // int(element_bytes)
+    if n < 1:
+        raise ValueError(
+            f"working_set {working_set} too small for element_bytes {element_bytes}"
+        )
+    return n
+
+
+def strided_addresses(
+    n: int,
+    stride_elems: int = 1,
+    element_bytes: int = 8,
+    working_set: float = 1 << 20,
+    base: int = 0,
+) -> np.ndarray:
+    """Addresses of a strided sweep wrapping within ``working_set`` bytes.
+
+    Consecutive references advance by ``stride_elems`` elements, wrapping at
+    the working-set boundary (as a loop re-traversing an array does).
+
+    Parameters
+    ----------
+    n:
+        Number of references to generate.
+    stride_elems:
+        Stride between consecutive references, in elements (may be 1).
+    element_bytes:
+        Element size in bytes.
+    working_set:
+        Bytes of distinct data the sweep cycles over.
+    base:
+        Base address of the array.
+    """
+    check_positive("n", n)
+    check_positive("stride_elems", stride_elems)
+    ws = _ws_elements(working_set, element_bytes)
+    idx = (np.arange(n, dtype=np.int64) * int(stride_elems)) % ws
+    return base + idx * int(element_bytes)
+
+
+def random_addresses(
+    n: int,
+    working_set: float,
+    rng: np.random.Generator,
+    element_bytes: int = 8,
+    base: int = 0,
+) -> np.ndarray:
+    """Uniformly random element-aligned addresses within ``working_set`` bytes.
+
+    Models GUPS-style independent random access (no inter-reference
+    dependence; the hardware may overlap the misses).
+    """
+    check_positive("n", n)
+    ws = _ws_elements(working_set, element_bytes)
+    idx = rng.integers(0, ws, size=int(n), dtype=np.int64)
+    return base + idx * int(element_bytes)
+
+
+def pointer_chase_addresses(
+    n: int,
+    working_set: float,
+    rng: np.random.Generator,
+    element_bytes: int = 8,
+    base: int = 0,
+) -> np.ndarray:
+    """Addresses of a pointer chase over a random Hamiltonian cycle.
+
+    Each address is determined by the value loaded at the previous one, so
+    accesses are fully serialised — the pattern ENHANCED MAPS uses to measure
+    dependent random access.
+
+    The cycle covers every element of the working set exactly once before
+    repeating, eliminating short revisit artifacts.
+    """
+    check_positive("n", n)
+    ws = _ws_elements(working_set, element_bytes)
+    perm = rng.permutation(ws).astype(np.int64)
+    # next[perm[i]] = perm[i+1] builds one big cycle through all elements.
+    nxt = np.empty(ws, dtype=np.int64)
+    nxt[perm] = np.roll(perm, -1)
+    out = np.empty(int(n), dtype=np.int64)
+    cur = int(perm[0])
+    for i in range(int(n)):
+        out[i] = cur
+        cur = int(nxt[cur])
+    return base + out * int(element_bytes)

@@ -1,0 +1,13 @@
+"""Interconnect models.
+
+:class:`~repro.network.model.NetworkModel` prices MPI point-to-point
+messages and collectives on a machine's :class:`~repro.machines.spec.NetworkSpec`.
+It is the single network surface shared by the ground-truth executor (which
+additionally applies contention) and the NETBENCH probe (which measures the
+uncontended pairwise behaviour) — the gap between the two is one of the
+error sources Metric #8 cannot see.
+"""
+
+from repro.network.model import CollectiveKind, NetworkModel
+
+__all__ = ["NetworkModel", "CollectiveKind"]

@@ -1,0 +1,109 @@
+"""Latency/bandwidth interconnect model with tree-based collectives.
+
+Point-to-point messages cost ``latency + size/bandwidth`` (the classic
+postal/Hockney model the paper's NETBENCH fits).  Collectives are priced as
+log2(P)-depth trees scaled by the library's ``collective_efficiency``;
+all-reduce pays both a reduce and a broadcast sweep of the payload.
+
+The model is deliberately simpler than a packet-level simulator: the paper's
+prediction framework itself uses only latency/bandwidth terms, so a richer
+substrate would add unobservable detail.  Application-side contention is
+applied *outside* this class by the executor so that the NETBENCH probe,
+which measures a quiet machine, does not see it.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.machines.spec import MachineSpec, NetworkSpec
+from repro.util.validation import check_positive
+
+__all__ = ["NetworkModel", "CollectiveKind"]
+
+
+class CollectiveKind(enum.Enum):
+    """MPI collective operations the application models use."""
+
+    ALLREDUCE = "allreduce"
+    BROADCAST = "broadcast"
+    BARRIER = "barrier"
+    ALLTOALL = "alltoall"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Price MPI operations on one interconnect.
+
+    Parameters
+    ----------
+    spec:
+        The machine's interconnect description.
+    """
+
+    spec: NetworkSpec
+
+    @classmethod
+    def of(cls, machine: MachineSpec) -> "NetworkModel":
+        """Build the network model for ``machine``."""
+        return cls(machine.network)
+
+    # ------------------------------------------------------------------
+    # point to point
+    # ------------------------------------------------------------------
+    def point_to_point(self, size_bytes: float) -> float:
+        """One-way time (s) for a ``size_bytes`` message between two ranks."""
+        if size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {size_bytes!r}")
+        return self.spec.latency + size_bytes / self.spec.bandwidth
+
+    def ping_pong(self, size_bytes: float) -> float:
+        """Round-trip time (s) — what NETBENCH measures directly."""
+        return 2.0 * self.point_to_point(size_bytes)
+
+    def effective_bandwidth(self, size_bytes: float) -> float:
+        """Achieved point-to-point bandwidth (B/s) at ``size_bytes``."""
+        check_positive("size_bytes", size_bytes)
+        return size_bytes / self.point_to_point(size_bytes)
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def _tree_depth(self, ranks: int) -> float:
+        check_positive("ranks", ranks)
+        if ranks == 1:
+            return 0.0
+        return math.ceil(math.log2(ranks)) / self.spec.collective_efficiency
+
+    def collective(
+        self, kind: CollectiveKind, ranks: int, size_bytes: float = 8.0
+    ) -> float:
+        """Time (s) for a ``kind`` collective over ``ranks`` ranks.
+
+        ``size_bytes`` is the per-rank payload (ignored for barriers).
+        """
+        depth = self._tree_depth(ranks)
+        if depth == 0.0:
+            return 0.0
+        if kind is CollectiveKind.BARRIER:
+            return depth * self.spec.latency
+        per_hop = self.spec.latency + size_bytes / self.spec.bandwidth
+        if kind is CollectiveKind.ALLREDUCE:
+            # reduce sweep + broadcast sweep of the same payload
+            return 2.0 * depth * per_hop
+        if kind is CollectiveKind.BROADCAST:
+            return depth * per_hop
+        if kind is CollectiveKind.ALLTOALL:
+            # P-1 pairwise exchanges of the per-pair payload, pipelined
+            exchanges = max(ranks - 1, 1)
+            return exchanges * (self.spec.latency + size_bytes / self.spec.bandwidth)
+        raise ValueError(f"unhandled collective kind {kind!r}")
+
+    def allreduce(self, ranks: int, size_bytes: float = 8.0) -> float:
+        """Convenience wrapper: all-reduce time, the probe NETBENCH reports."""
+        return self.collective(CollectiveKind.ALLREDUCE, ranks, size_bytes)

@@ -1,0 +1,56 @@
+"""Synthetic benchmark probes (paper Section 3).
+
+Each probe *runs* its access pattern against a machine model and reports
+what the real benchmark reports:
+
+* :mod:`repro.probes.hpl` — High-Performance LINPACK: per-processor Rmax
+  from a blocked-LU compute/traffic model.
+* :mod:`repro.probes.stream` — STREAM: main-memory unit-stride bandwidth
+  (copy/scale/add/triad).
+* :mod:`repro.probes.gups` — HPC Challenge RandomAccess: giga-updates per
+  second over a memory-resident table.
+* :mod:`repro.probes.maps` — MEMBENCH MAPS: bandwidth versus working-set
+  size for unit and random stride; ENHANCED MAPS adds dependent (loop-
+  carried) variants of both.
+* :mod:`repro.probes.netbench` — NETBENCH: ping-pong latency/bandwidth fit
+  plus an all_reduce timing table.
+
+Probes see the machine only through the same analytic surface the
+ground-truth executor uses, but at probe-shaped working sets and patterns —
+the mismatch between probe shapes and application shapes is the subject of
+the paper.  :func:`repro.probes.suite.probe_machine` runs everything once
+per machine and caches the results.
+"""
+
+from repro.probes.results import (
+    GupsResult,
+    HplResult,
+    MachineProbes,
+    MapsCurve,
+    MapsResult,
+    NetbenchResult,
+    StreamResult,
+)
+from repro.probes.hpl import run_hpl
+from repro.probes.stream import run_stream
+from repro.probes.gups import run_gups
+from repro.probes.maps import run_maps
+from repro.probes.netbench import run_netbench
+from repro.probes.suite import clear_probe_cache, probe_machine
+
+__all__ = [
+    "HplResult",
+    "StreamResult",
+    "GupsResult",
+    "MapsCurve",
+    "MapsResult",
+    "NetbenchResult",
+    "MachineProbes",
+    "run_hpl",
+    "run_stream",
+    "run_gups",
+    "run_maps",
+    "run_netbench",
+    "probe_machine",
+    "clear_probe_cache",
+]

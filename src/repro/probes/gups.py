@@ -1,0 +1,39 @@
+"""GUPS (HPC Challenge RandomAccess) probe.
+
+Updates random 8-byte words of a table far larger than the outermost cache.
+Updates are independent (the benchmark permits up to 1024 outstanding), so
+throughput is latency/MLP bound — the machine property Metric #3 ranks by
+and Metrics #6-#9 price random references with.
+"""
+
+from __future__ import annotations
+
+from repro.machines.spec import MachineSpec
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.patterns import AccessPattern, StrideClass
+from repro.probes.results import GupsResult
+from repro.util.units import MIB
+
+__all__ = ["run_gups"]
+
+
+def run_gups(machine: MachineSpec, min_table_bytes: float = 64 * MIB) -> GupsResult:
+    """Run the RandomAccess model on ``machine``.
+
+    The table is ``max(8x outermost cache, min_table_bytes)``; each update
+    is a read-modify-write, i.e. two 8-byte random references.
+    """
+    largest_cache = max((lvl.size_bytes for lvl in machine.caches), default=0.0)
+    table_bytes = max(8.0 * largest_cache, float(min_table_bytes))
+
+    hierarchy = MemoryHierarchy.of(machine)
+    pattern = AccessPattern(
+        working_set=table_bytes, stride=StrideClass.RANDOM, dependent=False
+    )
+    bandwidth = hierarchy.effective_bandwidth(pattern)
+    updates_per_second = bandwidth / 16.0  # read + write per update
+    return GupsResult(
+        gups=updates_per_second / 1e9,
+        random_bandwidth=bandwidth,
+        table_bytes=table_bytes,
+    )

@@ -1,0 +1,69 @@
+"""MEMBENCH MAPS probe (standard + ENHANCED).
+
+MAPS sweeps a working-set size grid and measures achieved bandwidth for
+unit-stride and random access at each size — "equivalent to launching
+multiple instances of both STREAM and GUPS at various sizes in order to
+span the various levels of cache" (paper Section 3).  The rightmost points
+of the unit and random curves therefore reproduce the STREAM and GUPS
+scores.
+
+ENHANCED MAPS additionally induces loop-carried data/control dependencies
+in the inner loop, producing the ``unit_dep``/``random_dep`` curves Metric
+#9 prices dependency-bound blocks with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machines.spec import MachineSpec
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.patterns import AccessPattern, StrideClass
+from repro.probes.results import MapsCurve, MapsResult
+from repro.util.units import KIB, MIB
+
+__all__ = ["run_maps", "default_size_grid"]
+
+
+def default_size_grid(
+    smallest: float = 4 * KIB, largest: float = 512 * MIB, points: int = 25
+) -> np.ndarray:
+    """The geometric working-set grid MAPS sweeps (bytes)."""
+    if smallest <= 0 or largest <= smallest:
+        raise ValueError("need 0 < smallest < largest")
+    if points < 2:
+        raise ValueError(f"points must be >= 2, got {points}")
+    return np.geomspace(float(smallest), float(largest), int(points))
+
+
+def _sweep(
+    hierarchy: MemoryHierarchy,
+    sizes: np.ndarray,
+    stride: StrideClass,
+    dependent: bool,
+) -> MapsCurve:
+    bws = np.array(
+        [
+            hierarchy.effective_bandwidth(
+                AccessPattern(working_set=float(s), stride=stride, dependent=dependent)
+            )
+            for s in sizes
+        ]
+    )
+    return MapsCurve(sizes=sizes.copy(), bandwidths=bws)
+
+
+def run_maps(machine: MachineSpec, sizes: np.ndarray | None = None) -> MapsResult:
+    """Run MAPS and ENHANCED MAPS on ``machine`` over the ``sizes`` grid.
+
+    A coarser/finer grid changes interpolation fidelity — one of the
+    ablation knobs (the real probe also only samples discrete sizes).
+    """
+    grid = default_size_grid() if sizes is None else np.asarray(sizes, dtype=float)
+    hierarchy = MemoryHierarchy.of(machine)
+    return MapsResult(
+        unit=_sweep(hierarchy, grid, StrideClass.UNIT, dependent=False),
+        random=_sweep(hierarchy, grid, StrideClass.RANDOM, dependent=False),
+        unit_dep=_sweep(hierarchy, grid, StrideClass.UNIT, dependent=True),
+        random_dep=_sweep(hierarchy, grid, StrideClass.RANDOM, dependent=True),
+    )

@@ -1,0 +1,72 @@
+"""NETBENCH probe.
+
+Measures interconnect latency and bandwidth with a ping-pong size sweep
+(fitting the Hockney ``t = L + s/B`` model by least squares) and times
+8-byte all_reduce operations over a rank-count sweep.  The probe runs on a
+quiet machine, so it never observes the contention an application's full
+communication phases suffer — a blind spot Metric #8 inherits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machines.spec import MachineSpec
+from repro.network.model import NetworkModel
+from repro.probes.results import NetbenchResult
+from repro.util.units import MIB
+
+__all__ = ["run_netbench", "default_message_sizes", "default_rank_counts"]
+
+
+def default_message_sizes(points: int = 16) -> np.ndarray:
+    """Ping-pong message size grid: 8 B to 4 MiB, geometric."""
+    return np.geomspace(8.0, 4.0 * MIB, int(points))
+
+
+def default_rank_counts(max_ranks: int = 1024) -> np.ndarray:
+    """All_reduce rank-count grid: powers of two up to ``max_ranks``."""
+    if max_ranks < 2:
+        raise ValueError(f"max_ranks must be >= 2, got {max_ranks}")
+    return 2 ** np.arange(1, int(np.log2(max_ranks)) + 1)
+
+
+def run_netbench(
+    machine: MachineSpec,
+    sizes: np.ndarray | None = None,
+    rank_counts: np.ndarray | None = None,
+) -> NetbenchResult:
+    """Run NETBENCH on ``machine``.
+
+    The latency/bandwidth fit is an ordinary least-squares line through the
+    one-way times versus size; rank counts beyond the machine's processor
+    count are skipped (you cannot probe ranks you do not have).
+    """
+    sizes = default_message_sizes() if sizes is None else np.asarray(sizes, dtype=float)
+    ranks = (
+        default_rank_counts()
+        if rank_counts is None
+        else np.asarray(rank_counts, dtype=int)
+    )
+    ranks = ranks[ranks <= machine.cpus]
+    if ranks.size == 0:
+        raise ValueError(f"{machine.name} has too few processors to run all_reduce")
+
+    model = NetworkModel.of(machine)
+    one_way = np.array([model.ping_pong(s) / 2.0 for s in sizes])
+
+    # least-squares fit of one_way = latency + size / bandwidth
+    design = np.column_stack([np.ones_like(sizes), sizes])
+    (latency, inv_bw), *_ = np.linalg.lstsq(design, one_way, rcond=None)
+    latency = float(max(latency, 1e-9))
+    bandwidth = float(1.0 / max(inv_bw, 1e-18))
+
+    allreduce = np.array([model.allreduce(int(r), 8.0) for r in ranks])
+    return NetbenchResult(
+        latency=latency,
+        bandwidth=bandwidth,
+        pingpong_sizes=sizes,
+        pingpong_seconds=2.0 * one_way,
+        allreduce_ranks=ranks.astype(float),
+        allreduce_seconds=allreduce,
+    )

@@ -1,0 +1,56 @@
+"""STREAM probe.
+
+Measures sustained unit-stride bandwidth from main memory with the four
+canonical kernels.  Arrays are sized well past the outermost cache (the
+STREAM rule: at least 4x), so the result is the hierarchy's main-memory
+streaming bandwidth — the number Metric #2 ranks systems by and Metrics
+#5/#6 price strided references with.
+"""
+
+from __future__ import annotations
+
+from repro.machines.spec import MachineSpec
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.patterns import AccessPattern, StrideClass
+from repro.probes.results import StreamResult
+from repro.util.units import MIB
+
+__all__ = ["run_stream"]
+
+#: bytes moved per loop iteration for each kernel (8-byte doubles)
+_KERNEL_BYTES = {"copy": 16.0, "scale": 16.0, "add": 24.0, "triad": 24.0}
+#: FP operations per iteration
+_KERNEL_FLOPS = {"copy": 0.0, "scale": 1.0, "add": 1.0, "triad": 2.0}
+
+
+def run_stream(machine: MachineSpec, min_bytes: float = 32 * MIB) -> StreamResult:
+    """Run the STREAM model on ``machine``.
+
+    The working set is ``max(4x outermost cache, min_bytes)`` split over the
+    three arrays.  FP work overlaps with the streams (it never limits a
+    STREAM run on these machines, but the model keeps the term for honesty).
+    """
+    largest_cache = max((lvl.size_bytes for lvl in machine.caches), default=0.0)
+    array_bytes = max(4.0 * largest_cache, float(min_bytes))
+    n = array_bytes / 8.0
+
+    hierarchy = MemoryHierarchy.of(machine)
+    pattern = AccessPattern(working_set=array_bytes, stride=StrideClass.UNIT)
+    proc = machine.processor
+
+    rates: dict[str, float] = {}
+    for kernel, bytes_per_iter in _KERNEL_BYTES.items():
+        total_bytes = bytes_per_iter * n
+        t_mem = hierarchy.access_time(pattern, total_bytes)
+        flops = _KERNEL_FLOPS[kernel] * n
+        t_fp = flops / (proc.peak_flops * proc.ilp_efficiency) if flops else 0.0
+        hidden = machine.overlap_factor * min(t_fp, t_mem)
+        rates[kernel] = total_bytes / (t_fp + t_mem - hidden)
+
+    return StreamResult(
+        copy=rates["copy"],
+        scale=rates["scale"],
+        add=rates["add"],
+        triad=rates["triad"],
+        array_bytes=array_bytes,
+    )

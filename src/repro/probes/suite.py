@@ -1,0 +1,46 @@
+"""Run the full probe suite on a machine, with caching.
+
+Probing a machine is cheap here but conceptually expensive (queue time on
+ten production systems); the cache mirrors how the paper measured each
+system once and reused the numbers for all 135 predictions per system.
+"""
+
+from __future__ import annotations
+
+from repro.machines.spec import MachineSpec
+from repro.probes.gups import run_gups
+from repro.probes.hpl import run_hpl
+from repro.probes.maps import run_maps
+from repro.probes.netbench import run_netbench
+from repro.probes.results import MachineProbes
+from repro.probes.stream import run_stream
+
+__all__ = ["probe_machine", "clear_probe_cache"]
+
+_CACHE: dict[str, MachineProbes] = {}
+
+
+def probe_machine(machine: MachineSpec, *, use_cache: bool = True) -> MachineProbes:
+    """Run HPL, STREAM, GUPS, MAPS and NETBENCH on ``machine``.
+
+    Results are cached by machine name; pass ``use_cache=False`` when
+    probing a spec you are mutating between calls (e.g. in tests).
+    """
+    if use_cache and machine.name in _CACHE:
+        return _CACHE[machine.name]
+    probes = MachineProbes(
+        machine=machine.name,
+        hpl=run_hpl(machine),
+        stream=run_stream(machine),
+        gups=run_gups(machine),
+        maps=run_maps(machine),
+        netbench=run_netbench(machine),
+    )
+    if use_cache:
+        _CACHE[machine.name] = probes
+    return probes
+
+
+def clear_probe_cache() -> None:
+    """Drop all cached probe results."""
+    _CACHE.clear()

@@ -1,0 +1,10 @@
+"""Plain-text rendering of study artifacts: tables, line and bar charts, CSV.
+
+Keeps the whole reproduction runnable (and its figures inspectable) on a
+terminal with no plotting stack installed.
+"""
+
+from repro.reporting.ascii_charts import bar_chart, line_chart
+from repro.reporting.export import result_to_csv, tables_to_text
+
+__all__ = ["line_chart", "bar_chart", "result_to_csv", "tables_to_text"]

@@ -1,0 +1,114 @@
+"""ASCII line and bar charts for terminal-friendly figures.
+
+The paper's figures are a log-log bandwidth plot (Figure 1) and error bar
+charts (Figures 2-7); these renderers reproduce them as monospace text so
+every bench can print its figure.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["line_chart", "bar_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    title: str = "",
+    width: int = 72,
+    height: int = 20,
+    log_x: bool = True,
+    log_y: bool = True,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII scatter/line chart.
+
+    Parameters
+    ----------
+    series:
+        name -> (xs, ys); each series gets its own marker.
+    log_x, log_y:
+        Plot on log axes (Figure 1 is log-log).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 20 or height < 5:
+        raise ValueError("chart must be at least 20x5")
+
+    def tx(v: float) -> float:
+        return math.log10(v) if log_x else v
+
+    def ty(v: float) -> float:
+        return math.log10(v) if log_y else v
+
+    all_x = [tx(float(x)) for xs, _ in series.values() for x in xs]
+    all_y = [ty(float(y)) for _, ys in series.values() for y in ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            col = int((tx(float(x)) - x_lo) / x_span * (width - 1))
+            row = int((ty(float(y)) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(y_label)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    if x_label:
+        lines.append(" " + x_label)
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines) + "\n"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    title: str = "",
+    width: int = 50,
+    unit: str = "%",
+    errors: Mapping[str, float] | None = None,
+) -> str:
+    """Render labelled values as horizontal ASCII bars (Figures 2-7).
+
+    Parameters
+    ----------
+    values:
+        label -> bar value.
+    errors:
+        Optional label -> half-width to annotate (standard deviation).
+    """
+    if not values:
+        raise ValueError("need at least one bar")
+    top = max(values.values())
+    if top <= 0:
+        raise ValueError("bar values must include a positive maximum")
+    label_w = max(len(str(k)) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        n = int(round(value / top * width))
+        bar = "#" * n
+        suffix = f" {value:.0f}{unit}"
+        if errors and label in errors:
+            suffix += f" (+/-{errors[label]:.0f}{unit})"
+        lines.append(f"{str(label).rjust(label_w)} |{bar}{suffix}")
+    return "\n".join(lines) + "\n"

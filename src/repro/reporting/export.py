@@ -1,0 +1,29 @@
+"""Export helpers: study results to CSV, table collections to text."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.study.runner import StudyResult
+from repro.util.tables import Table
+
+__all__ = ["result_to_csv", "tables_to_text"]
+
+
+def result_to_csv(result: StudyResult) -> str:
+    """Every prediction record as CSV (one row per record)."""
+    lines = [
+        "application,cpus,system,metric,actual_seconds,predicted_seconds,error_percent"
+    ]
+    for rec in result.records:
+        lines.append(
+            f"{rec.application},{rec.cpus},{rec.system},{rec.metric},"
+            f"{rec.actual_seconds:.3f},{rec.predicted_seconds:.3f},"
+            f"{rec.error_percent:.3f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def tables_to_text(tables: Iterable[Table]) -> str:
+    """Render several tables separated by blank lines."""
+    return "\n".join(table.render() for table in tables)

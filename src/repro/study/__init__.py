@@ -1,0 +1,18 @@
+"""Full-study orchestration: runs, tables, figures, paper comparison.
+
+* :mod:`repro.study.runner` — executes the paper's complete experiment
+  matrix (5 applications x 3 processor counts x 10 target systems, 9 metrics
+  each) and returns a :class:`~repro.study.runner.StudyResult`.
+* :mod:`repro.study.tables` — builds the paper's Tables 4/5, Figures 2-7
+  series and the appendix runtime tables from a study result.
+* :mod:`repro.study.paper_data` — the numbers published in the paper, for
+  side-by-side comparison in EXPERIMENTS.md and the benches.
+* :mod:`repro.study.analysis` — derived analyses (best-predictor counts,
+  rank correlations, shape checks against the paper).
+* :mod:`repro.study.ablation` — study variants isolating individual error
+  sources (noise, contention, dependency modelling, tracer sampling).
+"""
+
+from repro.study.runner import PredictionRecord, StudyConfig, StudyResult, run_study
+
+__all__ = ["run_study", "StudyConfig", "StudyResult", "PredictionRecord"]

@@ -1,0 +1,116 @@
+"""Metric cost accounting: "was the increase in accuracy worth the effort?"
+
+Paper Section 3: MetaSim tracing dilates execution ~30x, a TI-05 test case
+runs 1-4 hours uninstrumented, and full address tracing is needed only for
+Metrics #6-#9 (Metrics #4/#5 read hardware counters at ~1x overhead; the
+simple metrics need no application work at all).  Tracing is non-recurring
+— once per (application, processor count) on the base system.
+
+This module prices each metric's data-acquisition cost for the study
+matrix and pairs it with its measured accuracy, reproducing the paper's
+effort/accuracy discussion as a table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.execution import GroundTruthExecutor
+from repro.apps.suite import get_application
+from repro.machines.registry import get_machine
+from repro.study.runner import StudyResult
+
+__all__ = ["MetricCost", "metric_costs", "TRACING_DILATION", "COUNTER_DILATION"]
+
+#: MetaSim Tracer slowdown on an instrumented application (paper: ~30x).
+TRACING_DILATION = 30.0
+#: Hardware-counter collection overhead (paper: "more expeditious").
+COUNTER_DILATION = 1.05
+
+#: Which acquisition machinery each Table 3 metric needs.
+_REQUIREMENTS: dict[int, str] = {
+    1: "none",
+    2: "none",
+    3: "none",
+    4: "counters",
+    5: "counters",
+    6: "tracing",
+    7: "tracing",
+    8: "tracing",  # + MPIDTRACE, which rides along at counter-level cost
+    9: "tracing",  # + static analysis, one-off on the binary
+}
+
+
+@dataclass(frozen=True)
+class MetricCost:
+    """Acquisition cost and accuracy of one metric over the study matrix.
+
+    Attributes
+    ----------
+    metric:
+        Table 3 metric number.
+    requirement:
+        ``"none"`` / ``"counters"`` / ``"tracing"``.
+    acquisition_hours:
+        One-off base-system machine hours to gather the application data
+        (zero for simple metrics — probes are priced separately and are
+        negligible next to application runs).
+    mean_abs_error:
+        The metric's study-wide average absolute error (%).
+    """
+
+    metric: int
+    requirement: str
+    acquisition_hours: float
+    mean_abs_error: float
+
+    @property
+    def error_reduction_per_hour(self) -> float:
+        """Percentage points of error removed (vs. HPL's 63-class baseline)
+        per acquisition hour; infinity for free metrics that improve at all."""
+        baseline = 63.0
+        gain = max(baseline - self.mean_abs_error, 0.0)
+        if self.acquisition_hours == 0.0:
+            return float("inf") if gain > 0 else 0.0
+        return gain / self.acquisition_hours
+
+
+def _base_run_hours(result: StudyResult) -> float:
+    """Uninstrumented base-system hours for one pass over the study matrix."""
+    base = get_machine(result.config.base_system)
+    executor = GroundTruthExecutor(base, noise=False)
+    total = 0.0
+    for label in result.config.applications:
+        app = get_application(label)
+        for cpus in app.cpu_counts:
+            if cpus <= base.cpus:
+                total += executor.run(app, cpus).total_seconds
+    return total / 3600.0
+
+
+def metric_costs(result: StudyResult) -> list[MetricCost]:
+    """Cost/accuracy rows for every metric in ``result``.
+
+    The tracing cost is charged once (it is reused by every tracing-based
+    metric, as the paper notes), so Metrics #6-#9 share the same figure.
+    """
+    base_hours = _base_run_hours(result)
+    overall = result.overall_table()
+    rows = []
+    for metric in result.config.metrics:
+        req = _REQUIREMENTS[metric]
+        if req == "none":
+            hours = 0.0
+        elif req == "counters":
+            hours = base_hours * COUNTER_DILATION
+        else:
+            hours = base_hours * TRACING_DILATION
+        rows.append(
+            MetricCost(
+                metric=metric,
+                requirement=req,
+                acquisition_hours=hours,
+                mean_abs_error=overall[metric].mean_abs,
+            )
+        )
+    return rows

@@ -1,0 +1,171 @@
+"""Numbers published in the paper, transcribed for side-by-side comparison.
+
+Sources (all from the SC'05 paper):
+
+* :data:`PAPER_TABLE4` — Table 4, average absolute error and standard
+  deviation per metric over all 150 runs.
+* :data:`PAPER_TABLE5` — Table 5, per-system average absolute error per
+  metric (the OVERALL row equals Table 4's error column).
+* :data:`PAPER_BALANCED_RATING` — Section 4's IDC balanced-rating results.
+* :data:`PAPER_RUNTIMES` — Appendix Tables 6-10, observed times-to-solution
+  in seconds (``None`` marks the blank cells of the paper).
+* :data:`PAPER_METRIC_NAMES` — Table 3's metric descriptions.
+
+These values are *reference targets*: the reproduction is judged on shape
+(orderings, rough factors, crossovers), not on matching them exactly —
+see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_METRIC_NAMES",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "PAPER_BALANCED_RATING",
+    "PAPER_RUNTIMES",
+    "PAPER_SYSTEM_ORDER",
+]
+
+#: Table 3 — metric number -> (type, description).
+PAPER_METRIC_NAMES: dict[int, tuple[str, str]] = {
+    1: ("simple", "HPL"),
+    2: ("simple", "STREAM"),
+    3: ("simple", "GUPS"),
+    4: ("predictive", "HPL"),
+    5: ("predictive", "HPL+STREAM"),
+    6: ("predictive", "HPL+STREAM+GUPS"),
+    7: ("predictive", "HPL+MAPS"),
+    8: ("predictive", "HPL+MAPS+NET"),
+    9: ("predictive", "HPL+MAPS+NET+DEP"),
+}
+
+#: Table 4 — metric number -> (average absolute error %, standard deviation %).
+PAPER_TABLE4: dict[int, tuple[float, float]] = {
+    1: (63.0, 68.0),
+    2: (43.0, 73.0),
+    3: (33.0, 27.0),
+    4: (63.0, 68.0),
+    5: (50.0, 72.0),
+    6: (22.0, 18.0),
+    7: (24.0, 21.0),
+    8: (22.0, 18.0),
+    9: (18.0, 18.0),
+}
+
+#: Row order of Table 5 (and of the appendix tables).
+PAPER_SYSTEM_ORDER: tuple[str, ...] = (
+    "ERDC_O3800",
+    "MHPCC_P3",
+    "NAVO_P3",
+    "ASC_SC45",
+    "MHPCC_690_1.3",
+    "ARL_690_1.7",
+    "ARL_Xeon",
+    "ARL_Altix",
+    "NAVO_655",
+    "ARL_Opteron",
+)
+
+#: Table 5 — system -> average absolute error % for metrics 1..9.
+PAPER_TABLE5: dict[str, tuple[float, ...]] = {
+    "ERDC_O3800": (37, 12, 83, 37, 84, 35, 29, 20, 22),
+    "MHPCC_P3": (58, 53, 19, 58, 52, 14, 29, 24, 25),
+    "NAVO_P3": (37, 77, 28, 37, 75, 8, 15, 10, 7),
+    "ASC_SC45": (167, 14, 59, 167, 15, 31, 28, 18, 16),
+    "MHPCC_690_1.3": (122, 14, 14, 122, 13, 15, 17, 29, 24),
+    "ARL_690_1.7": (26, 21, 21, 26, 21, 22, 23, 34, 28),
+    "ARL_Xeon": (42, 37, 23, 42, 37, 21, 64, 39, 21),
+    "ARL_Altix": (193, 281, 64, 193, 272, 36, 25, 27, 26),
+    "NAVO_655": (19, 12, 19, 19, 12, 14, 16, 14, 9),
+    "ARL_Opteron": (20, 29, 45, 20, 27, 44, 30, 32, 26),
+}
+
+#: Table 4's OVERALL row (identical to the last row of Table 5).
+PAPER_TABLE5_OVERALL: tuple[float, ...] = (63, 43, 33, 63, 50, 22, 24, 22, 18)
+
+#: Section 4 — balanced-rating average absolute error and weights.
+PAPER_BALANCED_RATING = {
+    "equal_weights": {"error": 35.0, "std": 25.0, "weights": (1 / 3, 1 / 3, 1 / 3)},
+    "optimised": {"error": 33.0, "std": 30.0, "weights": (0.05, 0.50, 0.45)},
+}
+
+#: Appendix Tables 6-10 — application -> (cpu counts, {system: times}).
+#: ``None`` marks cells the paper leaves blank (not run / exceeded system).
+PAPER_RUNTIMES: dict[str, dict] = {
+    "AVUS-standard": {
+        "cpu_counts": (32, 64, 128),
+        "times": {
+            "ERDC_O3800": (12737, 5881, 2733),
+            "MHPCC_P3": (15051, 8354, 3779),
+            "NAVO_P3": (18195, 8601, 3870),
+            "ASC_SC45": (6993, 3334, 1617),
+            "MHPCC_690_1.3": (10286, 4932, 2368),
+            "ARL_690_1.7": (8625, 4466, 1935),
+            "ARL_Xeon": (9115, 4686, 2422),
+            "ARL_Altix": (5872, 2842, None),
+            "NAVO_655": (6703, 3115, 1460),
+            "ARL_Opteron": (5527, 2747, 1401),
+        },
+    },
+    "AVUS-large": {
+        "cpu_counts": (128, 256, 384),
+        "times": {
+            "ERDC_O3800": (18103, 8577, 5736),
+            "MHPCC_P3": (40177, 12123, 7706),
+            "NAVO_P3": (26362, 12379, 8042),
+            "ASC_SC45": (10412, 5199, 3394),
+            "MHPCC_690_1.3": (14751, 7591, None),
+            "ARL_690_1.7": (12718, None, None),
+            "ARL_Xeon": (13654, 6890, None),
+            "ARL_Altix": (None, None, None),
+            "NAVO_655": (9844, 4576, 2949),
+            "ARL_Opteron": (8599, 4273, 2884),
+        },
+    },
+    "HYCOM-standard": {
+        "cpu_counts": (59, 96, 124),
+        "times": {
+            "ERDC_O3800": (6619, 4329, 4449),
+            "MHPCC_P3": (10453, 3912, 2992),
+            "NAVO_P3": (7129, 4420, 3348),
+            "ASC_SC45": (3594, 2469, 1949),
+            "MHPCC_690_1.3": (3532, 2939, 2661),
+            "ARL_690_1.7": (2586, 1675, 1510),
+            "ARL_Xeon": (3705, 2504, 1991),
+            "ARL_Altix": (2263, 1462, 1176),
+            "NAVO_655": (2010, 1281, 990),
+            "ARL_Opteron": (1936, 1268, 1031),
+        },
+    },
+    "OVERFLOW2-standard": {
+        "cpu_counts": (32, 48, 64),
+        "times": {
+            "ERDC_O3800": (10875, 8008, 5497),
+            "MHPCC_P3": (14939, None, 7371),
+            "NAVO_P3": (14939, None, 7371),
+            "ASC_SC45": (6329, None, 4109),
+            "MHPCC_690_1.3": (9156, None, 4701),
+            "ARL_690_1.7": (None, None, None),
+            "ARL_Xeon": (None, None, None),
+            "ARL_Altix": (3143, 2389, 1730),
+            "NAVO_655": (5454, 4031, 2908),
+            "ARL_Opteron": (None, None, None),
+        },
+    },
+    "RFCTH-standard": {
+        "cpu_counts": (16, 32, 64),
+        "times": {
+            "ERDC_O3800": (6182, 3268, 1793),
+            "MHPCC_P3": (6557, 3475, 1869),
+            "NAVO_P3": (6557, 3475, 1869),
+            "ASC_SC45": (3134, 2170, 1005),
+            "MHPCC_690_1.3": (2777, 1813, 1275),
+            "ARL_690_1.7": (2154, 1660, 5156),
+            "ARL_Xeon": (4203, 2308, 1368),
+            "ARL_Altix": (None, 1122, 614),
+            "NAVO_655": (1982, 1075, 607),
+            "ARL_Opteron": (1882, 1072, 671),
+        },
+    },
+}

@@ -1,0 +1,210 @@
+"""Full-study runner: the paper's 150-run, 1350-prediction experiment.
+
+For every (application test case, processor count, target system) cell the
+runner simulates the "real" execution (ground truth), applies all nine
+metrics, and records signed/absolute errors per Equation 2.  Cells the
+paper leaves blank — processor counts exceeding a system's size — are
+skipped the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.apps.execution import GroundTruthExecutor
+from repro.apps.suite import APPLICATIONS, get_application
+from repro.core.errors import ErrorSummary, signed_error, summarise
+from repro.core.metrics import ALL_METRICS, PredictionContext
+from repro.core.predictor import PerformancePredictor
+from repro.machines.registry import BASE_SYSTEM, TARGET_SYSTEMS, get_machine
+from repro.tracing.metasim import DEFAULT_SAMPLE_SIZE
+
+__all__ = ["StudyConfig", "PredictionRecord", "StudyResult", "run_study"]
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Parameters of a study run.
+
+    The defaults reproduce the paper's setup exactly; ablation benches
+    construct variants (``noise=False``, ``mode="absolute"``, coarser
+    tracer sampling, ...).
+    """
+
+    applications: tuple[str, ...] = tuple(APPLICATIONS)
+    systems: tuple[str, ...] = TARGET_SYSTEMS
+    base_system: str = BASE_SYSTEM
+    metrics: tuple[int, ...] = tuple(ALL_METRICS)
+    mode: str = "relative"
+    sample_size: int = DEFAULT_SAMPLE_SIZE
+    noise: bool = True
+
+    def variant(self, **changes) -> "StudyConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class PredictionRecord:
+    """One (run, metric) outcome.
+
+    Attributes
+    ----------
+    application, cpus, system, metric:
+        Cell identity.
+    actual_seconds, predicted_seconds:
+        Ground truth and the metric's estimate.
+    error_percent:
+        Signed Equation 2 error.
+    """
+
+    application: str
+    cpus: int
+    system: str
+    metric: int
+    actual_seconds: float
+    predicted_seconds: float
+    error_percent: float
+
+    @property
+    def abs_error_percent(self) -> float:
+        """Magnitude of the signed error."""
+        return abs(self.error_percent)
+
+
+@dataclass
+class StudyResult:
+    """All records of one study run plus aggregation helpers."""
+
+    config: StudyConfig
+    records: list[PredictionRecord]
+    observed: dict[tuple[str, str, int], float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        *,
+        metric: int | None = None,
+        system: str | None = None,
+        application: str | None = None,
+        cpus: int | None = None,
+    ) -> list[PredictionRecord]:
+        """Records matching every given filter."""
+        out = []
+        for rec in self.records:
+            if metric is not None and rec.metric != metric:
+                continue
+            if system is not None and rec.system != system:
+                continue
+            if application is not None and rec.application != application:
+                continue
+            if cpus is not None and rec.cpus != cpus:
+                continue
+            out.append(rec)
+        return out
+
+    def errors(self, **filters) -> list[float]:
+        """Signed errors of the selected records."""
+        return [rec.error_percent for rec in self.select(**filters)]
+
+    # ------------------------------------------------------------------
+    # aggregations mirroring the paper
+    # ------------------------------------------------------------------
+    def metric_summary(self, metric: int) -> ErrorSummary:
+        """Table 4 row: error summary of one metric over all runs."""
+        return summarise(self.errors(metric=metric))
+
+    def overall_table(self) -> dict[int, ErrorSummary]:
+        """Table 4: per-metric summaries."""
+        return {m: self.metric_summary(m) for m in self.config.metrics}
+
+    def system_table(self) -> dict[str, dict[int, float]]:
+        """Table 5: system -> metric -> average absolute error."""
+        table: dict[str, dict[int, float]] = {}
+        for system in self.config.systems:
+            row = {}
+            for m in self.config.metrics:
+                errs = self.errors(metric=m, system=system)
+                row[m] = float(np.mean(np.abs(errs))) if errs else float("nan")
+            table[system] = row
+        return table
+
+    def app_case_errors(self, application: str) -> dict[int, dict[int, float]]:
+        """Figures 3-7 series: cpus -> metric -> average absolute error."""
+        app = get_application(application)
+        out: dict[int, dict[int, float]] = {}
+        for cpus in app.cpu_counts:
+            row = {}
+            for m in self.config.metrics:
+                errs = self.errors(metric=m, application=application, cpus=cpus)
+                row[m] = float(np.mean(np.abs(errs))) if errs else float("nan")
+            out[cpus] = row
+        return out
+
+    def observed_times(self, application: str) -> dict[str, list[float | None]]:
+        """Appendix table: system -> times at the app's cpu counts."""
+        app = get_application(application)
+        out: dict[str, list[float | None]] = {}
+        for system in self.config.systems:
+            out[system] = [
+                self.observed.get((application, system, cpus)) for cpus in app.cpu_counts
+            ]
+        return out
+
+    @property
+    def n_runs(self) -> int:
+        """Number of observed executions (150 in the paper's full matrix)."""
+        return len(self.observed)
+
+    @property
+    def n_predictions(self) -> int:
+        """Number of predictions (1350 in the paper's full matrix)."""
+        return len(self.records)
+
+
+def run_study(config: StudyConfig | None = None) -> StudyResult:
+    """Run the complete study described by ``config`` (defaults: the paper's).
+
+    Skips (system, cpus) cells where the processor count exceeds the
+    installed system size, as the paper's blank appendix cells do.
+    """
+    cfg = config or StudyConfig()
+    predictor = PerformancePredictor(
+        cfg.base_system,
+        mode=cfg.mode,
+        sample_size=cfg.sample_size,
+        noise=cfg.noise,
+    )
+    metrics = [ALL_METRICS[m] for m in cfg.metrics]
+    records: list[PredictionRecord] = []
+    observed: dict[tuple[str, str, int], float] = {}
+
+    for label in cfg.applications:
+        app = get_application(label)
+        for system in cfg.systems:
+            machine = get_machine(system)
+            executor = GroundTruthExecutor(machine, noise=cfg.noise)
+            for cpus in app.cpu_counts:
+                if cpus > machine.cpus:
+                    continue  # paper leaves these cells blank
+                actual = executor.run(app, cpus).total_seconds
+                observed[(label, system, cpus)] = actual
+                ctx: PredictionContext = predictor.context(app, machine, cpus)
+                for metric in metrics:
+                    predicted = metric.predict(ctx)
+                    records.append(
+                        PredictionRecord(
+                            application=label,
+                            cpus=cpus,
+                            system=system,
+                            metric=metric.number,
+                            actual_seconds=actual,
+                            predicted_seconds=predicted,
+                            error_percent=signed_error(predicted, actual),
+                        )
+                    )
+    return StudyResult(config=cfg, records=records, observed=observed)

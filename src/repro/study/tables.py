@@ -1,0 +1,202 @@
+"""Builders for the paper's tables and figure series.
+
+Every function takes a :class:`~repro.study.runner.StudyResult` and returns
+a :class:`~repro.util.tables.Table` (or a data series for the figure
+renderers) mirroring one artifact of the paper:
+
+* :func:`table1_architectures`, :func:`table2_systems` — the system lists;
+* :func:`table4_overall` — error per metric (with the paper's values
+  side by side);
+* :func:`table5_systems` — per-system error per metric;
+* :func:`figure2_series` — the Table 4 bar-chart series;
+* :func:`figures3_7_series` — per-application error series;
+* :func:`appendix_runtimes` — Tables 6-10 observed times-to-solution;
+* :func:`figure1_series` — unit-stride MAPS curves for three systems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machines.registry import MACHINES, get_machine
+from repro.probes.suite import probe_machine
+from repro.study.paper_data import (
+    PAPER_RUNTIMES,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    PAPER_METRIC_NAMES,
+)
+from repro.study.runner import StudyResult
+from repro.util.tables import Table
+
+__all__ = [
+    "table1_architectures",
+    "table2_systems",
+    "table3_metrics",
+    "table4_overall",
+    "table5_systems",
+    "figure1_series",
+    "figure2_series",
+    "figures3_7_series",
+    "appendix_runtimes",
+]
+
+
+def table1_architectures() -> Table:
+    """Paper Table 1: the architectures, in installation order."""
+    table = Table(
+        title="Table 1. Architectures used in study",
+        columns=["Make", "Model", "Speed (GHz)", "Interconnect"],
+        formats=[None, None, ".3f", None],
+    )
+    seen = set()
+    for spec in MACHINES.values():
+        key = (spec.vendor, spec.model, spec.processor.clock_ghz, spec.network.name)
+        if key in seen:
+            continue
+        seen.add(key)
+        table.add_row(spec.vendor, spec.model, spec.processor.clock_ghz, spec.network.name)
+    return table
+
+
+def table2_systems() -> Table:
+    """Paper Table 2: the installed systems and their processor counts."""
+    table = Table(
+        title="Table 2. Systems used in study",
+        columns=["System", "Architecture", "Compute Processors"],
+        formats=[None, None, "d"],
+    )
+    for spec in MACHINES.values():
+        table.add_row(spec.name, spec.architecture, spec.cpus)
+    return table
+
+
+def table3_metrics() -> Table:
+    """Paper Table 3: the nine synthetic metrics."""
+    table = Table(
+        title="Table 3. Synthetic metrics used in study",
+        columns=["#", "Type", "Name or Description"],
+    )
+    for num, (kind, name) in PAPER_METRIC_NAMES.items():
+        table.add_row(num, kind.capitalize(), name)
+    return table
+
+
+def table4_overall(result: StudyResult) -> Table:
+    """Paper Table 4 with the paper's published numbers alongside ours."""
+    table = Table(
+        title="Table 4. Error assessment: metric results vs real run time",
+        columns=[
+            "# & Type",
+            "Metric Description",
+            "Avg |err| (%)",
+            "Std (%)",
+            "Paper avg (%)",
+            "Paper std (%)",
+        ],
+        formats=[None, None, ".0f", ".0f", ".0f", ".0f"],
+    )
+    for metric, summary in result.overall_table().items():
+        kind, name = PAPER_METRIC_NAMES[metric]
+        paper_err, paper_std = PAPER_TABLE4[metric]
+        table.add_row(
+            f"{metric}-{kind[0].upper()}",
+            name,
+            summary.mean_abs,
+            summary.std_abs,
+            paper_err,
+            paper_std,
+        )
+    return table
+
+
+def table5_systems(result: StudyResult, *, include_paper: bool = False) -> Table:
+    """Paper Table 5: system-specific average absolute percent error."""
+    metrics = list(result.config.metrics)
+    columns = ["System"] + [str(m) for m in metrics]
+    formats: list[str | None] = [None] + [".0f"] * len(metrics)
+    if include_paper:
+        columns += [f"p{m}" for m in metrics]
+        formats += [".0f"] * len(metrics)
+    table = Table(
+        title="Table 5. System-specific average absolute percent error",
+        columns=columns,
+        formats=formats,
+    )
+    system_rows = result.system_table()
+    for system, row in system_rows.items():
+        cells: list[object] = [system] + [row[m] for m in metrics]
+        if include_paper:
+            cells += list(PAPER_TABLE5.get(system, ["-"] * len(metrics)))
+        table.add_row(*cells)
+    overall = result.overall_table()
+    cells = ["OVERALL"] + [overall[m].mean_abs for m in metrics]
+    if include_paper:
+        cells += [PAPER_TABLE4[m][0] for m in metrics]
+    table.add_row(*cells)
+    return table
+
+
+def figure1_series(
+    systems: tuple[str, ...] = ("ARL_Opteron", "ARL_Altix", "NAVO_655"),
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Figure 1: unit-stride MAPS bandwidth vs size for three systems.
+
+    Returns system -> (sizes, bandwidths).
+    """
+    out = {}
+    for name in systems:
+        curve = probe_machine(get_machine(name)).maps.unit
+        out[name] = (curve.sizes, curve.bandwidths)
+    return out
+
+
+def figure2_series(result: StudyResult) -> dict[int, tuple[float, float]]:
+    """Figure 2: metric -> (average absolute error, std), the Table 4 bars."""
+    return {
+        m: (s.mean_abs, s.std_abs) for m, s in result.overall_table().items()
+    }
+
+
+def figures3_7_series(result: StudyResult, application: str) -> Table:
+    """Figures 3-7: per-application error per metric and processor count."""
+    data = result.app_case_errors(application)
+    cpu_counts = sorted(data)
+    metrics = list(result.config.metrics)
+    table = Table(
+        title=f"Error assessment for {application}",
+        columns=["Metric"] + [f"{c} CPUs" for c in cpu_counts],
+        formats=[None] + [".0f"] * len(cpu_counts),
+    )
+    for m in metrics:
+        kind, name = PAPER_METRIC_NAMES[m]
+        table.add_row(
+            f"{m}-{kind[0].upper()} {name}", *[data[c][m] for c in cpu_counts]
+        )
+    return table
+
+
+def appendix_runtimes(result: StudyResult, application: str) -> Table:
+    """Appendix Tables 6-10: observed times-to-solution, paper alongside."""
+    observed = result.observed_times(application)
+    paper = PAPER_RUNTIMES.get(application, {})
+    cpu_counts = paper.get("cpu_counts")
+    if cpu_counts is None:
+        from repro.apps.suite import get_application
+
+        cpu_counts = get_application(application).cpu_counts
+    columns = ["Machine"] + [f"{c}-CPUs" for c in cpu_counts] + [
+        f"paper {c}" for c in cpu_counts
+    ]
+    table = Table(
+        title=f"Observed times-to-solution (s): {application}",
+        columns=columns,
+        formats=[None] + [".0f"] * (2 * len(cpu_counts)),
+    )
+    paper_times = paper.get("times", {})
+    for system, times in observed.items():
+        row: list[object] = [system]
+        row += [t if t is not None else None for t in times]
+        row += list(paper_times.get(system, [None] * len(cpu_counts)))
+        table.add_row(*row)
+    return table

@@ -1,0 +1,59 @@
+"""Hardware-counter style operation totals.
+
+For Metrics #4 and #5 the paper notes that full MetaSim tracing is
+overkill: "performance counters provide a more expeditious result" when
+only total FP and load/store counts are needed.  This module is that cheap
+path — exact totals, no per-reference information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.model import ApplicationModel
+
+__all__ = ["CounterTotals", "count_operations"]
+
+
+@dataclass(frozen=True)
+class CounterTotals:
+    """Whole-run per-rank totals from hardware counters.
+
+    Attributes
+    ----------
+    application, cpus:
+        What was measured.
+    fp_ops:
+        Floating-point operations per rank.
+    loads, stores:
+        8-byte memory references per rank.
+    """
+
+    application: str
+    cpus: int
+    fp_ops: float
+    loads: float
+    stores: float
+
+    @property
+    def memory_refs(self) -> float:
+        """Total load/store references."""
+        return self.loads + self.stores
+
+    @property
+    def memory_bytes(self) -> float:
+        """Useful memory traffic in bytes."""
+        return self.memory_refs * 8.0
+
+
+def count_operations(app: ApplicationModel, cpus: int) -> CounterTotals:
+    """Read the counters for one run of ``app`` at ``cpus`` processors."""
+    rank_cells = app.rank_cells(cpus)
+    steps = app.timesteps
+    return CounterTotals(
+        application=app.label,
+        cpus=cpus,
+        fp_ops=sum(b.fp_per_cell for b in app.blocks) * rank_cells * steps,
+        loads=sum(b.loads_per_cell for b in app.blocks) * rank_cells * steps,
+        stores=sum(b.stores_per_cell for b in app.blocks) * rank_cells * steps,
+    )

@@ -1,0 +1,237 @@
+"""JSON serialisation of traces and probe results.
+
+Tracing is the expensive, non-recurring step of the methodology ("it is
+only required once per application on the base system" — paper Section 3),
+and probing ten production systems is a scheduling exercise.  Persisting
+both lets a downstream user ship trace/probe archives with their study, as
+the PMaC group did.
+
+The format is plain JSON with a schema version; loaders validate the
+version and reconstruct the frozen dataclasses.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.memory.patterns import StrideHistogram
+from repro.network.model import CollectiveKind
+from repro.probes.results import (
+    GupsResult,
+    HplResult,
+    MachineProbes,
+    MapsCurve,
+    MapsResult,
+    NetbenchResult,
+    StreamResult,
+)
+from repro.tracing.trace import ApplicationTrace, BlockTrace, CommRecord
+
+__all__ = [
+    "trace_to_json",
+    "trace_from_json",
+    "probes_to_json",
+    "probes_from_json",
+]
+
+#: Bumped whenever the on-disk layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def _check_version(doc: dict, kind: str) -> None:
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported {kind} schema version {version!r} "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# traces
+# ---------------------------------------------------------------------------
+
+
+def _block_to_dict(block: BlockTrace) -> dict[str, Any]:
+    return {
+        "name": block.name,
+        "fp_ops": block.fp_ops,
+        "loads": block.loads,
+        "stores": block.stores,
+        "stride": {
+            "unit": block.stride.unit,
+            "short": block.stride.short,
+            "random": block.stride.random,
+            "short_stride_elems": block.stride.short_stride_elems,
+        },
+        "working_set": block.working_set,
+        "dependency_weight": block.dependency_weight,
+        "l_service": block.l_service,
+    }
+
+
+def _block_from_dict(doc: dict[str, Any]) -> BlockTrace:
+    stride = doc["stride"]
+    return BlockTrace(
+        name=doc["name"],
+        fp_ops=doc["fp_ops"],
+        loads=doc["loads"],
+        stores=doc["stores"],
+        stride=StrideHistogram(
+            unit=stride["unit"],
+            short=stride["short"],
+            random=stride["random"],
+            short_stride_elems=stride["short_stride_elems"],
+        ),
+        working_set=doc["working_set"],
+        dependency_weight=doc["dependency_weight"],
+        l_service=doc.get("l_service"),
+    )
+
+
+def _comm_to_dict(rec: CommRecord) -> dict[str, Any]:
+    kind = rec.kind if isinstance(rec.kind, str) else rec.kind.value
+    return {
+        "name": rec.name,
+        "kind": kind,
+        "count": rec.count,
+        "size_bytes": rec.size_bytes,
+        "neighbors": rec.neighbors,
+    }
+
+
+def _comm_from_dict(doc: dict[str, Any]) -> CommRecord:
+    kind: str | CollectiveKind = doc["kind"]
+    if kind != "p2p":
+        kind = CollectiveKind(kind)
+    return CommRecord(
+        name=doc["name"],
+        kind=kind,
+        count=doc["count"],
+        size_bytes=doc["size_bytes"],
+        neighbors=doc["neighbors"],
+    )
+
+
+def trace_to_json(trace: ApplicationTrace) -> str:
+    """Serialise an :class:`ApplicationTrace` to a JSON string."""
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "application_trace",
+        "application": trace.application,
+        "cpus": trace.cpus,
+        "base_machine": trace.base_machine,
+        "timesteps": trace.timesteps,
+        "sample_size": trace.sample_size,
+        "blocks": [_block_to_dict(b) for b in trace.blocks],
+        "comm": [_comm_to_dict(c) for c in trace.comm],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def trace_from_json(text: str) -> ApplicationTrace:
+    """Reconstruct an :class:`ApplicationTrace` from :func:`trace_to_json` output."""
+    doc = json.loads(text)
+    _check_version(doc, "trace")
+    if doc.get("kind") != "application_trace":
+        raise ValueError(f"not an application trace document: {doc.get('kind')!r}")
+    return ApplicationTrace(
+        application=doc["application"],
+        cpus=doc["cpus"],
+        base_machine=doc["base_machine"],
+        timesteps=doc["timesteps"],
+        sample_size=doc["sample_size"],
+        blocks=tuple(_block_from_dict(b) for b in doc["blocks"]),
+        comm=tuple(_comm_from_dict(c) for c in doc["comm"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# probes
+# ---------------------------------------------------------------------------
+
+
+def _curve_to_dict(curve: MapsCurve) -> dict[str, Any]:
+    return {
+        "sizes": curve.sizes.tolist(),
+        "bandwidths": curve.bandwidths.tolist(),
+    }
+
+
+def _curve_from_dict(doc: dict[str, Any]) -> MapsCurve:
+    return MapsCurve(
+        sizes=np.asarray(doc["sizes"], dtype=float),
+        bandwidths=np.asarray(doc["bandwidths"], dtype=float),
+    )
+
+
+def probes_to_json(probes: MachineProbes) -> str:
+    """Serialise a :class:`MachineProbes` bundle to a JSON string."""
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "machine_probes",
+        "machine": probes.machine,
+        "hpl": {
+            "rmax_flops": probes.hpl.rmax_flops,
+            "rpeak_flops": probes.hpl.rpeak_flops,
+            "n": probes.hpl.n,
+            "seconds": probes.hpl.seconds,
+        },
+        "stream": {
+            "copy": probes.stream.copy,
+            "scale": probes.stream.scale,
+            "add": probes.stream.add,
+            "triad": probes.stream.triad,
+            "array_bytes": probes.stream.array_bytes,
+        },
+        "gups": {
+            "gups": probes.gups.gups,
+            "random_bandwidth": probes.gups.random_bandwidth,
+            "table_bytes": probes.gups.table_bytes,
+        },
+        "maps": {
+            kind: _curve_to_dict(probes.maps.curve(kind))
+            for kind in ("unit", "random", "unit_dep", "random_dep")
+        },
+        "netbench": {
+            "latency": probes.netbench.latency,
+            "bandwidth": probes.netbench.bandwidth,
+            "pingpong_sizes": probes.netbench.pingpong_sizes.tolist(),
+            "pingpong_seconds": probes.netbench.pingpong_seconds.tolist(),
+            "allreduce_ranks": probes.netbench.allreduce_ranks.tolist(),
+            "allreduce_seconds": probes.netbench.allreduce_seconds.tolist(),
+        },
+    }
+    return json.dumps(doc, indent=2)
+
+
+def probes_from_json(text: str) -> MachineProbes:
+    """Reconstruct a :class:`MachineProbes` from :func:`probes_to_json` output."""
+    doc = json.loads(text)
+    _check_version(doc, "probes")
+    if doc.get("kind") != "machine_probes":
+        raise ValueError(f"not a machine probes document: {doc.get('kind')!r}")
+    nb = doc["netbench"]
+    return MachineProbes(
+        machine=doc["machine"],
+        hpl=HplResult(**doc["hpl"]),
+        stream=StreamResult(**doc["stream"]),
+        gups=GupsResult(**doc["gups"]),
+        maps=MapsResult(
+            unit=_curve_from_dict(doc["maps"]["unit"]),
+            random=_curve_from_dict(doc["maps"]["random"]),
+            unit_dep=_curve_from_dict(doc["maps"]["unit_dep"]),
+            random_dep=_curve_from_dict(doc["maps"]["random_dep"]),
+        ),
+        netbench=NetbenchResult(
+            latency=nb["latency"],
+            bandwidth=nb["bandwidth"],
+            pingpong_sizes=np.asarray(nb["pingpong_sizes"], dtype=float),
+            pingpong_seconds=np.asarray(nb["pingpong_seconds"], dtype=float),
+            allreduce_ranks=np.asarray(nb["allreduce_ranks"], dtype=float),
+            allreduce_seconds=np.asarray(nb["allreduce_seconds"], dtype=float),
+        ),
+    )

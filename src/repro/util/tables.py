@@ -1,0 +1,93 @@
+"""Plain-text table rendering for study output.
+
+The study runner and every bench print their results as aligned ASCII tables
+mirroring the paper's Tables 4/5 and appendix Tables 6-10.  Rendering is kept
+dependency-free so benches can run in any environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Table", "render_table"]
+
+
+def _cell(value: object, fmt: str | None) -> str:
+    if value is None:
+        return ""
+    if fmt is not None and isinstance(value, (int, float)):
+        return format(value, fmt)
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled grid of cells with per-column numeric formats.
+
+    Attributes
+    ----------
+    title:
+        Heading printed above the grid.
+    columns:
+        Column header labels.
+    rows:
+        Row cell values; ragged rows are padded with blanks.
+    formats:
+        Optional per-column format specs (e.g. ``'.1f'``); ``None`` entries
+        fall back to ``str``.
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[object]] = field(default_factory=list)
+    formats: Sequence[str | None] | None = None
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row of cells."""
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        """Render the table as aligned monospace text."""
+        return render_table(self)
+
+    def to_csv(self) -> str:
+        """Render the table as CSV (header row first)."""
+        fmts = self._column_formats()
+        lines = [",".join(str(c) for c in self.columns)]
+        for row in self.rows:
+            cells = [_cell(v, fmts[i] if i < len(fmts) else None) for i, v in enumerate(row)]
+            lines.append(",".join(cells))
+        return "\n".join(lines) + "\n"
+
+    def _column_formats(self) -> list[str | None]:
+        if self.formats is None:
+            return [None] * len(self.columns)
+        return list(self.formats)
+
+
+def render_table(table: Table) -> str:
+    """Render ``table`` with a title, header rule and column alignment.
+
+    Numeric-formatted columns are right-aligned, text columns left-aligned.
+    """
+    fmts = table._column_formats()
+    ncols = len(table.columns)
+    grid: list[list[str]] = [[str(c) for c in table.columns]]
+    for row in table.rows:
+        padded = list(row) + [None] * (ncols - len(row))
+        grid.append([_cell(v, fmts[i] if i < len(fmts) else None) for i, v in enumerate(padded[:ncols])])
+
+    widths = [max(len(r[i]) for r in grid) for i in range(ncols)]
+    right = [fmts[i] is not None if i < len(fmts) else False for i in range(ncols)]
+
+    def fmt_row(cells: list[str]) -> str:
+        out = []
+        for i, text in enumerate(cells):
+            out.append(text.rjust(widths[i]) if right[i] else text.ljust(widths[i]))
+        return "  ".join(out).rstrip()
+
+    rule = "-" * (sum(widths) + 2 * (ncols - 1))
+    lines = [table.title, "=" * len(table.title), fmt_row(grid[0]), rule]
+    lines.extend(fmt_row(r) for r in grid[1:])
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,59 @@
+"""Byte/rate/time unit constants and human-readable formatting helpers."""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "format_bytes",
+    "format_rate",
+    "format_seconds",
+]
+
+# Decimal units (used for bandwidths, matching vendor GB/s conventions).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+# Binary units (used for cache and memory sizes).
+KIB = 1_024
+MIB = 1_024**2
+GIB = 1_024**3
+
+
+def format_bytes(n: float) -> str:
+    """Format a byte count with a binary suffix, e.g. ``'64.0 KiB'``."""
+    n = float(n)
+    for suffix, scale in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(n) >= scale:
+            return f"{n / scale:.1f} {suffix}"
+    return f"{n:.0f} B"
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Format a bandwidth with a decimal suffix, e.g. ``'12.3 GB/s'``."""
+    v = float(bytes_per_second)
+    for suffix, scale in (("GB/s", GB), ("MB/s", MB), ("KB/s", KB)):
+        if abs(v) >= scale:
+            return f"{v / scale:.2f} {suffix}"
+    return f"{v:.1f} B/s"
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration adaptively (``'823 us'``, ``'12.4 s'``, ``'2h03m'``)."""
+    s = float(seconds)
+    if s < 1e-3:
+        return f"{s * 1e6:.0f} us"
+    if s < 1.0:
+        return f"{s * 1e3:.1f} ms"
+    if s < 120.0:
+        return f"{s:.1f} s"
+    if s < 7200.0:
+        return f"{s / 60.0:.1f} min"
+    hours = int(s // 3600)
+    minutes = int(round((s - 3600 * hours) / 60))
+    return f"{hours}h{minutes:02d}m"

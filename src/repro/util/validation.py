@@ -1,0 +1,40 @@
+"""Small argument-validation helpers used across the package.
+
+The simulators are configuration-heavy; failing fast with a precise message
+on a bad machine or application spec is far cheaper than debugging a NaN
+three layers down the convolution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Container
+
+__all__ = ["check_positive", "check_fraction", "check_in"]
+
+
+def check_positive(name: str, value: float, *, allow_zero: bool = False) -> float:
+    """Validate that ``value`` is a positive (or non-negative) finite number."""
+    v = float(value)
+    if v != v:  # NaN
+        raise ValueError(f"{name} must not be NaN")
+    if allow_zero:
+        if v < 0:
+            raise ValueError(f"{name} must be >= 0, got {value!r}")
+    elif v <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return v
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    v = float(value)
+    if not 0.0 <= v <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return v
+
+
+def check_in(name: str, value: object, allowed: Container) -> object:
+    """Validate that ``value`` is a member of ``allowed``."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value

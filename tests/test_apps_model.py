@@ -1,0 +1,122 @@
+"""Tests for the application workload model."""
+
+import pytest
+
+from repro.apps.model import MIN_WORKING_SET, ApplicationModel, BasicBlock, CommEvent
+from repro.memory.patterns import StrideHistogram
+from repro.network.model import CollectiveKind
+
+
+def _block(**kw):
+    defaults = dict(
+        name="b",
+        fp_per_cell=100.0,
+        loads_per_cell=30.0,
+        stores_per_cell=10.0,
+        stride=StrideHistogram(unit=0.7, short=0.2, random=0.1),
+    )
+    defaults.update(kw)
+    return BasicBlock(**defaults)
+
+
+def test_block_derived_quantities():
+    b = _block()
+    assert b.refs_per_cell == 40.0
+    assert b.bytes_per_cell == 320.0
+
+
+def test_block_working_set_laws():
+    full = _block(ws_exponent=1.0)
+    surface = _block(ws_exponent=2 / 3, ws_scale=2.0)
+    fixed = _block(ws_exponent=0.0, ws_scale=1 << 20)
+    rb = 1e9
+    assert full.working_set(rb) == pytest.approx(rb)
+    assert surface.working_set(rb) == pytest.approx(2.0 * rb ** (2 / 3))
+    assert fixed.working_set(rb) == pytest.approx(float(1 << 20))
+
+
+def test_block_working_set_clamped():
+    b = _block(ws_exponent=0.0, ws_scale=1.0)  # pathological tiny ws
+    assert b.working_set(1e9) == MIN_WORKING_SET
+    big_fixed = _block(ws_exponent=0.0, ws_scale=1e12)
+    assert big_fixed.working_set(1e9) == 1e9  # cannot exceed rank data
+
+
+def test_block_rejects_no_work():
+    with pytest.raises(ValueError, match="no work"):
+        _block(fp_per_cell=0.0, loads_per_cell=0.0, stores_per_cell=0.0)
+
+
+def test_block_validates_fractions():
+    with pytest.raises(ValueError):
+        _block(dependency_fraction=1.5)
+    with pytest.raises(ValueError):
+        _block(ws_exponent=1.2)
+    with pytest.raises(ValueError):
+        _block(chase_fraction=-0.1)
+
+
+def test_comm_event_size_law():
+    halo = CommEvent(
+        name="halo", kind="p2p", count=4, size_scale=2.0, size_exponent=2 / 3
+    )
+    assert halo.size_bytes(1e9) == pytest.approx(2.0 * 1e9 ** (2 / 3))
+    fixed = CommEvent(
+        name="ar", kind=CollectiveKind.ALLREDUCE, count=1, size_scale=8.0
+    )
+    assert fixed.size_bytes(1e9) == 8.0
+
+
+def test_comm_event_kind_validation():
+    with pytest.raises(ValueError, match="p2p"):
+        CommEvent(name="x", kind="pt2pt", count=1, size_scale=8.0)
+
+
+def test_comm_event_is_p2p():
+    assert CommEvent(name="h", kind="p2p", count=1, size_scale=1.0).is_p2p
+    assert not CommEvent(
+        name="a", kind=CollectiveKind.BARRIER, count=1, size_scale=1.0
+    ).is_p2p
+
+
+def _app(**kw):
+    defaults = dict(
+        name="APP",
+        testcase="std",
+        description="test app",
+        cells=1e6,
+        bytes_per_cell=1000.0,
+        timesteps=10,
+        cpu_counts=(8, 16),
+        blocks=(_block(),),
+    )
+    defaults.update(kw)
+    return ApplicationModel(**defaults)
+
+
+def test_app_rank_quantities():
+    app = _app()
+    assert app.rank_cells(8) == pytest.approx(1.25e5)
+    assert app.rank_bytes(8) == pytest.approx(1.25e8)
+    assert app.label == "APP-std"
+
+
+def test_app_block_lookup():
+    app = _app()
+    assert app.block("b").name == "b"
+    with pytest.raises(KeyError):
+        app.block("missing")
+
+
+def test_app_rejects_duplicate_blocks():
+    with pytest.raises(ValueError, match="duplicate"):
+        _app(blocks=(_block(), _block()))
+
+
+def test_app_rejects_empty_counts_and_blocks():
+    with pytest.raises(ValueError):
+        _app(cpu_counts=())
+    with pytest.raises(ValueError):
+        _app(blocks=())
+    with pytest.raises(ValueError):
+        _app(cpu_counts=(0,))

@@ -1,0 +1,95 @@
+"""Tests for the five TI-05 application models."""
+
+import pytest
+
+from repro.apps.suite import (
+    APPLICATIONS,
+    get_application,
+    list_applications,
+)
+
+
+def test_five_test_cases():
+    assert list_applications() == [
+        "AVUS-standard",
+        "AVUS-large",
+        "HYCOM-standard",
+        "OVERFLOW2-standard",
+        "RFCTH-standard",
+    ]
+
+
+def test_cpu_counts_match_paper_section2():
+    expected = {
+        "AVUS-standard": (32, 64, 128),
+        "AVUS-large": (128, 256, 384),
+        "HYCOM-standard": (59, 96, 124),
+        "OVERFLOW2-standard": (32, 48, 64),
+        "RFCTH-standard": (16, 32, 64),
+    }
+    for label, counts in expected.items():
+        assert get_application(label).cpu_counts == counts
+
+
+def test_paper_problem_sizes():
+    avus = get_application("AVUS-standard")
+    assert avus.cells == pytest.approx(7e6)
+    assert avus.timesteps == 100
+    large = get_application("AVUS-large")
+    assert large.cells == pytest.approx(24e6)
+    assert large.timesteps == 150
+    overflow = get_application("OVERFLOW2-standard")
+    assert overflow.cells == pytest.approx(3e7)
+    assert overflow.timesteps == 600
+
+
+def test_avus_cases_share_block_structure():
+    std = get_application("AVUS-standard")
+    large = get_application("AVUS-large")
+    assert [b.name for b in std.blocks] == [b.name for b in large.blocks]
+
+
+def test_unknown_application():
+    with pytest.raises(KeyError, match="known"):
+        get_application("LAMMPS")
+
+
+def test_every_app_mixes_stride_classes():
+    """Each test case must exercise unit, short and random access somewhere."""
+    for label in APPLICATIONS:
+        app = get_application(label)
+        assert sum(b.stride.unit for b in app.blocks) > 0
+        assert sum(b.stride.short for b in app.blocks) > 0
+        assert sum(b.stride.random for b in app.blocks) > 0
+
+
+def test_every_app_communicates():
+    for label in APPLICATIONS:
+        app = get_application(label)
+        assert app.comms, f"{label} has no MPI signature"
+        assert any(e.is_p2p for e in app.comms)
+
+
+def test_rfcth_is_random_heavy():
+    """RFCTH (AMR shock physics) leans on random access more than HYCOM."""
+    rfcth = get_application("RFCTH-standard")
+    hycom = get_application("HYCOM-standard")
+
+    def random_share(app):
+        total = sum(b.refs_per_cell for b in app.blocks)
+        return sum(b.refs_per_cell * b.stride.random for b in app.blocks) / total
+
+    assert random_share(rfcth) > 2 * random_share(hycom)
+
+
+def test_overflow_line_solve_is_dependency_bound():
+    adi = get_application("OVERFLOW2-standard").block("adi_line_solve")
+    assert adi.dependency_fraction >= 0.5
+    assert adi.ws_exponent == pytest.approx(1 / 3)  # pencil working sets
+
+
+def test_factories_return_fresh_instances():
+    a = get_application("AVUS-standard")
+    b = get_application("AVUS-standard")
+    assert a == b
+    assert a is not b

@@ -1,0 +1,68 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_table4(capsys):
+    assert main(["table4"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 4" in out
+    assert "Figure 2" in out
+    assert "HPL+MAPS+NET+DEP" in out
+
+
+def test_table5(capsys):
+    assert main(["table5"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 5" in out
+    assert "OVERALL" in out
+
+
+def test_figure1(capsys):
+    assert main(["figure1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "ARL_Opteron" in out
+
+
+def test_probes(capsys):
+    assert main(["probes"]) == 0
+    out = capsys.readouterr().out
+    assert "NAVO_690" in out
+
+
+def test_csv(capsys):
+    assert main(["csv"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("application,cpus,system,metric")
+
+
+def test_appendix(capsys):
+    assert main(["appendix"]) == 0
+    out = capsys.readouterr().out
+    assert "AVUS-standard" in out and "RFCTH-standard" in out
+
+
+def test_figures(capsys):
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    assert "Error assessment for HYCOM-standard" in out
+
+
+def test_cost(capsys):
+    assert main(["cost"]) == 0
+    out = capsys.readouterr().out
+    assert "Effort vs accuracy" in out
+    assert "tracing" in out
+
+
+def test_default_artifact_is_table4(capsys):
+    assert main([]) == 0
+    assert "Table 4" in capsys.readouterr().out
+
+
+def test_bad_artifact_rejected():
+    with pytest.raises(SystemExit):
+        main(["table99"])

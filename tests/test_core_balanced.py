@@ -1,0 +1,81 @@
+"""Tests for the IDC balanced-rating combination."""
+
+import pytest
+
+from repro.core.balanced import BalancedRating, optimise_weights
+from repro.machines.registry import TARGET_SYSTEMS, get_machine
+from repro.probes.suite import probe_machine
+
+
+@pytest.fixture(scope="module")
+def probes_by_system():
+    names = list(TARGET_SYSTEMS) + ["NAVO_690"]
+    return {name: probe_machine(get_machine(name)) for name in names}
+
+
+def test_scores_in_0_100(probes_by_system):
+    rating = BalancedRating(probes_by_system)
+    for name in probes_by_system:
+        assert 0 < rating.score(name) <= 100.0
+
+
+def test_best_per_category_scores_100(probes_by_system):
+    """With a weight of 1 on one category, its best system scores 100."""
+    rating = BalancedRating(probes_by_system, weights=(1.0, 0.0, 0.0))
+    best = max(probes_by_system, key=lambda n: probes_by_system[n].hpl.rmax_flops)
+    assert rating.score(best) == pytest.approx(100.0)
+
+
+def test_predict_equation_one(probes_by_system):
+    rating = BalancedRating(probes_by_system)
+    t = rating.predict("ARL_Opteron", "NAVO_690", 1000.0)
+    expected = rating.score("NAVO_690") / rating.score("ARL_Opteron") * 1000.0
+    assert t == pytest.approx(expected)
+
+
+def test_unknown_system_raises(probes_by_system):
+    rating = BalancedRating(probes_by_system)
+    with pytest.raises(KeyError):
+        rating.score("CRAY_T3E")
+
+
+def test_weight_validation(probes_by_system):
+    with pytest.raises(ValueError):
+        BalancedRating(probes_by_system, weights=(-1.0, 1.0, 1.0))
+    with pytest.raises(ValueError):
+        BalancedRating(probes_by_system, weights=(0.0, 0.0, 0.0))
+    with pytest.raises(ValueError):
+        BalancedRating({}, weights=(1.0, 1.0, 1.0))
+    with pytest.raises(ValueError):
+        rating = BalancedRating(probes_by_system)
+        rating.predict("ARL_Opteron", "NAVO_690", 0.0)
+
+
+def test_optimised_weights_do_not_hurt(probes_by_system, full_study):
+    """Regression-fit weights must beat or match equal weights on the data
+    they were fitted to (paper: 35% -> 33%)."""
+    from repro.core.predictor import PerformancePredictor
+
+    predictor = PerformancePredictor()
+    observations = [
+        (system, "NAVO_690", predictor.base_time(app, cpus), actual)
+        for (app, system, cpus), actual in full_study.observed.items()
+    ]
+
+    def mean_abs(weights):
+        rating = BalancedRating(probes_by_system, weights)
+        errs = [
+            abs(rating.predict(target, base, bt) - actual) / actual
+            for target, base, bt, actual in observations
+        ]
+        return 100.0 * sum(errs) / len(errs)
+
+    equal = mean_abs((1 / 3, 1 / 3, 1 / 3))
+    fitted = optimise_weights(probes_by_system, observations)
+    assert sum(fitted) == pytest.approx(1.0)
+    assert mean_abs(fitted) <= equal + 1e-6
+
+
+def test_optimise_weights_needs_observations(probes_by_system):
+    with pytest.raises(ValueError):
+        optimise_weights(probes_by_system, [])

@@ -1,0 +1,104 @@
+"""Tests for the MetaSim Convolver."""
+
+import pytest
+
+from repro.apps.suite import get_application
+from repro.core.convolver import Convolver, MemoryModel
+from repro.machines.registry import BASE_SYSTEM, get_machine
+from repro.probes.suite import probe_machine
+from repro.tracing.metasim import trace_application
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return trace_application(
+        get_application("AVUS-standard"), 64, get_machine(BASE_SYSTEM)
+    )
+
+
+@pytest.fixture(scope="module")
+def probes():
+    return probe_machine(get_machine("NAVO_655"))
+
+
+def test_memory_model_none_is_fp_only(trace, probes):
+    conv = Convolver(MemoryModel.NONE)
+    result = conv.predict(trace, probes)
+    expected = trace.total_fp / probes.hpl.rmax_flops
+    assert result.compute_seconds == pytest.approx(expected)
+    assert result.comm_seconds == 0.0
+
+
+def test_memory_models_monotone_cost(trace, probes):
+    """Richer memory models price random/dependent traffic as slower."""
+    t = {
+        model: Convolver(model).predict(trace, probes).compute_seconds
+        for model in MemoryModel
+    }
+    assert t[MemoryModel.NONE] < t[MemoryModel.STREAM]
+    # pricing random refs at GUPS must cost more than pricing them at STREAM
+    assert t[MemoryModel.STREAM] < t[MemoryModel.STREAM_GUPS]
+    # dependency curves can only slow the estimate further
+    assert t[MemoryModel.MAPS] <= t[MemoryModel.MAPS_DEP]
+
+
+def test_network_term_adds_comm(trace, probes):
+    without = Convolver(MemoryModel.MAPS, network=False).predict(trace, probes)
+    with_net = Convolver(MemoryModel.MAPS, network=True).predict(trace, probes)
+    assert without.comm_seconds == 0.0
+    assert with_net.comm_seconds > 0.0
+    assert with_net.compute_seconds == pytest.approx(without.compute_seconds)
+    assert with_net.total_seconds > without.total_seconds
+
+
+def test_block_predictions_cover_trace(trace, probes):
+    result = Convolver(MemoryModel.MAPS).predict(trace, probes)
+    assert [b.name for b in result.blocks] == [b.name for b in trace.blocks]
+    for b in result.blocks:
+        assert b.seconds >= max(b.fp_seconds, b.mem_seconds) - 1e-12
+        assert b.seconds <= b.fp_seconds + b.mem_seconds + 1e-12
+
+
+def test_overlap_bounds_effect(trace, probes):
+    full = Convolver(MemoryModel.MAPS, overlap=1.0).predict(trace, probes)
+    none = Convolver(MemoryModel.MAPS, overlap=0.0).predict(trace, probes)
+    assert full.compute_seconds < none.compute_seconds
+
+
+def test_overlap_validation():
+    with pytest.raises(ValueError):
+        Convolver(MemoryModel.MAPS, overlap=1.5)
+
+
+def test_faster_machine_predicts_faster(trace):
+    slow = probe_machine(get_machine("NAVO_P3"))
+    fast = probe_machine(get_machine("NAVO_655"))
+    conv = Convolver(MemoryModel.STREAM_GUPS)
+    assert (
+        conv.predict(trace, fast).compute_seconds
+        < conv.predict(trace, slow).compute_seconds
+    )
+
+
+def test_convolver_identity_fields(trace, probes):
+    result = Convolver(MemoryModel.MAPS).predict(trace, probes)
+    assert result.machine == "NAVO_655"
+    assert result.application == "AVUS-standard"
+    assert result.cpus == 64
+
+
+def test_dep_model_uses_dependency_weight(trace, probes):
+    """Blocks flagged BOUND must be priced strictly slower under MAPS_DEP."""
+    conv_plain = Convolver(MemoryModel.MAPS)
+    conv_dep = Convolver(MemoryModel.MAPS_DEP)
+    bound = [b for b in trace.blocks if b.dependency_weight == 1.0]
+    assert bound, "expected a dependency-bound block in AVUS"
+    for block in bound:
+        plain = conv_plain.predict_block(block, probes)
+        dep = conv_dep.predict_block(block, probes)
+        assert dep.mem_seconds > plain.mem_seconds
+
+
+def test_memory_model_accepts_string():
+    conv = Convolver("stream+gups")
+    assert conv.memory_model is MemoryModel.STREAM_GUPS

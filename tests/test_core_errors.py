@@ -1,0 +1,68 @@
+"""Tests for Equation 2 error statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import ErrorSummary, absolute_error, signed_error, summarise
+
+
+def test_signed_error_signs():
+    # prediction faster than actual -> negative (paper convention)
+    assert signed_error(50.0, 100.0) == pytest.approx(-50.0)
+    # prediction slower -> positive
+    assert signed_error(150.0, 100.0) == pytest.approx(50.0)
+    assert signed_error(100.0, 100.0) == 0.0
+
+
+def test_signed_error_validation():
+    with pytest.raises(ValueError):
+        signed_error(1.0, 0.0)
+    with pytest.raises(ValueError):
+        signed_error(-1.0, 10.0)
+
+
+def test_absolute_error():
+    assert absolute_error(50.0, 100.0) == pytest.approx(50.0)
+    assert absolute_error(150.0, 100.0) == pytest.approx(50.0)
+
+
+def test_summarise_prevents_cancellation():
+    """+50% and -50% must average to 50% absolute, not zero."""
+    s = summarise([50.0, -50.0])
+    assert s.mean_abs == pytest.approx(50.0)
+    assert s.mean_signed == pytest.approx(0.0)
+    assert s.count == 2
+
+
+def test_summarise_std_population():
+    s = summarise([10.0, 30.0])
+    assert s.std_abs == pytest.approx(10.0)  # ddof=0
+
+
+def test_summarise_empty_rejected():
+    with pytest.raises(ValueError):
+        summarise([])
+
+
+def test_summary_str():
+    text = str(summarise([10.0, -20.0]))
+    assert "%" in text and "n=2" in text
+
+
+@given(st.lists(st.floats(min_value=-500, max_value=500), min_size=1, max_size=50))
+def test_mean_abs_at_least_abs_mean(errors):
+    s = summarise(errors)
+    assert s.mean_abs >= abs(s.mean_signed) - 1e-9
+    assert s.mean_abs >= 0
+
+
+@given(
+    st.floats(min_value=0.01, max_value=1e6),
+    st.floats(min_value=0.01, max_value=1e6),
+)
+def test_error_zero_iff_exact(predicted, actual):
+    err = signed_error(predicted, actual)
+    if predicted == actual:
+        assert err == 0.0
+    else:
+        assert (err > 0) == (predicted > actual)

@@ -1,0 +1,106 @@
+"""Tests for the nine Table 3 metrics."""
+
+import pytest
+
+from repro.core.metrics import (
+    ALL_METRICS,
+    PredictionContext,
+    get_metric,
+)
+from repro.core.predictor import PerformancePredictor
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return PerformancePredictor()
+
+
+@pytest.fixture(scope="module")
+def ctx(predictor):
+    return predictor.context("AVUS-standard", "ARL_Opteron", 64)
+
+
+def test_table3_registry():
+    assert sorted(ALL_METRICS) == list(range(1, 10))
+    assert ALL_METRICS[1].kind == "simple"
+    assert ALL_METRICS[9].kind == "predictive"
+    assert ALL_METRICS[6].name == "HPL+STREAM+GUPS"
+    assert get_metric(3).label == "3-S GUPS"
+    with pytest.raises(KeyError):
+        get_metric(10)
+
+
+def test_all_metrics_predict_positive(ctx):
+    for metric in ALL_METRICS.values():
+        assert metric.predict(ctx) > 0
+
+
+def test_metric1_is_equation_one(ctx):
+    """T' = R(X0)/R(X) * T(X0,Y) with HPL rates."""
+    m1 = get_metric(1)
+    expected = (
+        ctx.base_probes.hpl.rmax_flops
+        / ctx.target_probes.hpl.rmax_flops
+        * ctx.base_time
+    )
+    assert m1.predict(ctx) == pytest.approx(expected)
+
+
+def test_metric4_identical_to_metric1(ctx):
+    """The paper's sanity check: the convolver with FP-only rates collapses
+    to the pencil-and-paper Rmax ratio."""
+    assert get_metric(4).predict(ctx) == pytest.approx(
+        get_metric(1).predict(ctx), rel=1e-9
+    )
+
+
+def test_simple_metrics_differ_from_each_other(ctx):
+    values = {m: get_metric(m).predict(ctx) for m in (1, 2, 3)}
+    assert len({round(v, 6) for v in values.values()}) == 3
+
+
+def test_base_system_predicts_itself(predictor):
+    """Every metric must predict the base system's own time exactly."""
+    ctx = predictor.context("AVUS-standard", predictor.base_machine, 64)
+    for metric in ALL_METRICS.values():
+        assert metric.predict(ctx) == pytest.approx(ctx.base_time, rel=1e-9)
+
+
+def test_absolute_mode_ignores_base_anchor(predictor):
+    rel_ctx = predictor.context("AVUS-standard", "ARL_Opteron", 64)
+    abs_ctx = PredictionContext(
+        trace=rel_ctx.trace,
+        target_probes=rel_ctx.target_probes,
+        base_probes=rel_ctx.base_probes,
+        base_time=rel_ctx.base_time,
+        mode="absolute",
+    )
+    m9 = get_metric(9)
+    assert m9.predict(abs_ctx) != pytest.approx(m9.predict(rel_ctx))
+    # simple metrics have no absolute form; Equation 1 applies regardless
+    assert get_metric(2).predict(abs_ctx) == pytest.approx(
+        get_metric(2).predict(rel_ctx)
+    )
+
+
+def test_context_validation(predictor):
+    ctx = predictor.context("AVUS-standard", "ARL_Opteron", 64)
+    with pytest.raises(ValueError):
+        PredictionContext(
+            trace=ctx.trace,
+            target_probes=ctx.target_probes,
+            base_probes=ctx.base_probes,
+            base_time=0.0,
+        )
+    with pytest.raises(ValueError):
+        PredictionContext(
+            trace=ctx.trace,
+            target_probes=ctx.target_probes,
+            base_probes=ctx.base_probes,
+            base_time=1.0,
+            mode="sideways",
+        )
+
+
+def test_metric_repr():
+    assert "HPL+MAPS" in repr(get_metric(7))

@@ -1,0 +1,43 @@
+"""Tests for ranking utilities."""
+
+import pytest
+
+from repro.core.ranking import rank_agreement, rank_systems
+
+
+def test_rank_systems_fastest_first():
+    order = rank_systems({"a": 30.0, "b": 10.0, "c": 20.0})
+    assert order == ["b", "c", "a"]
+
+
+def test_rank_systems_validation():
+    with pytest.raises(ValueError):
+        rank_systems({})
+    with pytest.raises(ValueError):
+        rank_systems({"a": 0.0})
+
+
+def test_rank_agreement_perfect():
+    times = {"a": 1.0, "b": 2.0, "c": 3.0, "d": 4.0}
+    out = rank_agreement(times, times)
+    assert out["kendall_tau"] == pytest.approx(1.0)
+    assert out["spearman_rho"] == pytest.approx(1.0)
+    assert out["n"] == 4
+
+
+def test_rank_agreement_reversed():
+    predicted = {"a": 1.0, "b": 2.0, "c": 3.0}
+    actual = {"a": 3.0, "b": 2.0, "c": 1.0}
+    out = rank_agreement(predicted, actual)
+    assert out["kendall_tau"] == pytest.approx(-1.0)
+
+
+def test_rank_agreement_common_subset_only():
+    predicted = {"a": 1.0, "b": 2.0, "c": 3.0, "z": 9.0}
+    actual = {"a": 1.5, "b": 2.5, "c": 3.5, "y": 1.0}
+    assert rank_agreement(predicted, actual)["n"] == 3
+
+
+def test_rank_agreement_needs_two_systems():
+    with pytest.raises(ValueError):
+        rank_agreement({"a": 1.0}, {"a": 2.0})

@@ -1,0 +1,65 @@
+"""Smoke tests: every example script must run and tell its story."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def _run_example(name: str, capsys, argv: list[str] | None = None) -> str:
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run_example("quickstart.py", capsys)
+    assert "simulated 'real' runtime" in out
+    assert "9-P HPL+MAPS+NET+DEP" in out
+
+
+def test_rank_systems(capsys):
+    out = _run_example("rank_systems.py", capsys)
+    assert "Kendall tau" in out
+    assert "metric #9" in out
+
+
+def test_maps_curves(capsys):
+    out = _run_example("maps_curves.py", capsys)
+    assert "Figure 1" in out
+    assert "ARL_Opteron" in out
+
+
+def test_maps_curves_csv(capsys):
+    out = _run_example("maps_curves.py", capsys, argv=["--csv"])
+    assert out.startswith("system,curve,working_set_bytes")
+    assert "unit_dep" in out
+
+
+def test_custom_application(capsys):
+    out = _run_example("custom_application.py", capsys)
+    assert "SPECTRE-demo" in out
+    assert "average absolute error" in out
+
+
+def test_procurement_study(capsys):
+    out = _run_example("procurement_study.py", capsys)
+    assert "VENDOR_Opteron26" in out
+    assert "speedup" in out
+
+
+@pytest.mark.slow
+def test_full_study(capsys):
+    out = _run_example("full_study.py", capsys)
+    assert "Qualitative shape check against the paper: PASS" in out

@@ -1,0 +1,83 @@
+"""End-to-end integration tests: the whole pipeline hangs together."""
+
+import pytest
+
+import repro
+from repro import (
+    PerformancePredictor,
+    get_application,
+    get_machine,
+    observed_time,
+    probe_machine,
+    trace_application,
+)
+
+
+def test_public_api_importable():
+    """Everything advertised in __all__ must resolve."""
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_flow():
+    """The README quickstart, verbatim."""
+    predictor = PerformancePredictor()
+    t_pred = predictor.predict("AVUS-standard", "ARL_Opteron", cpus=64, metric=9)
+    t_true = observed_time(
+        get_machine("ARL_Opteron"), get_application("AVUS-standard"), 64
+    )
+    assert t_pred > 0 and t_true > 0
+    # the headline claim: the best metric predicts within ~35%
+    assert abs(t_pred - t_true) / t_true < 0.35
+
+
+def test_probe_trace_convolve_by_hand():
+    """Manual pipeline assembly equals the facade's answer."""
+    from repro.core.convolver import Convolver, MemoryModel
+    from repro.machines.registry import BASE_SYSTEM
+
+    base = get_machine(BASE_SYSTEM)
+    target = get_machine("ASC_SC45")
+    app = get_application("HYCOM-standard")
+
+    trace = trace_application(app, 96, base)
+    conv = Convolver(MemoryModel.MAPS_DEP, network=True)
+    c_target = conv.predict(trace, probe_machine(target)).total_seconds
+    c_base = conv.predict(trace, probe_machine(base)).total_seconds
+
+    predictor = PerformancePredictor()
+    manual = c_target / c_base * predictor.base_time(app, 96)
+    facade = predictor.predict(app, target, 96, metric=9)
+    assert manual == pytest.approx(facade, rel=1e-9)
+
+
+def test_predicted_rankings_beat_random(full_study):
+    """Metric #9's cross-system ranking must strongly agree with truth."""
+    from repro.study.analysis import ranking_quality
+
+    quality = ranking_quality(full_study, 9)
+    assert quality["kendall_tau"] > 0.6
+
+
+def test_all_observed_runtimes_paper_magnitude(full_study):
+    """Simulated times-to-solution land within 4x of the paper's appendix
+    values wherever both exist (shape, not exactness)."""
+    from repro.study.paper_data import PAPER_RUNTIMES
+
+    for app, data in PAPER_RUNTIMES.items():
+        for system, times in data["times"].items():
+            for cpus, t_paper in zip(data["cpu_counts"], times):
+                t_model = full_study.observed.get((app, system, cpus))
+                if t_paper is None or t_model is None:
+                    continue
+                ratio = t_model / t_paper
+                assert 0.25 < ratio < 4.0, (app, system, cpus, ratio)
+
+
+def test_metric_error_ordering_reproduces_paper(full_study):
+    """The three coarse tiers of Table 4: simple-FP worst, memory-simple
+    middle, trace-convolution best."""
+    table = {m: s.mean_abs for m, s in full_study.overall_table().items()}
+    assert table[1] > 45  # HPL tier
+    assert 25 < table[2] < 50 and 25 < table[3] < 45  # memory-simple tier
+    assert table[6] < 30 and table[9] < 22  # convolution tier

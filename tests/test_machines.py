@@ -1,0 +1,153 @@
+"""Tests for machine specs and the HPCMP registry."""
+
+import pytest
+
+from repro.machines.registry import (
+    BASE_SYSTEM,
+    MACHINES,
+    TARGET_SYSTEMS,
+    get_machine,
+    list_machines,
+)
+from repro.machines.spec import (
+    MachineSpec,
+    MemoryLevelSpec,
+    NetworkSpec,
+    ProcessorSpec,
+)
+from repro.util.units import GB, KIB
+
+
+def test_registry_has_eleven_systems():
+    # ten targets + the NAVO p690 base
+    assert len(MACHINES) == 11
+    assert len(TARGET_SYSTEMS) == 10
+    assert BASE_SYSTEM not in TARGET_SYSTEMS
+
+
+def test_target_order_matches_paper_table5():
+    assert TARGET_SYSTEMS[0] == "ERDC_O3800"
+    assert TARGET_SYSTEMS[-1] == "ARL_Opteron"
+
+
+def test_get_machine_and_unknown():
+    spec = get_machine("ARL_Altix")
+    assert spec.architecture == "SGI_Altix_1.5GHz_NUMA"
+    with pytest.raises(KeyError, match="known systems"):
+        get_machine("CRAY_XT3")
+
+
+def test_list_machines_covers_registry():
+    assert set(list_machines()) == set(MACHINES)
+
+
+def test_cpu_counts_match_paper_table2():
+    expected = {
+        "ERDC_O3800": 504,
+        "MHPCC_P3": 736,
+        "NAVO_P3": 928,
+        "ASC_SC45": 472,
+        "MHPCC_690_1.3": 320,
+        "ARL_690_1.7": 128,
+        "ARL_Xeon": 256,
+        "ARL_Altix": 256,
+        "NAVO_655": 2832,
+        "ARL_Opteron": 2304,
+    }
+    for name, cpus in expected.items():
+        assert get_machine(name).cpus == cpus
+
+
+def test_every_machine_ends_in_main_memory():
+    for spec in MACHINES.values():
+        assert spec.memory_levels[-1].size_bytes == float("inf")
+        assert spec.main_memory.name == "MEM"
+
+
+def test_levels_ordered_and_accessible():
+    spec = get_machine("NAVO_655")
+    sizes = [lvl.size_bytes for lvl in spec.memory_levels]
+    assert sizes == sorted(sizes)
+    assert spec.level("L3").name == "L3"
+    with pytest.raises(KeyError):
+        spec.level("L9")
+
+
+def test_peak_flops_derivation():
+    spec = get_machine("ARL_Opteron")
+    assert spec.peak_flops == pytest.approx(2.2e9 * 2.0)
+
+
+def test_processor_spec_validation():
+    with pytest.raises(ValueError):
+        ProcessorSpec(clock_ghz=-1, flops_per_cycle=2, ilp_efficiency=0.5)
+    with pytest.raises(ValueError):
+        ProcessorSpec(clock_ghz=1, flops_per_cycle=2, ilp_efficiency=1.5)
+
+
+def test_memory_level_validation():
+    with pytest.raises(ValueError):
+        MemoryLevelSpec("L1", -5, 1e9, 1e-9)
+    with pytest.raises(ValueError):
+        MemoryLevelSpec("L1", 1024, 1e9, 1e-9, dependent_stream_factor=2.0)
+
+
+def test_network_contention_must_be_at_least_one():
+    with pytest.raises(ValueError, match="contention_factor"):
+        NetworkSpec("N", 1e-6, 1e9, contention_factor=0.5)
+
+
+def _proc():
+    return ProcessorSpec(clock_ghz=1, flops_per_cycle=2, ilp_efficiency=0.5)
+
+
+def _net():
+    return NetworkSpec("N", 1e-6, 1 * GB)
+
+
+def test_machine_rejects_unordered_levels():
+    with pytest.raises(ValueError, match="ordered"):
+        MachineSpec(
+            name="BAD",
+            architecture="X",
+            vendor="v",
+            model="m",
+            cpus=4,
+            processor=_proc(),
+            memory_levels=(
+                MemoryLevelSpec("L2", 1024 * KIB, 1 * GB, 1e-8),
+                MemoryLevelSpec("L1", 32 * KIB, 1 * GB, 1e-9),
+                MemoryLevelSpec("MEM", float("inf"), 1 * GB, 1e-7),
+            ),
+            network=_net(),
+        )
+
+
+def test_machine_requires_main_memory_last():
+    with pytest.raises(ValueError, match="main memory"):
+        MachineSpec(
+            name="BAD",
+            architecture="X",
+            vendor="v",
+            model="m",
+            cpus=4,
+            processor=_proc(),
+            memory_levels=(MemoryLevelSpec("L1", 32 * KIB, 1 * GB, 1e-9),),
+            network=_net(),
+        )
+
+
+def test_base_system_is_p690():
+    base = get_machine(BASE_SYSTEM)
+    assert base.model == "p690"
+    assert base.processor.clock_ghz == pytest.approx(1.3)
+
+
+def test_figure1_narrative_orderings():
+    """Opteron best main memory; p655 best L1; Altix best L2-range bandwidth."""
+    opteron = get_machine("ARL_Opteron")
+    p655 = get_machine("NAVO_655")
+    altix = get_machine("ARL_Altix")
+    assert opteron.main_memory.bandwidth > p655.main_memory.bandwidth
+    assert opteron.main_memory.bandwidth > altix.main_memory.bandwidth
+    assert p655.memory_levels[0].bandwidth > altix.memory_levels[0].bandwidth

@@ -1,0 +1,118 @@
+"""Tests for the set-associative LRU cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import CacheStats, MultiLevelCache, SetAssociativeCache
+from repro.memory.streams import strided_addresses
+
+from tests.conftest import make_machine
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError, match="power of two"):
+        SetAssociativeCache(size_bytes=3 * 64 * 4, line_bytes=48)
+    with pytest.raises(ValueError):
+        SetAssociativeCache(size_bytes=100, line_bytes=64, ways=4)
+
+
+def test_cold_miss_then_hit():
+    c = SetAssociativeCache(4096, line_bytes=64, ways=4)
+    assert c.access(0) is False
+    assert c.access(8) is True  # same line
+    assert c.access(64) is False  # next line
+    assert c.hits == 1 and c.misses == 2
+
+
+def test_working_set_fitting_cache_all_hits_after_warmup():
+    c = SetAssociativeCache(4096, line_bytes=64, ways=4)
+    addrs = strided_addresses(512, 1, working_set=2048)
+    c.simulate(addrs[:256])  # warm
+    c.hits = c.misses = 0
+    mask = c.simulate(addrs[256:])
+    assert mask.all()
+
+
+def test_lru_eviction_order():
+    # direct-mapped-ish: 1 set, 2 ways, 64B lines
+    c = SetAssociativeCache(128, line_bytes=64, ways=2)
+    c.access(0)      # A
+    c.access(64)     # B  (set full)
+    c.access(0)      # touch A -> B is LRU
+    c.access(128)    # C evicts B
+    assert c.access(0) is True     # A still resident
+    assert c.access(64) is False   # B was evicted
+
+
+def test_cyclic_sweep_larger_than_cache_thrashes():
+    c = SetAssociativeCache(4096, line_bytes=64, ways=4)
+    addrs = strided_addresses(2000, 8, working_set=1 << 20)  # 64B steps, 1 MiB
+    mask = c.simulate(addrs)
+    assert mask.mean() < 0.05  # LRU + cyclic sweep = almost no reuse
+
+
+def test_reset_clears_state():
+    c = SetAssociativeCache(4096)
+    c.access(0)
+    c.reset()
+    assert c.hits == 0 and c.misses == 0
+    assert c.access(0) is False
+
+
+def test_hit_rate_zero_when_empty():
+    c = SetAssociativeCache(4096)
+    assert c.hit_rate() == 0.0
+
+
+def test_multilevel_service_fractions_sum_to_one():
+    ml = MultiLevelCache.of(make_machine())
+    rng = np.random.default_rng(0)
+    addrs = rng.integers(0, 1 << 24, size=3000) * 8
+    stats = ml.simulate(addrs)
+    fracs = stats.service_fractions()
+    assert sum(fracs.values()) == pytest.approx(1.0)
+    assert stats.total == 3000
+
+
+def test_multilevel_small_ws_hits_l1():
+    ml = MultiLevelCache.of(make_machine())
+    addrs = strided_addresses(4096, 1, working_set=8 * 1024)
+    stats = ml.simulate(addrs)
+    fracs = stats.service_fractions()
+    assert fracs["L1"] > 0.9
+
+
+def test_multilevel_huge_random_ws_hits_memory():
+    ml = MultiLevelCache.of(make_machine())
+    rng = np.random.default_rng(1)
+    addrs = rng.integers(0, 1 << 32, size=4000) * 8
+    stats = ml.simulate(addrs)
+    assert stats.service_fractions()["MEM"] > 0.8
+
+
+def test_multilevel_of_names_match_machine():
+    ml = MultiLevelCache.of(make_machine())
+    assert ml.names == ["L1", "L2"]
+
+
+def test_empty_stats_fractions():
+    stats = CacheStats(level_names=["L1"], hits=[0], memory_accesses=0, total=0)
+    assert stats.service_fractions() == {"L1": 0.0, "MEM": 0.0}
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=300))
+def test_hits_plus_misses_equals_accesses(addresses):
+    c = SetAssociativeCache(8192, line_bytes=64, ways=2)
+    c.simulate(np.asarray(addresses))
+    assert c.hits + c.misses == len(addresses)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=2, max_size=200))
+def test_immediate_repeat_always_hits(addresses):
+    c = SetAssociativeCache(8192, line_bytes=64, ways=2)
+    for a in addresses:
+        c.access(a)
+        assert c.access(a) is True

@@ -1,0 +1,85 @@
+"""Tests for access-pattern descriptors and stride histograms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.patterns import (
+    SHORT_STRIDE_MAX,
+    AccessPattern,
+    StrideClass,
+    StrideHistogram,
+)
+
+
+def test_access_pattern_stride_bytes():
+    unit = AccessPattern(working_set=1 << 20)
+    assert unit.stride_bytes == 8
+    short = AccessPattern(working_set=1 << 20, stride=StrideClass.SHORT, stride_elems=4)
+    assert short.stride_bytes == 32
+
+
+def test_random_pattern_has_no_stride_bytes():
+    p = AccessPattern(working_set=1 << 20, stride=StrideClass.RANDOM)
+    with pytest.raises(ValueError):
+        _ = p.stride_bytes
+
+
+def test_short_stride_bounds():
+    with pytest.raises(ValueError):
+        AccessPattern(working_set=1024, stride=StrideClass.SHORT, stride_elems=1)
+    with pytest.raises(ValueError):
+        AccessPattern(
+            working_set=1024, stride=StrideClass.SHORT, stride_elems=SHORT_STRIDE_MAX + 1
+        )
+
+
+def test_pattern_rejects_nonpositive_working_set():
+    with pytest.raises(ValueError):
+        AccessPattern(working_set=0)
+
+
+def test_chase_fraction_validated():
+    with pytest.raises(ValueError):
+        AccessPattern(working_set=1024, chase_fraction=1.5)
+
+
+def test_histogram_must_sum_to_one():
+    with pytest.raises(ValueError, match="sum to 1"):
+        StrideHistogram(unit=0.5, short=0.2, random=0.2)
+
+
+def test_histogram_normalised():
+    h = StrideHistogram.normalised(2, 1, 1)
+    assert h.unit == pytest.approx(0.5)
+    assert h.short == pytest.approx(0.25)
+    assert h.random == pytest.approx(0.25)
+
+
+def test_histogram_strided_combines_unit_and_short():
+    h = StrideHistogram(unit=0.6, short=0.3, random=0.1)
+    assert h.strided == pytest.approx(0.9)
+
+
+def test_histogram_fraction_lookup():
+    h = StrideHistogram(unit=0.6, short=0.3, random=0.1)
+    assert h.fraction(StrideClass.UNIT) == pytest.approx(0.6)
+    assert h.fraction(StrideClass.SHORT) == pytest.approx(0.3)
+    assert h.fraction(StrideClass.RANDOM) == pytest.approx(0.1)
+
+
+def test_normalised_rejects_all_zero():
+    with pytest.raises(ValueError):
+        StrideHistogram.normalised(0, 0, 0)
+
+
+@given(
+    st.floats(min_value=0, max_value=100),
+    st.floats(min_value=0, max_value=100),
+    st.floats(min_value=0, max_value=100),
+)
+def test_normalised_always_sums_to_one(u, s, r):
+    if u + s + r <= 0:
+        return
+    h = StrideHistogram.normalised(u, s, r)
+    assert h.unit + h.short + h.random == pytest.approx(1.0)
+    assert h.strided + h.random == pytest.approx(1.0)

@@ -1,0 +1,70 @@
+"""Tests for synthetic address-stream generators."""
+
+import numpy as np
+import pytest
+
+from repro.memory.streams import (
+    pointer_chase_addresses,
+    random_addresses,
+    strided_addresses,
+)
+from repro.util.rng import stable_rng
+
+
+def test_strided_unit_addresses():
+    a = strided_addresses(10, 1, element_bytes=8, working_set=1 << 20)
+    np.testing.assert_array_equal(np.diff(a), 8)
+
+
+def test_strided_wraps_at_working_set():
+    a = strided_addresses(20, 1, element_bytes=8, working_set=80)  # 10 elements
+    assert a.max() < 80
+    np.testing.assert_array_equal(a[:10], a[10:])
+
+
+def test_strided_stride_spacing():
+    a = strided_addresses(5, 4, element_bytes=8, working_set=1 << 20)
+    np.testing.assert_array_equal(np.diff(a), 32)
+
+
+def test_strided_base_offset():
+    a = strided_addresses(4, 1, working_set=1 << 12, base=4096)
+    assert a.min() >= 4096
+
+
+def test_random_addresses_within_bounds_and_aligned():
+    rng = stable_rng("t", 1)
+    a = random_addresses(1000, 1 << 16, rng)
+    assert a.min() >= 0 and a.max() < (1 << 16)
+    assert (a % 8 == 0).all()
+
+
+def test_random_addresses_deterministic_with_rng():
+    a = random_addresses(100, 1 << 16, stable_rng("k"))
+    b = random_addresses(100, 1 << 16, stable_rng("k"))
+    np.testing.assert_array_equal(a, b)
+
+
+def test_pointer_chase_visits_all_before_repeat():
+    ws_elems = 64
+    rng = stable_rng("chase")
+    a = pointer_chase_addresses(ws_elems, ws_elems * 8, rng)
+    # one full cycle touches every element exactly once
+    assert len(np.unique(a)) == ws_elems
+
+
+def test_pointer_chase_is_cyclic():
+    ws_elems = 32
+    rng = stable_rng("chase2")
+    a = pointer_chase_addresses(2 * ws_elems, ws_elems * 8, rng)
+    np.testing.assert_array_equal(a[:ws_elems], a[ws_elems:])
+
+
+def test_generators_reject_bad_args():
+    rng = stable_rng("x")
+    with pytest.raises(ValueError):
+        strided_addresses(0, 1)
+    with pytest.raises(ValueError):
+        random_addresses(10, 4, rng)  # working set smaller than one element
+    with pytest.raises(ValueError):
+        pointer_chase_addresses(0, 1024, rng)

@@ -1,0 +1,94 @@
+"""Tests for the interconnect model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machines.spec import NetworkSpec
+from repro.network.model import CollectiveKind, NetworkModel
+from repro.util.units import GB, MIB
+
+
+@pytest.fixture()
+def net():
+    return NetworkModel(NetworkSpec("Test", 5e-6, 1 * GB, collective_efficiency=0.8))
+
+
+def test_point_to_point_hockney(net):
+    assert net.point_to_point(0) == pytest.approx(5e-6)
+    assert net.point_to_point(1 * GB) == pytest.approx(5e-6 + 1.0)
+
+
+def test_ping_pong_is_twice_one_way(net):
+    assert net.ping_pong(1024) == pytest.approx(2 * net.point_to_point(1024))
+
+
+def test_effective_bandwidth_approaches_peak(net):
+    assert net.effective_bandwidth(64 * MIB) == pytest.approx(1 * GB, rel=0.01)
+    assert net.effective_bandwidth(8) < 0.01 * GB  # latency dominated
+
+
+def test_negative_size_rejected(net):
+    with pytest.raises(ValueError):
+        net.point_to_point(-1)
+
+
+def test_single_rank_collectives_free(net):
+    for kind in CollectiveKind:
+        assert net.collective(kind, 1) == 0.0
+
+
+def test_allreduce_grows_logarithmically(net):
+    t4 = net.allreduce(4)
+    t16 = net.allreduce(16)
+    t256 = net.allreduce(256)
+    assert t4 < t16 < t256
+    # log2(256)/log2(16) = 2, so roughly double
+    assert t256 / t16 == pytest.approx(2.0, rel=0.1)
+
+
+def test_allreduce_costs_two_sweeps_vs_broadcast(net):
+    bcast = net.collective(CollectiveKind.BROADCAST, 64, 1024)
+    allred = net.collective(CollectiveKind.ALLREDUCE, 64, 1024)
+    assert allred == pytest.approx(2 * bcast)
+
+
+def test_barrier_has_no_payload_cost(net):
+    b_small = net.collective(CollectiveKind.BARRIER, 64, 8)
+    b_big = net.collective(CollectiveKind.BARRIER, 64, 1 * MIB)
+    assert b_small == b_big
+
+
+def test_alltoall_scales_with_ranks(net):
+    t8 = net.collective(CollectiveKind.ALLTOALL, 8, 1024)
+    t64 = net.collective(CollectiveKind.ALLTOALL, 64, 1024)
+    assert t64 / t8 == pytest.approx(63 / 7, rel=0.01)
+
+
+def test_collective_efficiency_slows_trees():
+    fast = NetworkModel(NetworkSpec("F", 5e-6, 1 * GB, collective_efficiency=1.0))
+    slow = NetworkModel(NetworkSpec("S", 5e-6, 1 * GB, collective_efficiency=0.5))
+    assert slow.allreduce(64) == pytest.approx(2 * fast.allreduce(64))
+
+
+def test_rejects_nonpositive_ranks(net):
+    with pytest.raises(ValueError):
+        net.collective(CollectiveKind.ALLREDUCE, 0)
+
+
+@settings(max_examples=40)
+@given(
+    size=st.floats(min_value=0, max_value=1e9),
+    ranks=st.integers(min_value=2, max_value=4096),
+)
+def test_collectives_always_positive(size, ranks):
+    net = NetworkModel(NetworkSpec("T", 5e-6, 1 * GB))
+    for kind in CollectiveKind:
+        assert net.collective(kind, ranks, size) > 0
+
+
+@settings(max_examples=40)
+@given(s1=st.floats(min_value=0, max_value=1e8), s2=st.floats(min_value=0, max_value=1e8))
+def test_p2p_monotone_in_size(s1, s2):
+    net = NetworkModel(NetworkSpec("T", 5e-6, 1 * GB))
+    lo, hi = sorted((s1, s2))
+    assert net.point_to_point(lo) <= net.point_to_point(hi)

@@ -1,0 +1,98 @@
+"""Tests for the HPL / STREAM / GUPS probes and the cached suite."""
+
+import pytest
+
+from repro.machines.registry import MACHINES, get_machine
+from repro.probes.gups import run_gups
+from repro.probes.hpl import run_hpl
+from repro.probes.stream import run_stream
+from repro.probes.suite import clear_probe_cache, probe_machine
+
+from tests.conftest import make_machine
+
+
+def test_hpl_rmax_below_peak_above_floor():
+    for spec in MACHINES.values():
+        result = run_hpl(spec)
+        assert 0.3 * spec.peak_flops < result.rmax_flops < spec.peak_flops
+        assert 0.3 < result.efficiency < 0.95
+
+
+def test_hpl_rejects_tiny_matrix(test_machine):
+    with pytest.raises(ValueError):
+        run_hpl(test_machine, n=16)
+
+
+def test_hpl_era_realistic_efficiencies():
+    """Itanium (Altix) and Opteron led Rmax/Rpeak; Power4 trailed."""
+    eff = {name: run_hpl(m).efficiency for name, m in MACHINES.items()}
+    assert eff["ARL_Altix"] > eff["NAVO_690"]
+    assert eff["ARL_Opteron"] > eff["NAVO_690"]
+
+
+def test_stream_is_main_memory_class_bandwidth(test_machine):
+    result = run_stream(test_machine)
+    mem_bw = test_machine.main_memory.bandwidth
+    # at 4x cache with residual hits STREAM lands near (slightly above) mem bw
+    assert mem_bw * 0.8 < result.triad < mem_bw * 2.0
+
+
+def test_stream_kernels_all_reported(test_machine):
+    r = run_stream(test_machine)
+    for v in (r.copy, r.scale, r.add, r.triad):
+        assert v > 0
+    assert r.array_bytes >= 4 * test_machine.caches[-1].size_bytes
+
+
+def test_stream_copy_not_slower_than_triad(test_machine):
+    r = run_stream(test_machine)
+    assert r.copy >= r.triad * 0.9
+
+
+def test_gups_latency_bound(test_machine):
+    r = run_gups(test_machine)
+    mem = test_machine.main_memory
+    expected_bw = min(8.0 * mem.mlp / mem.latency, mem.bandwidth)
+    assert r.random_bandwidth == pytest.approx(expected_bw, rel=0.25)
+    assert r.gups == pytest.approx(r.random_bandwidth / 16.0 / 1e9)
+
+
+def test_gups_table_exceeds_caches(test_machine):
+    r = run_gups(test_machine)
+    assert r.table_bytes >= 8 * test_machine.caches[-1].size_bytes
+
+
+def test_gups_much_slower_than_stream(test_machine):
+    assert run_gups(test_machine).random_bandwidth < run_stream(test_machine).triad
+
+
+def test_paper_narrative_opteron_wins_gups():
+    gups = {name: run_gups(m).gups for name, m in MACHINES.items()}
+    assert max(gups, key=gups.get) == "ARL_Opteron"
+    assert min(gups, key=gups.get) in ("MHPCC_P3", "NAVO_P3")
+
+
+def test_probe_suite_caches():
+    m = get_machine("ARL_Xeon")
+    a = probe_machine(m)
+    b = probe_machine(m)
+    assert a is b
+    clear_probe_cache()
+    c = probe_machine(m)
+    assert c is not a
+    assert c.hpl.rmax_flops == a.hpl.rmax_flops  # deterministic probes
+
+
+def test_suite_summary_keys():
+    summary = probe_machine(get_machine("NAVO_655")).summary()
+    assert "HPL Rmax (GF/s)" in summary
+    assert all(v > 0 for v in summary.values())
+
+
+def test_simple_rate_lookup():
+    probes = probe_machine(get_machine("NAVO_655"))
+    assert probes.simple_rate("hpl") == probes.hpl.rmax_flops
+    assert probes.simple_rate("stream") == probes.stream.triad
+    assert probes.simple_rate("gups") == probes.gups.random_bandwidth
+    with pytest.raises(KeyError):
+        probes.simple_rate("linpack")

@@ -1,0 +1,143 @@
+"""Additional cross-module property tests (hypothesis).
+
+These pin down the algebra the whole study rests on: Equation 1's ratio
+structure, the convolver's monotonicity in rates, and the hierarchy's
+consistency between the probe view and the executor view.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import signed_error, summarise
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.patterns import AccessPattern, StrideClass
+
+from tests.conftest import make_machine
+
+
+@given(
+    t_base=st.floats(min_value=1.0, max_value=1e6),
+    r_base=st.floats(min_value=1e6, max_value=1e12),
+    k=st.floats(min_value=0.1, max_value=10.0),
+)
+def test_equation1_ratio_algebra(t_base, r_base, k):
+    """A target k-times faster than base is predicted k-times quicker."""
+    predicted = (r_base / (k * r_base)) * t_base
+    assert predicted == pytest.approx(t_base / k)
+
+
+@given(
+    errors=st.lists(
+        st.floats(min_value=-400.0, max_value=400.0), min_size=2, max_size=40
+    ),
+    shift=st.floats(min_value=-50.0, max_value=50.0),
+)
+def test_error_summary_bias_shifts_linearly(errors, shift):
+    """Adding a constant bias to every signed error moves the mean signed
+    error by exactly that constant."""
+    a = summarise(errors)
+    b = summarise([e + shift for e in errors])
+    assert b.mean_signed == pytest.approx(a.mean_signed + shift, abs=1e-9)
+
+
+@given(
+    actual=st.floats(min_value=0.01, max_value=1e6),
+    scale=st.floats(min_value=0.01, max_value=100.0),
+)
+def test_signed_error_scale_invariant(actual, scale):
+    """Equation 2 is dimensionless: rescaling both times changes nothing."""
+    predicted = actual * 1.37
+    assert signed_error(predicted * scale, actual * scale) == pytest.approx(
+        signed_error(predicted, actual), rel=1e-9
+    )
+
+
+@settings(max_examples=30)
+@given(
+    ws=st.floats(min_value=8192, max_value=2**33),
+    factor=st.floats(min_value=1.1, max_value=8.0),
+)
+def test_hierarchy_bandwidth_scales_with_uniform_speedup(ws, factor):
+    """Scaling every level's bandwidth and latency by k scales every
+    pattern's achieved bandwidth by k (the invariance the Equation 1
+    anchoring exploits)."""
+    machine = make_machine()
+    fast_levels = tuple(
+        dataclasses.replace(
+            lvl, bandwidth=lvl.bandwidth * factor, latency=lvl.latency / factor
+        )
+        for lvl in machine.memory_levels
+    )
+    base = MemoryHierarchy(machine.memory_levels)
+    fast = MemoryHierarchy(fast_levels)
+    for stride in (StrideClass.UNIT, StrideClass.RANDOM):
+        for dependent in (False, True):
+            p = AccessPattern(working_set=ws, stride=stride, dependent=dependent)
+            assert fast.effective_bandwidth(p) == pytest.approx(
+                base.effective_bandwidth(p) * factor, rel=1e-9
+            )
+
+
+@settings(max_examples=30)
+@given(ws=st.floats(min_value=8192, max_value=2**33))
+def test_maps_probe_agrees_with_hierarchy(ws):
+    """The MAPS curve is an honest sampling of the hierarchy surface: a
+    lookup between grid points lies between the neighbouring true values."""
+    from repro.probes.maps import run_maps
+
+    machine = make_machine()
+    maps = run_maps(machine)
+    hierarchy = MemoryHierarchy.of(machine)
+    truth = hierarchy.effective_bandwidth(AccessPattern(working_set=ws))
+    measured = maps.unit.lookup(ws)
+    # interpolation error is bounded by the step between adjacent samples
+    assert measured == pytest.approx(truth, rel=0.35)
+
+
+@settings(max_examples=20)
+@given(
+    counts=st.tuples(
+        st.floats(min_value=10, max_value=1e4),
+        st.floats(min_value=10, max_value=1e4),
+    )
+)
+def test_convolver_additive_over_blocks(counts, base_machine, opteron_probes):
+    """Convolved compute of a two-block trace equals the sum of its
+    single-block halves (block independence, as the paper's convolver)."""
+    from repro.core.convolver import Convolver, MemoryModel
+    from repro.memory.patterns import StrideHistogram
+    from repro.tracing.trace import ApplicationTrace, BlockTrace
+
+    def block(name, n):
+        return BlockTrace(
+            name=name,
+            fp_ops=n * 100,
+            loads=n * 10,
+            stores=n,
+            stride=StrideHistogram(unit=0.8, short=0.1, random=0.1),
+            working_set=1 << 22,
+            dependency_weight=0.5,
+        )
+
+    def trace(blocks):
+        return ApplicationTrace(
+            application="T",
+            cpus=4,
+            base_machine=base_machine.name,
+            timesteps=3,
+            blocks=blocks,
+            comm=(),
+            sample_size=64,
+        )
+
+    conv = Convolver(MemoryModel.MAPS_DEP)
+    a, b = (block(f"b{i}", n) for i, n in enumerate(counts))
+    combined = conv.predict(trace((a, b)), opteron_probes).compute_seconds
+    separate = (
+        conv.predict(trace((a,)), opteron_probes).compute_seconds
+        + conv.predict(trace((b,)), opteron_probes).compute_seconds
+    )
+    assert combined == pytest.approx(separate, rel=1e-9)

@@ -1,0 +1,74 @@
+"""Tests for ASCII charts and exports."""
+
+import pytest
+
+from repro.reporting.ascii_charts import bar_chart, line_chart
+from repro.reporting.export import result_to_csv, tables_to_text
+from repro.util.tables import Table
+
+
+def test_line_chart_renders_series():
+    text = line_chart(
+        {"sys_a": ([1e3, 1e6, 1e9], [10.0, 5.0, 1.0])},
+        title="BW",
+        x_label="size",
+        y_label="GB/s",
+    )
+    assert "BW" in text
+    assert "o sys_a" in text
+    assert "+" + "-" * 72 in text
+
+
+def test_line_chart_multiple_markers():
+    text = line_chart(
+        {
+            "a": ([1, 10], [1.0, 2.0]),
+            "b": ([1, 10], [2.0, 4.0]),
+        }
+    )
+    assert "o a" in text and "x b" in text
+
+
+def test_line_chart_validation():
+    with pytest.raises(ValueError):
+        line_chart({})
+    with pytest.raises(ValueError):
+        line_chart({"a": ([1], [1])}, width=5)
+
+
+def test_bar_chart_scales_to_max():
+    text = bar_chart({"m1": 50.0, "m2": 25.0}, width=40)
+    lines = text.splitlines()
+    bar1 = lines[0].count("#")
+    bar2 = lines[1].count("#")
+    assert bar1 == 40
+    assert bar2 == 20
+
+
+def test_bar_chart_errors_annotated():
+    text = bar_chart({"m": 10.0}, errors={"m": 3.0})
+    assert "+/-3" in text
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ValueError):
+        bar_chart({})
+    with pytest.raises(ValueError):
+        bar_chart({"a": 0.0})
+
+
+def test_result_to_csv(full_study):
+    csv = result_to_csv(full_study)
+    lines = csv.strip().splitlines()
+    assert lines[0].startswith("application,cpus,system,metric")
+    assert len(lines) == full_study.n_predictions + 1
+    assert "AVUS-standard" in lines[1]
+
+
+def test_tables_to_text():
+    t1 = Table(title="A", columns=["x"])
+    t1.add_row(1)
+    t2 = Table(title="B", columns=["y"])
+    t2.add_row(2)
+    text = tables_to_text([t1, t2])
+    assert "A" in text and "B" in text

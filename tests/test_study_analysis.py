@@ -1,0 +1,64 @@
+"""Tests for study analyses — including the paper's qualitative claims."""
+
+import pytest
+
+from repro.study.analysis import (
+    best_predictor_counts,
+    case_errors,
+    pairwise_win_counts,
+    ranking_quality,
+    shape_check,
+)
+
+
+def test_fifteen_cases(full_study):
+    assert len(case_errors(full_study)) == 15
+
+
+def test_shape_check_passes(full_study):
+    """The paper's qualitative Table 4 claims must reproduce.
+
+    This is the headline assertion of the whole reproduction.
+    """
+    check = shape_check(full_study)
+    assert check.passed, f"shape claims failed: {check.failures()}"
+
+
+def test_metric9_best_in_most_cases(full_study):
+    """Paper: Metric #9 best (or tied) in 10 of 15 cases; require a majority
+    of best-or-tied cases for the top predictive metrics."""
+    counts = best_predictor_counts(full_study)
+    best_metric = max(counts, key=counts.get)
+    assert best_metric in (6, 9)
+    assert counts.get(9, 0) >= 5
+
+
+def test_hpl_never_best(full_study):
+    counts = best_predictor_counts(full_study)
+    assert counts.get(1, 0) == 0
+    assert counts.get(4, 0) == 0
+
+
+def test_gups_beats_stream_in_majority(full_study):
+    """Paper: GUPS beat STREAM in 11 of 15 cases; require a majority."""
+    outcome = pairwise_win_counts(full_study, 3, 2)
+    assert outcome["wins"] > outcome["losses"]
+
+
+def test_stream_beats_hpl_in_majority(full_study):
+    outcome = pairwise_win_counts(full_study, 2, 1)
+    assert outcome["wins"] > outcome["losses"]
+
+
+def test_ranking_quality_improves_with_metric(full_study):
+    """Metric #9 must rank systems better than HPL does."""
+    hpl = ranking_quality(full_study, 1)
+    best = ranking_quality(full_study, 9)
+    assert best["kendall_tau"] > hpl["kendall_tau"]
+    assert best["kendall_tau"] > 0.5
+    assert hpl["cases"] == 15
+
+
+def test_case_errors_positive(full_study):
+    for _case, row in case_errors(full_study).items():
+        assert all(v >= 0 for v in row.values())

@@ -1,0 +1,57 @@
+"""Tests for the tracing-cost accounting."""
+
+import math
+
+import pytest
+
+from repro.study.cost import COUNTER_DILATION, TRACING_DILATION, metric_costs
+
+
+@pytest.fixture(scope="module")
+def costs(full_study):
+    return {c.metric: c for c in metric_costs(full_study)}
+
+
+def test_all_metrics_priced(costs):
+    assert sorted(costs) == list(range(1, 10))
+
+
+def test_simple_metrics_are_free(costs):
+    for m in (1, 2, 3):
+        assert costs[m].requirement == "none"
+        assert costs[m].acquisition_hours == 0.0
+
+
+def test_counter_metrics_near_native_cost(costs):
+    for m in (4, 5):
+        assert costs[m].requirement == "counters"
+        assert costs[m].acquisition_hours > 0
+
+
+def test_tracing_metrics_pay_thirty_x(costs):
+    for m in (6, 7, 8, 9):
+        assert costs[m].requirement == "tracing"
+        assert costs[m].acquisition_hours == pytest.approx(
+            costs[4].acquisition_hours / COUNTER_DILATION * TRACING_DILATION
+        )
+
+
+def test_tracing_cost_shared_across_metrics(costs):
+    """Paper: 'once tracing is completed for any one metric it is readily
+    available for others' — so #6-#9 share one figure."""
+    hours = {costs[m].acquisition_hours for m in (6, 7, 8, 9)}
+    assert len(hours) == 1
+
+
+def test_base_hours_magnitude(costs):
+    """15 base-system runs of hours-scale apps: tens of hours uninstrumented,
+    so tracing costs hundreds to ~2000 hours."""
+    traced = costs[9].acquisition_hours
+    assert 100 < traced < 5000
+
+
+def test_error_reduction_per_hour(costs):
+    assert math.isinf(costs[3].error_reduction_per_hour)  # free and better
+    assert costs[9].error_reduction_per_hour > 0
+    # counters buy nothing over free HPL (metric 4 == metric 1)
+    assert costs[4].error_reduction_per_hour == pytest.approx(0.0, abs=1e-6)

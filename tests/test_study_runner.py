@@ -1,0 +1,94 @@
+"""Tests for the full-study runner."""
+
+import pytest
+
+from repro.study.runner import StudyConfig, run_study
+
+
+def test_full_matrix_sizes(full_study):
+    """145 observed runs (150 minus the 5 cells exceeding system sizes),
+    9 predictions each."""
+    assert full_study.n_runs == 145
+    assert full_study.n_predictions == 145 * 9
+
+
+def test_blank_cells_match_system_sizes(full_study):
+    # MHPCC_690_1.3 has 320 cpus: AVUS-large @384 must be blank
+    assert ("AVUS-large", "MHPCC_690_1.3", 384) not in full_study.observed
+    # ARL_690_1.7 has 128 cpus: AVUS-large @256/@384 blank
+    assert ("AVUS-large", "ARL_690_1.7", 256) not in full_study.observed
+    assert ("AVUS-large", "ARL_690_1.7", 384) not in full_study.observed
+    assert ("AVUS-large", "ARL_690_1.7", 128) in full_study.observed
+
+
+def test_observed_times_positive(full_study):
+    assert all(t > 0 for t in full_study.observed.values())
+
+
+def test_select_filters(full_study):
+    recs = full_study.select(metric=9, system="ARL_Opteron", application="AVUS-standard")
+    assert len(recs) == 3  # three cpu counts
+    assert {r.cpus for r in recs} == {32, 64, 128}
+    one = full_study.select(metric=1, system="NAVO_P3", application="RFCTH-standard", cpus=16)
+    assert len(one) == 1
+
+
+def test_records_consistent_with_equation2(full_study):
+    rec = full_study.records[0]
+    expected = (rec.predicted_seconds - rec.actual_seconds) / rec.actual_seconds * 100
+    assert rec.error_percent == pytest.approx(expected)
+    assert rec.abs_error_percent == abs(rec.error_percent)
+
+
+def test_metric_summaries_complete(full_study):
+    table = full_study.overall_table()
+    assert sorted(table) == list(range(1, 10))
+    for summary in table.values():
+        assert summary.count == 145
+
+
+def test_system_table_rows(full_study):
+    table = full_study.system_table()
+    assert len(table) == 10
+    # every system ran at least one case of each metric
+    for row in table.values():
+        assert all(v == v for v in row.values())  # no NaNs
+
+
+def test_app_case_errors_shape(full_study):
+    errors = full_study.app_case_errors("HYCOM-standard")
+    assert sorted(errors) == [59, 96, 124]
+    for row in errors.values():
+        assert sorted(row) == list(range(1, 10))
+
+
+def test_observed_times_table(full_study):
+    table = full_study.observed_times("AVUS-large")
+    assert table["ARL_690_1.7"][0] is not None
+    assert table["ARL_690_1.7"][1] is None  # blank cell
+    assert len(table) == 10
+
+
+def test_study_is_deterministic(full_study):
+    again = run_study()
+    assert again.records[0].error_percent == full_study.records[0].error_percent
+    assert again.n_predictions == full_study.n_predictions
+
+
+def test_config_variant():
+    cfg = StudyConfig().variant(noise=False, metrics=(1, 9))
+    assert cfg.noise is False
+    assert cfg.metrics == (1, 9)
+    assert StudyConfig().noise is True  # original untouched
+
+
+def test_reduced_study():
+    cfg = StudyConfig(
+        applications=("RFCTH-standard",),
+        systems=("ARL_Opteron", "NAVO_655"),
+        metrics=(1, 6, 9),
+    )
+    result = run_study(cfg)
+    assert result.n_runs == 6
+    assert result.n_predictions == 18
+    assert sorted(result.overall_table()) == [1, 6, 9]

@@ -1,0 +1,85 @@
+"""Tests for the paper-table builders."""
+
+import pytest
+
+from repro.study import tables as T
+from repro.study.paper_data import PAPER_RUNTIMES, PAPER_TABLE4, PAPER_TABLE5
+
+
+def test_table1_lists_nine_architectures():
+    text = T.table1_architectures().render()
+    for vendor in ("SGI", "IBM", "HP", "LNX"):
+        assert vendor in text
+
+
+def test_table2_lists_systems():
+    text = T.table2_systems().render()
+    assert "NAVO_655" in text and "2832" in text
+
+
+def test_table3_lists_nine_metrics():
+    table = T.table3_metrics()
+    assert len(table.rows) == 9
+    assert "HPL+MAPS+NET+DEP" in table.render()
+
+
+def test_table4_has_paper_columns(full_study):
+    table = T.table4_overall(full_study)
+    assert len(table.rows) == 9
+    text = table.render()
+    assert "Paper avg" in text
+    # metric 1 row carries the paper's 63
+    row1 = table.rows[0]
+    assert row1[4] == 63.0
+
+
+def test_table5_rows_and_overall(full_study):
+    table = T.table5_systems(full_study, include_paper=True)
+    assert len(table.rows) == 11  # 10 systems + OVERALL
+    assert table.rows[-1][0] == "OVERALL"
+    text = table.render()
+    assert "ERDC_O3800" in text
+
+
+def test_figure1_series_three_systems():
+    series = T.figure1_series()
+    assert set(series) == {"ARL_Opteron", "ARL_Altix", "NAVO_655"}
+    for sizes, bws in series.values():
+        assert sizes.shape == bws.shape
+        assert (bws > 0).all()
+
+
+def test_figure2_series_matches_table4(full_study):
+    series = T.figure2_series(full_study)
+    table = full_study.overall_table()
+    for m, (err, std) in series.items():
+        assert err == pytest.approx(table[m].mean_abs)
+        assert std == pytest.approx(table[m].std_abs)
+
+
+def test_figures3_7_tables(full_study):
+    for app in PAPER_RUNTIMES:
+        table = T.figures3_7_series(full_study, app)
+        assert len(table.rows) == 9
+        assert app in table.title
+
+
+def test_appendix_tables_align_with_paper_blanks(full_study):
+    table = T.appendix_runtimes(full_study, "AVUS-large")
+    row = next(r for r in table.rows if r[0] == "ARL_690_1.7")
+    # our blank in the same place the paper is blank (256/384 > 128 cpus)
+    assert row[1] is not None
+    assert row[2] is None and row[3] is None
+
+
+def test_paper_data_integrity():
+    # Table 5's OVERALL row must equal Table 4's error column
+    from repro.study.paper_data import PAPER_TABLE5_OVERALL
+
+    assert PAPER_TABLE5_OVERALL == tuple(PAPER_TABLE4[m][0] for m in range(1, 10))
+    # every Table 5 row has 9 metric entries
+    assert all(len(v) == 9 for v in PAPER_TABLE5.values())
+    # appendix tables cover all ten systems
+    for data in PAPER_RUNTIMES.values():
+        assert len(data["times"]) == 10
+        assert len(data["cpu_counts"]) == 3

@@ -1,0 +1,94 @@
+"""Tests for trace/probe JSON serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps.suite import get_application
+from repro.machines.registry import BASE_SYSTEM, get_machine
+from repro.probes.suite import probe_machine
+from repro.tracing.metasim import trace_application
+from repro.tracing.serialize import (
+    probes_from_json,
+    probes_to_json,
+    trace_from_json,
+    trace_to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return trace_application(
+        get_application("RFCTH-standard"), 32, get_machine(BASE_SYSTEM)
+    )
+
+
+@pytest.fixture(scope="module")
+def probes():
+    return probe_machine(get_machine("ARL_Altix"))
+
+
+def test_trace_roundtrip(trace):
+    restored = trace_from_json(trace_to_json(trace))
+    assert restored == trace
+
+
+def test_trace_json_is_valid_json(trace):
+    doc = json.loads(trace_to_json(trace))
+    assert doc["kind"] == "application_trace"
+    assert doc["application"] == "RFCTH-standard"
+    assert len(doc["blocks"]) == 4
+
+
+def test_probes_roundtrip_scalars(probes):
+    restored = probes_from_json(probes_to_json(probes))
+    assert restored.machine == probes.machine
+    assert restored.hpl == probes.hpl
+    assert restored.stream == probes.stream
+    assert restored.gups == probes.gups
+    assert restored.netbench.latency == probes.netbench.latency
+
+
+def test_probes_roundtrip_curves(probes):
+    restored = probes_from_json(probes_to_json(probes))
+    for kind in ("unit", "random", "unit_dep", "random_dep"):
+        np.testing.assert_array_equal(
+            restored.maps.curve(kind).sizes, probes.maps.curve(kind).sizes
+        )
+        np.testing.assert_array_equal(
+            restored.maps.curve(kind).bandwidths, probes.maps.curve(kind).bandwidths
+        )
+
+
+def test_restored_probes_convolve_identically(trace, probes):
+    """Predictions from restored probes must be bit-identical."""
+    from repro.core.convolver import Convolver, MemoryModel
+
+    restored = probes_from_json(probes_to_json(probes))
+    conv = Convolver(MemoryModel.MAPS_DEP, network=True)
+    assert (
+        conv.predict(trace, restored).total_seconds
+        == conv.predict(trace, probes).total_seconds
+    )
+
+
+def test_version_check(trace):
+    doc = json.loads(trace_to_json(trace))
+    doc["schema_version"] = 99
+    with pytest.raises(ValueError, match="schema version"):
+        trace_from_json(json.dumps(doc))
+
+
+def test_kind_check(trace, probes):
+    with pytest.raises(ValueError, match="not a machine probes"):
+        probes_from_json(trace_to_json(trace))
+    with pytest.raises(ValueError, match="not an application trace"):
+        trace_from_json(probes_to_json(probes))
+
+
+def test_comm_kinds_roundtrip(trace):
+    restored = trace_from_json(trace_to_json(trace))
+    kinds = {r.name: r.kind for r in restored.comm}
+    original = {r.name: r.kind for r in trace.comm}
+    assert kinds == original

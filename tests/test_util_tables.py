@@ -1,0 +1,59 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.util.tables import Table
+
+
+def make_table():
+    t = Table(
+        title="Demo",
+        columns=["name", "value"],
+        formats=[None, ".1f"],
+    )
+    t.add_row("alpha", 1.0)
+    t.add_row("beta", 22.345)
+    return t
+
+
+def test_render_contains_title_and_cells():
+    text = make_table().render()
+    assert "Demo" in text
+    assert "alpha" in text
+    assert "22.3" in text  # formatted
+
+
+def test_numeric_columns_right_aligned():
+    text = make_table().render()
+    lines = text.splitlines()
+    row_alpha = next(l for l in lines if "alpha" in l)
+    row_beta = next(l for l in lines if "beta" in l)
+    # right-aligned numbers end at the same column
+    assert len(row_alpha) == len(row_beta) or row_alpha.rstrip().endswith("1.0")
+
+
+def test_none_cells_render_blank():
+    t = Table(title="T", columns=["a", "b"], formats=[None, ".0f"])
+    t.add_row("x", None)
+    text = t.render()
+    assert "None" not in text
+
+
+def test_ragged_rows_padded():
+    t = Table(title="T", columns=["a", "b", "c"])
+    t.add_row("only")
+    assert "only" in t.render()
+
+
+def test_to_csv_roundtrip():
+    csv = make_table().to_csv()
+    lines = csv.strip().splitlines()
+    assert lines[0] == "name,value"
+    assert lines[1] == "alpha,1.0"
+    assert lines[2] == "beta,22.3"
+
+
+def test_title_underlined():
+    text = make_table().render()
+    lines = text.splitlines()
+    assert lines[1] == "=" * len("Demo")

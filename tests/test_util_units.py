@@ -1,0 +1,48 @@
+"""Tests for unit constants and formatting."""
+
+import pytest
+
+from repro.util.units import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    format_bytes,
+    format_rate,
+    format_seconds,
+)
+
+
+def test_constants_relationships():
+    assert KB * 1000 == MB and MB * 1000 == GB
+    assert KIB * 1024 == MIB and MIB * 1024 == GIB
+    assert GIB > GB  # binary vs decimal
+
+
+def test_format_bytes_suffixes():
+    assert format_bytes(512) == "512 B"
+    assert format_bytes(64 * KIB) == "64.0 KiB"
+    assert format_bytes(3 * MIB) == "3.0 MiB"
+    assert format_bytes(2 * GIB) == "2.0 GiB"
+
+
+def test_format_rate_suffixes():
+    assert format_rate(500.0) == "500.0 B/s"
+    assert format_rate(2.5 * GB).endswith("GB/s")
+    assert format_rate(3 * MB) == "3.00 MB/s"
+
+
+def test_format_seconds_ranges():
+    assert format_seconds(5e-6) == "5 us"
+    assert format_seconds(0.25) == "250.0 ms"
+    assert format_seconds(12.0) == "12.0 s"
+    assert format_seconds(600) == "10.0 min"
+    assert format_seconds(7500) == "2h05m"
+
+
+def test_format_seconds_hour_rollover():
+    # 7170 s is 119.5 min -> still minutes; 7200+ becomes h/m
+    assert "min" in format_seconds(7100)
+    assert format_seconds(10860) == "3h01m"
