@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark of the full-study engine.
+
+Runs the paper's 145-run / 1305-prediction matrix through
+:func:`repro.study.runner.run_study` and reports throughput for each engine
+configuration:
+
+* ``serial_cold``   — fresh process state, ``workers=1`` (the headline number);
+* ``serial_warm``   — in-memory trace/probe caches already populated;
+* ``store_cold``    — serial with an empty on-disk :class:`TraceStore`;
+* ``store_warm``    — serial against the now-populated store, with in-memory
+  caches cleared (what a fresh CLI invocation with ``--cache-dir`` sees);
+* ``parallel``      — ``workers=N`` fan-out (byte-identity is asserted).
+
+Results land in ``BENCH_study.json`` next to the repo root (or ``--output``),
+including the seed-implementation baseline for the speedup ratio.  The CI
+smoke gate runs this script with ``--budget`` to fail the build if the
+serial cold run regresses past a generous wall-clock ceiling.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_study.py [--repeats 3] [--workers 4]
+        [--budget SECONDS] [--output BENCH_study.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.probes.suite import clear_probe_cache
+from repro.study.runner import run_study
+from repro.tracing.metasim import clear_trace_cache
+
+#: Serial cold wall-clock of the seed implementation (scalar kernels,
+#: per-cell scalar convolution) measured on the reference container; the
+#: issue's quoted figure on slower hardware was ~1.9 s.
+SEED_BASELINE_SECONDS = 0.893
+
+
+def _clear_caches() -> None:
+    clear_trace_cache()
+    clear_probe_cache()
+
+
+def _time(fn, repeats: int) -> tuple[float, list[float]]:
+    """Best-of-``repeats`` wall-clock of ``fn()`` (best filters scheduler noise)."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times), times
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
+    parser.add_argument("--workers", type=int, default=4, help="pool size for the parallel run")
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fail (exit 1) if the serial cold run exceeds this wall-clock",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_study.json",
+        help="where to write the JSON report (default: BENCH_study.json)",
+    )
+    args = parser.parse_args(argv)
+
+    results: dict[str, dict] = {}
+    reference = run_study()  # also warms caches for the warm measurement
+
+    def bench(name: str, fn, *, clear: bool) -> float:
+        def run():
+            if clear:
+                _clear_caches()
+            fn()
+
+        best, times = _time(run, args.repeats)
+        n = reference.n_predictions
+        results[name] = {
+            "best_seconds": round(best, 4),
+            "all_seconds": [round(t, 4) for t in times],
+            "predictions_per_second": round(n / best, 1),
+        }
+        print(f"{name:13s} {best:7.4f}s  ({n / best:,.0f} predictions/s)")
+        return best
+
+    serial_cold = bench("serial_cold", run_study, clear=True)
+    bench("serial_warm", run_study, clear=False)
+
+    def store_cold_run():
+        with tempfile.TemporaryDirectory() as fresh_dir:
+            run_study(store=fresh_dir)
+
+    bench("store_cold", store_cold_run, clear=True)
+    with tempfile.TemporaryDirectory() as store_dir:
+        run_study(store=store_dir)  # populate once
+        bench("store_warm", lambda: run_study(store=store_dir), clear=True)
+
+    _clear_caches()
+    parallel = run_study(workers=args.workers)
+    if parallel.records != reference.records or parallel.observed != reference.observed:
+        print("FATAL: parallel output differs from serial", file=sys.stderr)
+        return 1
+    bench(f"parallel_w{args.workers}", lambda: run_study(workers=args.workers), clear=True)
+
+    report = {
+        "matrix": {
+            "runs": reference.n_runs,
+            "predictions": reference.n_predictions,
+        },
+        "seed_baseline_seconds": SEED_BASELINE_SECONDS,
+        "speedup_vs_seed": round(SEED_BASELINE_SECONDS / serial_cold, 2),
+        "parallel_byte_identical": True,
+        "results": results,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    out = Path(args.output)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nspeedup vs seed implementation: {report['speedup_vs_seed']}x")
+    print(f"report written to {out}")
+
+    if args.budget is not None and serial_cold > args.budget:
+        print(
+            f"FAIL: serial cold run {serial_cold:.3f}s exceeds budget {args.budget:.3f}s",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -122,6 +122,21 @@ def main(argv: list[str] | None = None) -> int:
         default="relative",
         help="convolver anchoring (default: relative, as the paper)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="processes to fan the study matrix over (default: 1, serial; "
+        "output is byte-identical either way)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist traces and probe results under DIR so repeated "
+        "invocations skip the non-recurring costs",
+    )
     args = parser.parse_args(argv)
 
     needs_study = args.artifact in {
@@ -138,7 +153,7 @@ def main(argv: list[str] | None = None) -> int:
         from repro.study.runner import StudyConfig
 
         config = StudyConfig(mode=args.mode, noise=not args.no_noise)
-        result = run_study(config)
+        result = run_study(config, workers=args.workers, store=args.cache_dir)
 
     if args.artifact in {"table4", "all"}:
         _print_table4(result)

@@ -31,6 +31,8 @@ import enum
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.network.model import CollectiveKind
 from repro.probes.results import MachineProbes
 from repro.tracing.trace import ApplicationTrace, BlockTrace, CommRecord
@@ -106,6 +108,36 @@ class ConvolvedTime:
     def total_seconds(self) -> float:
         """Predicted wall-clock seconds."""
         return self.compute_seconds + self.comm_seconds
+
+
+@dataclass(frozen=True)
+class _TraceArrays:
+    """Block-axis views of a trace, extracted once per batch call.
+
+    Every machine in a batch shares the same trace, so pulling the block
+    scalars into contiguous arrays up front leaves only element-wise NumPy
+    ops in the per-machine loop.
+    """
+
+    fp_ops: np.ndarray
+    total_bytes: np.ndarray
+    strided_bytes: np.ndarray
+    random_bytes: np.ndarray
+    working_set: np.ndarray
+    dependency: np.ndarray
+
+    @classmethod
+    def of(cls, trace: ApplicationTrace) -> "_TraceArrays":
+        blocks = trace.blocks
+        total_bytes = np.array([b.bytes for b in blocks])
+        return cls(
+            fp_ops=np.array([b.fp_ops for b in blocks]),
+            total_bytes=total_bytes,
+            strided_bytes=total_bytes * np.array([b.stride.strided for b in blocks]),
+            random_bytes=total_bytes * np.array([b.stride.random for b in blocks]),
+            working_set=np.array([b.working_set for b in blocks]),
+            dependency=np.array([b.dependency_weight for b in blocks]),
+        )
 
 
 class Convolver:
@@ -202,18 +234,119 @@ class Convolver:
         return time
 
     # ------------------------------------------------------------------
+    def _mem_seconds_arrays(
+        self, arrays: "_TraceArrays", probes: MachineProbes
+    ) -> np.ndarray:
+        """Per-timestep memory seconds of every block, as one array pass.
+
+        Element-for-element identical to :meth:`_mem_seconds` (the same
+        operations in the same order, applied across the block axis).
+        """
+        model = self.memory_model
+        if model is MemoryModel.NONE:
+            return np.zeros(arrays.total_bytes.shape[0])
+        total_bytes = arrays.total_bytes
+        if model is MemoryModel.STREAM:
+            return total_bytes / probes.stream.bandwidth
+
+        strided_bytes = arrays.strided_bytes
+        random_bytes = arrays.random_bytes
+        if model is MemoryModel.STREAM_GUPS:
+            return (
+                strided_bytes / probes.stream.bandwidth
+                + random_bytes / probes.gups.random_bandwidth
+            )
+
+        ws = arrays.working_set
+        maps = probes.maps
+        unit_bw = maps.unit.lookup_many(ws)
+        random_bw = maps.random.lookup_many(ws)
+        if model is MemoryModel.MAPS:
+            return strided_bytes / unit_bw + random_bytes / random_bw
+
+        if model is MemoryModel.MAPS_DEP:
+            w = arrays.dependency
+            t = strided_bytes * (1.0 - w) / unit_bw
+            t = t + random_bytes * (1.0 - w) / random_bw
+            # Dependent terms vanish exactly where w == 0 (adding 0.0 is
+            # exact), matching the scalar path's conditional.
+            t = t + strided_bytes * w / maps.unit_dep.lookup_many(ws)
+            t = t + random_bytes * w / maps.random_dep.lookup_many(ws)
+            return t
+        raise AssertionError(f"unhandled memory model {model!r}")
+
+    def _batch_core(self, trace: ApplicationTrace, probes_list: list[MachineProbes]):
+        """Yield ``(probes, t_fp, t_mem, seconds, compute, comm)`` per machine.
+
+        Block arrays are extracted from the trace once and reused for every
+        machine; each machine then costs only element-wise NumPy ops.
+        """
+        arrays = _TraceArrays.of(trace)
+        for probes in probes_list:
+            t_fp = arrays.fp_ops / probes.hpl.rmax_flops
+            t_mem = self._mem_seconds_arrays(arrays, probes)
+            hidden = self.overlap * np.minimum(t_fp, t_mem)
+            seconds = t_fp + t_mem - hidden
+            # Left-fold accumulation: np.sum is sequential below NumPy's
+            # pairwise block size (128), matching the scalar sum() order.
+            compute = float(np.sum(seconds)) * trace.timesteps
+            comm = 0.0
+            if self.network:
+                comm = self._comm_seconds(trace.comm, probes, trace.cpus) * trace.timesteps
+            yield probes, t_fp, t_mem, seconds, compute, comm
+
+    def predict_batch(
+        self, trace: ApplicationTrace, probes_list: list[MachineProbes]
+    ) -> list[ConvolvedTime]:
+        """Convolve ``trace`` with several probed machines at once.
+
+        All blocks of a machine are priced in one NumPy pass (FP, memory,
+        overlap as block-axis arrays), so sweeps and the study runner stop
+        re-looping scalar block math.  Results are bit-identical to calling
+        :meth:`predict` per machine.
+        """
+        names = [b.name for b in trace.blocks]
+        out: list[ConvolvedTime] = []
+        for probes, t_fp, t_mem, seconds, compute, comm in self._batch_core(
+            trace, probes_list
+        ):
+            blocks = tuple(
+                BlockPrediction(
+                    name=name,
+                    fp_seconds=float(fp),
+                    mem_seconds=float(mem),
+                    seconds=float(sec),
+                )
+                for name, fp, mem, sec in zip(names, t_fp, t_mem, seconds)
+            )
+            out.append(
+                ConvolvedTime(
+                    machine=probes.machine,
+                    application=trace.application,
+                    cpus=trace.cpus,
+                    compute_seconds=compute,
+                    comm_seconds=comm,
+                    blocks=blocks,
+                )
+            )
+        return out
+
+    def total_seconds_batch(
+        self, trace: ApplicationTrace, probes_list: list[MachineProbes]
+    ) -> list[float]:
+        """Just the predicted wall-clock seconds per machine.
+
+        Identical numbers to ``[predict(trace, p).total_seconds ...]`` but
+        skips building the per-block breakdown dataclasses — the study
+        runner's inner loop only ever needs the totals.
+        """
+        return [
+            compute + comm
+            for _probes, _fp, _mem, _sec, compute, comm in self._batch_core(
+                trace, probes_list
+            )
+        ]
+
     def predict(self, trace: ApplicationTrace, probes: MachineProbes) -> ConvolvedTime:
         """Predict the traced application's wall-clock time on ``probes``' machine."""
-        blocks = tuple(self.predict_block(b, probes) for b in trace.blocks)
-        compute = sum(b.seconds for b in blocks) * trace.timesteps
-        comm = 0.0
-        if self.network:
-            comm = self._comm_seconds(trace.comm, probes, trace.cpus) * trace.timesteps
-        return ConvolvedTime(
-            machine=probes.machine,
-            application=trace.application,
-            cpus=trace.cpus,
-            compute_seconds=compute,
-            comm_seconds=comm,
-            blocks=blocks,
-        )
+        return self.predict_batch(trace, [probes])[0]

@@ -87,6 +87,35 @@ class Metric:
         """Predicted wall-clock seconds ``T'(X, Y)``."""
         raise NotImplementedError
 
+    def predict_many(
+        self,
+        trace: ApplicationTrace,
+        target_probes_list: list[MachineProbes],
+        base_probes: MachineProbes,
+        base_time: float,
+        mode: str = "relative",
+    ) -> list[float]:
+        """Predict one (application, cpus) run on several target machines.
+
+        Shared-trace batch form of :meth:`predict`: the trace, base probes
+        and base time are fixed while targets vary, which lets predictive
+        metrics convolve the base system once and price all targets in
+        block-axis NumPy passes.  Each element is bit-identical to the
+        corresponding scalar :meth:`predict` call.
+        """
+        return [
+            self.predict(
+                PredictionContext(
+                    trace=trace,
+                    target_probes=probes,
+                    base_probes=base_probes,
+                    base_time=base_time,
+                    mode=mode,
+                )
+            )
+            for probes in target_probes_list
+        ]
+
     @property
     def label(self) -> str:
         """Display label, e.g. ``"3-S GUPS"``."""
@@ -153,6 +182,22 @@ class PredictiveMetric(Metric):
             return c_target
         c_base = self.convolver.predict(ctx.trace, ctx.base_probes).total_seconds
         return (c_target / c_base) * ctx.base_time
+
+    def predict_many(
+        self,
+        trace: ApplicationTrace,
+        target_probes_list: list[MachineProbes],
+        base_probes: MachineProbes,
+        base_time: float,
+        mode: str = "relative",
+    ) -> list[float]:
+        """Batch :meth:`predict` over targets, convolving the base once."""
+        check_in("mode", mode, ("relative", "absolute"))
+        c_targets = self.convolver.total_seconds_batch(trace, target_probes_list)
+        if mode == "absolute":
+            return c_targets
+        (c_base,) = self.convolver.total_seconds_batch(trace, [base_probes])
+        return [(c_target / c_base) * base_time for c_target in c_targets]
 
 
 def _build_metrics() -> dict[int, Metric]:

@@ -8,6 +8,7 @@ share one description of each machine.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.util.validation import check_fraction, check_positive
@@ -185,6 +186,17 @@ class MachineSpec:
             raise ValueError("memory_levels must be ordered smallest to largest")
         if self.memory_levels[-1].size_bytes != float("inf"):
             raise ValueError("the last memory level must be main memory (size=inf)")
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the full spec.
+
+        Caches key probe results by *what the machine is*, not what it is
+        called, so mutated variants sharing a name can never alias.  The
+        hash covers every field (the nested dataclass ``repr`` is
+        deterministic) and is stable across processes, unlike ``hash()``.
+        """
+        digest = hashlib.blake2b(repr(self).encode("utf-8"), digest_size=16)
+        return digest.hexdigest()
 
     @property
     def peak_flops(self) -> float:

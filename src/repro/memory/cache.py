@@ -5,9 +5,12 @@ streams through a :class:`MultiLevelCache` configured from the *base*
 machine's hierarchy to estimate per-block locality, exactly as the paper's
 tracer observed address streams on the NAVO p690.
 
-The simulator favours clarity over raw speed — streams are sampled (tens of
-thousands of references per basic block), so an interpreted per-reference
-loop is acceptable, and NumPy is used for the per-set tag search.
+Replay is batched: :meth:`SetAssociativeCache.simulate` decomposes the whole
+stream into (set, tag) pairs in one vectorised pass and replays each set's
+subsequence with a short LRU scan, and :meth:`MultiLevelCache.simulate`
+feeds each level only the references that missed every nearer level.  Both
+are exact — same hit masks, counters and final tag state as the
+per-reference :meth:`SetAssociativeCache.access` walk they replace.
 """
 
 from __future__ import annotations
@@ -94,12 +97,68 @@ class SetAssociativeCache:
         return False
 
     def simulate(self, addresses: np.ndarray) -> np.ndarray:
-        """Replay ``addresses`` (int array); return a boolean hit mask."""
+        """Replay ``addresses`` (int array); return a boolean hit mask.
+
+        Equivalent to calling :meth:`access` per reference — same hit mask,
+        counters and final tag/LRU state — but the set/tag decomposition is
+        one vectorised pass and references are replayed grouped by set.
+        Accesses to different sets never interact (the LRU clock only orders
+        accesses *within* a set), so grouping preserves the exact outcome
+        while replacing two NumPy searches per reference with a short
+        Python scan of at most ``ways`` entries.
+        """
         addrs = np.asarray(addresses, dtype=np.int64)
-        out = np.empty(addrs.shape[0], dtype=bool)
-        for i, a in enumerate(addrs):
-            out[i] = self.access(int(a))
-        return out
+        n = int(addrs.shape[0])
+        if n == 0:
+            return np.empty(0, dtype=bool)
+        lines = addrs >> self._line_shift
+        set_idx = (lines & self._set_mask).astype(np.intp)
+        tags = lines >> (self.n_sets.bit_length() - 1)
+        hit_mask = np.empty(n, dtype=bool)
+        clock0 = self._clock
+
+        order = np.argsort(set_idx, kind="stable")
+        sorted_sets = set_idx[order]
+        starts = np.nonzero(np.diff(sorted_sets))[0] + 1
+        groups = np.split(order, starts)
+        for grp in groups:
+            s = int(set_idx[grp[0]])
+            way_tags = self._tags[s]
+            way_stamp = self._stamp[s]
+            # MRU->LRU order of ways; the victim (``argmin`` of stamps, ties
+            # to the lowest index) sits at the end of the list.
+            lru = [
+                (int(way_tags[w]), w)
+                for w in sorted(
+                    range(self.ways),
+                    key=lambda w: (int(way_stamp[w]), w),
+                    reverse=True,
+                )
+            ]
+            last_touch = {}
+            for pos in grp:
+                tag = int(tags[pos])
+                for j, (resident, w) in enumerate(lru):
+                    if resident == tag:
+                        hit_mask[pos] = True
+                        lru.insert(0, lru.pop(j))
+                        last_touch[w] = int(pos)
+                        break
+                else:
+                    hit_mask[pos] = False
+                    _evicted, w = lru.pop()
+                    lru.insert(0, (tag, w))
+                    last_touch[w] = int(pos)
+            for resident, w in lru:
+                way_tags[w] = resident
+            for w, pos in last_touch.items():
+                way_stamp[w] = clock0 + pos + 1
+
+        self._clock = clock0 + n
+        n_hits = int(np.count_nonzero(hit_mask))
+        self.hits += n_hits
+        self.misses += n - n_hits
+        return hit_mask
 
     @property
     def accesses(self) -> int:
@@ -188,21 +247,25 @@ class MultiLevelCache:
             level.reset()
 
     def simulate(self, addresses: np.ndarray) -> CacheStats:
-        """Replay ``addresses`` through the stack and tally per-level hits."""
+        """Replay ``addresses`` through the stack and tally per-level hits.
+
+        Level-batched: each level replays, in order, exactly the references
+        that missed every nearer level.  Because levels share no state (no
+        back-invalidation), this is identical to walking the stack per
+        reference, but each level gets one array-level
+        :meth:`SetAssociativeCache.simulate` call.
+        """
         addrs = np.asarray(addresses, dtype=np.int64)
-        hits = [0] * len(self.levels)
-        mem = 0
-        for a in addrs:
-            address = int(a)
-            for i, level in enumerate(self.levels):
-                if level.access(address):
-                    hits[i] += 1
-                    break
-            else:
-                mem += 1
+        total = int(addrs.shape[0])
+        remaining = addrs
+        hits = []
+        for level in self.levels:
+            mask = level.simulate(remaining)
+            hits.append(int(np.count_nonzero(mask)))
+            remaining = remaining[~mask]
         return CacheStats(
             level_names=list(self.names),
             hits=hits,
-            memory_accesses=mem,
-            total=int(addrs.shape[0]),
+            memory_accesses=int(remaining.shape[0]),
+            total=total,
         )

@@ -56,6 +56,13 @@ class MemoryHierarchy:
             raise ValueError("last level must be main memory (size=inf)")
         self.levels: tuple[MemoryLevelSpec, ...] = tuple(levels)
         self._sizes = np.array([lvl.size_bytes for lvl in levels])
+        # Hot-path memoisation: the executor prices every (stride class,
+        # dependence) split of a block against the same hierarchy, so
+        # residency (keyed by working set) and achieved bandwidth (keyed by
+        # the full pattern) recur constantly within a study.
+        self._residency_cache: dict[float, tuple[float, ...]] = {}
+        self._bandwidth_cache: dict[AccessPattern, float] = {}
+        self._level_bw_cache: dict[tuple, tuple[float, ...]] = {}
 
     @classmethod
     def of(cls, machine: MachineSpec) -> "MemoryHierarchy":
@@ -72,12 +79,25 @@ class MemoryHierarchy:
         L1 is served entirely by L1, one far larger than the last cache is
         served (almost) entirely by main memory.
         """
+        return np.array(self._residency(working_set))
+
+    def _residency(self, working_set: float) -> tuple[float, ...]:
+        """Cached, allocation-free core of :meth:`residency_fractions`."""
+        cached = self._residency_cache.get(working_set)
+        if cached is not None:
+            return cached
         if working_set <= 0:
             raise ValueError(f"working_set must be > 0, got {working_set!r}")
-        cum = np.minimum(1.0, self._sizes / working_set)
-        cum[-1] = 1.0  # main memory holds everything
-        fractions = np.diff(np.concatenate(([0.0], cum)))
-        return np.maximum(fractions, 0.0)
+        prev = 0.0
+        fractions = []
+        last = len(self.levels) - 1
+        for i, level in enumerate(self.levels):
+            cum = 1.0 if i == last else min(1.0, level.size_bytes / working_set)
+            fractions.append(max(cum - prev, 0.0))
+            prev = cum
+        out = tuple(fractions)
+        self._residency_cache[working_set] = out
+        return out
 
     # ------------------------------------------------------------------
     # per-level pricing
@@ -109,6 +129,29 @@ class MemoryHierarchy:
             return 1.0 / t_per_byte
         return bw
 
+    def _level_bandwidths(self, pattern: AccessPattern) -> tuple[float, ...]:
+        """Per-level useful bandwidths for ``pattern``, cached.
+
+        :meth:`level_useful_bandwidth` does not depend on the working set,
+        only on the pattern's shape — so hierarchy-wide level pricing recurs
+        across every block sharing a (stride, dependence) split and is worth
+        memoising separately from the residency-weighted result.
+        """
+        key = (
+            pattern.stride,
+            pattern.stride_elems,
+            pattern.element_bytes,
+            pattern.dependent,
+            pattern.chase_fraction,
+        )
+        cached = self._level_bw_cache.get(key)
+        if cached is None:
+            cached = tuple(
+                self.level_useful_bandwidth(level, pattern) for level in self.levels
+            )
+            self._level_bw_cache[key] = cached
+        return cached
+
     # ------------------------------------------------------------------
     # pattern pricing
     # ------------------------------------------------------------------
@@ -119,13 +162,19 @@ class MemoryHierarchy:
         access is ``sum_i f_i * elem / bw_i`` and the useful bandwidth is its
         reciprocal times ``elem``.
         """
-        fractions = self.residency_fractions(pattern.working_set)
+        cached = self._bandwidth_cache.get(pattern)
+        if cached is not None:
+            return cached
+        fractions = self._residency(pattern.working_set)
+        level_bws = self._level_bandwidths(pattern)
         time_per_byte = 0.0
-        for frac, level in zip(fractions, self.levels):
+        for frac, level_bw in zip(fractions, level_bws):
             if frac <= 0.0:
                 continue
-            time_per_byte += frac / self.level_useful_bandwidth(level, pattern)
-        return 1.0 / time_per_byte
+            time_per_byte += frac / level_bw
+        bw = 1.0 / time_per_byte
+        self._bandwidth_cache[pattern] = bw
+        return bw
 
     def access_time(self, pattern: AccessPattern, total_bytes: float) -> float:
         """Seconds to consume ``total_bytes`` of useful data under ``pattern``."""

@@ -74,6 +74,28 @@ def random_addresses(
     return base + idx * int(element_bytes)
 
 
+def _sample_distinct(rng: np.random.Generator, ws: int, m: int) -> np.ndarray:
+    """``m`` distinct element indices in ``[0, ws)``, in random order.
+
+    Draws uniform batches and keeps first appearances until ``m`` distinct
+    values are collected — deterministic for a given generator state, and
+    O(m) memory instead of the O(ws) a full permutation needs.  Callers
+    guarantee ``ws > 2 * m`` so each batch loses fewer than half its draws
+    to collisions and the loop converges in a couple of rounds.
+    """
+    chosen = np.empty(0, dtype=np.int64)
+    need = m
+    while True:
+        draw = rng.integers(0, ws, size=need + (need >> 3) + 16, dtype=np.int64)
+        cat = np.concatenate([chosen, draw])
+        _, first = np.unique(cat, return_index=True)
+        first.sort()
+        chosen = cat[first]
+        if chosen.size >= m:
+            return chosen[:m]
+        need = m - chosen.size
+
+
 def pointer_chase_addresses(
     n: int,
     working_set: float,
@@ -81,24 +103,31 @@ def pointer_chase_addresses(
     element_bytes: int = 8,
     base: int = 0,
 ) -> np.ndarray:
-    """Addresses of a pointer chase over a random Hamiltonian cycle.
+    """Addresses of a pointer chase over a random cycle of distinct elements.
 
     Each address is determined by the value loaded at the previous one, so
     accesses are fully serialised — the pattern ENHANCED MAPS uses to measure
     dependent random access.
 
-    The cycle covers every element of the working set exactly once before
-    repeating, eliminating short revisit artifacts.
+    When the working set is at most twice the sample size, the cycle is a
+    full Hamiltonian cycle over every element: with ``nxt[perm[i]] =
+    perm[i+1]``, chasing from ``perm[0]`` visits ``perm[i % ws]`` at step
+    ``i``, so the chase is a single O(n) gather from the permutation (no
+    per-step loop, and no ``nxt`` table at all).  For working sets far larger
+    than the sample, permuting every element just to emit ``n`` addresses
+    would cost O(ws) time and memory; instead the cycle is bounded to ``n``
+    distinct uniformly-drawn elements — statistically the same stream (the
+    prefix of a random permutation *is* a uniform distinct sample in random
+    order) at O(n) cost, still fully deterministic per seed.
     """
     check_positive("n", n)
+    n = int(n)
     ws = _ws_elements(working_set, element_bytes)
-    perm = rng.permutation(ws).astype(np.int64)
-    # next[perm[i]] = perm[i+1] builds one big cycle through all elements.
-    nxt = np.empty(ws, dtype=np.int64)
-    nxt[perm] = np.roll(perm, -1)
-    out = np.empty(int(n), dtype=np.int64)
-    cur = int(perm[0])
-    for i in range(int(n)):
-        out[i] = cur
-        cur = int(nxt[cur])
+    if ws <= 2 * n:
+        # Exact Hamiltonian cycle; the gather below reproduces the reference
+        # chase loop bit-for-bit (same generator consumption, same stream).
+        perm = rng.permutation(ws).astype(np.int64)
+        out = perm[np.arange(n, dtype=np.int64) % ws]
+    else:
+        out = _sample_distinct(rng, ws, n)
     return base + out * int(element_bytes)

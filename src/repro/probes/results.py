@@ -124,6 +124,17 @@ class MapsCurve:
             )
         )
 
+    def lookup_many(self, working_sets: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`lookup` over an array of working-set sizes.
+
+        Element-for-element identical to scalar lookups (same ``np.interp``
+        evaluation), in one pass.
+        """
+        ws = np.asarray(working_sets, dtype=float)
+        if np.any(ws <= 0):
+            raise ValueError("working sets must all be > 0")
+        return np.interp(np.log(ws), np.log(self.sizes), self.bandwidths)
+
     @property
     def main_memory_bandwidth(self) -> float:
         """The large-size asymptote (rightmost point) — the STREAM/GUPS analogue."""

@@ -7,6 +7,8 @@ system once and reused the numbers for all 135 predictions per system.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.machines.spec import MachineSpec
 from repro.probes.gups import run_gups
 from repro.probes.hpl import run_hpl
@@ -15,29 +17,51 @@ from repro.probes.netbench import run_netbench
 from repro.probes.results import MachineProbes
 from repro.probes.stream import run_stream
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.tracing.store import TraceStore
+
 __all__ = ["probe_machine", "clear_probe_cache"]
 
-_CACHE: dict[str, MachineProbes] = {}
+# Keyed by (name, content fingerprint): mutating a spec — even one reusing a
+# production system's name — can never alias another spec's cached results.
+_CACHE: dict[tuple[str, str], MachineProbes] = {}
 
 
-def probe_machine(machine: MachineSpec, *, use_cache: bool = True) -> MachineProbes:
+def probe_machine(
+    machine: MachineSpec,
+    *,
+    use_cache: bool = True,
+    store: "TraceStore | None" = None,
+) -> MachineProbes:
     """Run HPL, STREAM, GUPS, MAPS and NETBENCH on ``machine``.
 
-    Results are cached by machine name; pass ``use_cache=False`` when
-    probing a spec you are mutating between calls (e.g. in tests).
+    Results are cached by the spec's content fingerprint, so two different
+    specs sharing a name get independent entries.  ``use_cache=False``
+    bypasses the in-memory cache entirely; ``store`` additionally consults
+    and fills a persistent on-disk cache.
     """
-    if use_cache and machine.name in _CACHE:
-        return _CACHE[machine.name]
-    probes = MachineProbes(
-        machine=machine.name,
-        hpl=run_hpl(machine),
-        stream=run_stream(machine),
-        gups=run_gups(machine),
-        maps=run_maps(machine),
-        netbench=run_netbench(machine),
-    )
+    key = (machine.name, machine.fingerprint())
+    if use_cache and key in _CACHE:
+        probes = _CACHE[key]
+        # Write-through: a warm in-memory cache must still populate the
+        # persistent store, or fresh processes would find it empty.
+        if store is not None and not store.has_probes(machine):
+            store.save_probes(machine, probes)
+        return probes
+    probes = store.load_probes(machine) if store is not None else None
+    if probes is None:
+        probes = MachineProbes(
+            machine=machine.name,
+            hpl=run_hpl(machine),
+            stream=run_stream(machine),
+            gups=run_gups(machine),
+            maps=run_maps(machine),
+            netbench=run_netbench(machine),
+        )
+        if store is not None:
+            store.save_probes(machine, probes)
     if use_cache:
-        _CACHE[machine.name] = probes
+        _CACHE[key] = probes
     return probes
 
 

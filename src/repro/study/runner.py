@@ -5,10 +5,27 @@ runner simulates the "real" execution (ground truth), applies all nine
 metrics, and records signed/absolute errors per Equation 2.  Cells the
 paper leaves blank — processor counts exceeding a system's size — are
 skipped the same way.
+
+The engine is built for throughput:
+
+* each (application, cpus) row is traced once and priced against **all**
+  eligible systems through the metrics' batch path
+  (:meth:`~repro.core.metrics.Metric.predict_many`), so no cell re-loops
+  scalar block math;
+* ``workers=N`` fans the embarrassingly-parallel cells out over a process
+  pool, chunked by (application, system), and merges results in canonical
+  order — every RNG draw is seed-stable, so parallel output is
+  byte-identical to serial;
+* an opt-in :class:`~repro.tracing.store.TraceStore` persists traces and
+  probe results on disk, letting repeated studies, ablations and fresh
+  worker processes skip the non-recurring costs entirely.
 """
 
 from __future__ import annotations
 
+import os
+from collections import defaultdict
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -16,10 +33,11 @@ import numpy as np
 from repro.apps.execution import GroundTruthExecutor
 from repro.apps.suite import APPLICATIONS, get_application
 from repro.core.errors import ErrorSummary, signed_error, summarise
-from repro.core.metrics import ALL_METRICS, PredictionContext
-from repro.core.predictor import PerformancePredictor
+from repro.core.metrics import ALL_METRICS
 from repro.machines.registry import BASE_SYSTEM, TARGET_SYSTEMS, get_machine
-from repro.tracing.metasim import DEFAULT_SAMPLE_SIZE
+from repro.probes.suite import probe_machine
+from repro.tracing.metasim import DEFAULT_SAMPLE_SIZE, trace_application
+from repro.tracing.store import TraceStore
 
 __all__ = ["StudyConfig", "PredictionRecord", "StudyResult", "run_study"]
 
@@ -81,10 +99,38 @@ class StudyResult:
     config: StudyConfig
     records: list[PredictionRecord]
     observed: dict[tuple[str, str, int], float] = field(default_factory=dict)
+    _select_index: dict[str, dict] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _select_index_len: int = field(default=-1, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # selection
     # ------------------------------------------------------------------
+    def _ensure_index(self) -> dict[str, dict]:
+        """Lazily build (and rebuild after mutation) the per-field indexes.
+
+        Table/figure builders query ``select`` once per metric x system x
+        cpus cell; four inverted indexes replace each O(n_records) scan
+        with a short intersection of posting lists.
+        """
+        if self._select_index is not None and self._select_index_len == len(self.records):
+            return self._select_index
+        index: dict[str, dict] = {
+            "metric": defaultdict(list),
+            "system": defaultdict(list),
+            "application": defaultdict(list),
+            "cpus": defaultdict(list),
+        }
+        for i, rec in enumerate(self.records):
+            index["metric"][rec.metric].append(i)
+            index["system"][rec.system].append(i)
+            index["application"][rec.application].append(i)
+            index["cpus"][rec.cpus].append(i)
+        self._select_index = index
+        self._select_index_len = len(self.records)
+        return index
+
     def select(
         self,
         *,
@@ -93,19 +139,34 @@ class StudyResult:
         application: str | None = None,
         cpus: int | None = None,
     ) -> list[PredictionRecord]:
-        """Records matching every given filter."""
-        out = []
-        for rec in self.records:
-            if metric is not None and rec.metric != metric:
-                continue
-            if system is not None and rec.system != system:
-                continue
-            if application is not None and rec.application != application:
-                continue
-            if cpus is not None and rec.cpus != cpus:
-                continue
-            out.append(rec)
-        return out
+        """Records matching every given filter, in record order."""
+        active = [
+            (name, value)
+            for name, value in (
+                ("metric", metric),
+                ("system", system),
+                ("application", application),
+                ("cpus", cpus),
+            )
+            if value is not None
+        ]
+        if not active:
+            return list(self.records)
+        index = self._ensure_index()
+        postings = []
+        for name, value in active:
+            posting = index[name].get(value)
+            if not posting:
+                return []
+            postings.append(posting)
+        postings.sort(key=len)
+        others = [set(posting) for posting in postings[1:]]
+        records = self.records
+        return [
+            records[i]
+            for i in postings[0]
+            if all(i in other for other in others)
+        ]
 
     def errors(self, **filters) -> list[float]:
         """Signed errors of the selected records."""
@@ -166,36 +227,69 @@ class StudyResult:
         return len(self.records)
 
 
-def run_study(config: StudyConfig | None = None) -> StudyResult:
-    """Run the complete study described by ``config`` (defaults: the paper's).
+# ---------------------------------------------------------------------------
+# execution engine
+# ---------------------------------------------------------------------------
 
-    Skips (system, cpus) cells where the processor count exceeds the
-    installed system size, as the paper's blank appendix cells do.
+
+def _run_submatrix(
+    cfg: StudyConfig,
+    labels: tuple[str, ...],
+    systems: tuple[str, ...],
+    store: TraceStore | None,
+) -> tuple[list[PredictionRecord], dict[tuple[str, str, int], float]]:
+    """Compute the (labels x systems) block of the study matrix.
+
+    Each (application, cpus) row is traced once and priced against all
+    eligible systems per metric in one :meth:`predict_many` batch; records
+    are then emitted in the canonical (application, system, cpus, metric)
+    order.  Per-system results are independent, so any partition of the
+    matrix produces the same records cell-for-cell.
     """
-    cfg = config or StudyConfig()
-    predictor = PerformancePredictor(
-        cfg.base_system,
-        mode=cfg.mode,
-        sample_size=cfg.sample_size,
-        noise=cfg.noise,
-    )
+    base_machine = get_machine(cfg.base_system)
+    base_probes = probe_machine(base_machine, store=store)
+    base_executor = GroundTruthExecutor(base_machine, noise=cfg.noise)
+    machines = {system: get_machine(system) for system in systems}
+    executors = {
+        system: GroundTruthExecutor(machine, noise=cfg.noise)
+        for system, machine in machines.items()
+    }
+    probes = {system: probe_machine(machine, store=store) for system, machine in machines.items()}
     metrics = [ALL_METRICS[m] for m in cfg.metrics]
+
+    actuals: dict[tuple[str, str, int], float] = {}
+    predictions: dict[tuple[str, str, int, int], float] = {}
+    for label in labels:
+        app = get_application(label)
+        for cpus in app.cpu_counts:
+            eligible = [s for s in systems if cpus <= machines[s].cpus]
+            if not eligible:
+                continue  # paper leaves these cells blank
+            for system in eligible:
+                actuals[(label, system, cpus)] = executors[system].run(app, cpus).total_seconds
+            trace = trace_application(app, cpus, base_machine, cfg.sample_size, store=store)
+            base_time = base_executor.run(app, cpus).total_seconds
+            probes_row = [probes[system] for system in eligible]
+            for metric in metrics:
+                predicted_row = metric.predict_many(
+                    trace, probes_row, base_probes, base_time, cfg.mode
+                )
+                for system, predicted in zip(eligible, predicted_row):
+                    predictions[(label, system, cpus, metric.number)] = predicted
+
     records: list[PredictionRecord] = []
     observed: dict[tuple[str, str, int], float] = {}
-
-    for label in cfg.applications:
+    for label in labels:
         app = get_application(label)
-        for system in cfg.systems:
-            machine = get_machine(system)
-            executor = GroundTruthExecutor(machine, noise=cfg.noise)
+        for system in systems:
+            machine = machines[system]
             for cpus in app.cpu_counts:
                 if cpus > machine.cpus:
-                    continue  # paper leaves these cells blank
-                actual = executor.run(app, cpus).total_seconds
+                    continue
+                actual = actuals[(label, system, cpus)]
                 observed[(label, system, cpus)] = actual
-                ctx: PredictionContext = predictor.context(app, machine, cpus)
                 for metric in metrics:
-                    predicted = metric.predict(ctx)
+                    predicted = predictions[(label, system, cpus, metric.number)]
                     records.append(
                         PredictionRecord(
                             application=label,
@@ -207,4 +301,73 @@ def run_study(config: StudyConfig | None = None) -> StudyResult:
                             error_percent=signed_error(predicted, actual),
                         )
                     )
+    return records, observed
+
+
+def _run_chunk(cfg: StudyConfig, label: str, system: str, store_root: str | None):
+    """Worker entry point: one (application, system) chunk of the matrix."""
+    store = TraceStore(store_root) if store_root else None
+    return _run_submatrix(cfg, (label,), (system,), store)
+
+
+def _resolve_store(
+    store: "TraceStore | str | os.PathLike | None",
+) -> tuple[TraceStore | None, str | None]:
+    """Normalise the ``store`` argument to (instance, root path)."""
+    if store is None:
+        return None, None
+    if isinstance(store, TraceStore):
+        return store, str(store.root)
+    return TraceStore(store), str(store)
+
+
+def run_study(
+    config: StudyConfig | None = None,
+    *,
+    workers: int = 1,
+    store: "TraceStore | str | os.PathLike | None" = None,
+) -> StudyResult:
+    """Run the complete study described by ``config`` (defaults: the paper's).
+
+    Skips (system, cpus) cells where the processor count exceeds the
+    installed system size, as the paper's blank appendix cells do.
+
+    Parameters
+    ----------
+    config:
+        Study parameters; the paper's full matrix when omitted.
+    workers:
+        Processes to fan the matrix out over.  Cells are chunked by
+        (application, system) and merged in canonical order; because every
+        stochastic input is seed-stable, the result is byte-identical to a
+        serial run.
+    store:
+        Optional persistent trace/probe cache — a
+        :class:`~repro.tracing.store.TraceStore` or a directory path.
+        Warm stores let repeated studies and worker processes skip
+        re-tracing entirely.
+    """
+    cfg = config or StudyConfig()
+    store_obj, store_root = _resolve_store(store)
+    if workers <= 1:
+        records, observed = _run_submatrix(cfg, cfg.applications, cfg.systems, store_obj)
+        return StudyResult(config=cfg, records=records, observed=observed)
+
+    chunk_results: dict[tuple[str, str], tuple] = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            pool.submit(_run_chunk, cfg, label, system, store_root): (label, system)
+            for label in cfg.applications
+            for system in cfg.systems
+        }
+        for future, key in futures.items():
+            chunk_results[key] = future.result()
+
+    records = []
+    observed = {}
+    for label in cfg.applications:
+        for system in cfg.systems:
+            chunk_records, chunk_observed = chunk_results[(label, system)]
+            records.extend(chunk_records)
+            observed.update(chunk_observed)
     return StudyResult(config=cfg, records=records, observed=observed)

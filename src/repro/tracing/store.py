@@ -1,0 +1,157 @@
+"""Persistent on-disk cache of traces and probe results.
+
+Tracing is the methodology's non-recurring cost ("it is only required once
+per application on the base system" — paper Section 3) and probing ten
+production systems is a scheduling exercise, yet every fresh process pays
+both again because the in-memory caches die with it.  A :class:`TraceStore`
+makes the caches durable: repeated studies, ablation sweeps and CLI
+invocations skip re-tracing and re-probing entirely, and parallel study
+workers share one warm store instead of each re-deriving the same traces.
+
+Artifacts are the JSON documents of :mod:`repro.tracing.serialize`, written
+atomically (temp file + rename) so concurrent workers can race on the same
+entry without corrupting it; both sides of such a race produce identical
+bytes, because everything upstream is seed-stable.  Entries are keyed by a
+BLAKE2b digest of their full identity — for probes that includes the
+machine spec's content :meth:`~repro.machines.spec.MachineSpec.fingerprint`,
+so editing a spec invalidates its cached probes automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+
+from repro.machines.spec import MachineSpec
+from repro.probes.results import MachineProbes
+from repro.tracing.serialize import (
+    SCHEMA_VERSION,
+    probes_from_json,
+    probes_to_json,
+    trace_from_json,
+    trace_to_json,
+)
+from repro.tracing.trace import ApplicationTrace
+
+__all__ = ["TraceStore"]
+
+
+def _digest(*keys: object) -> str:
+    h = hashlib.blake2b(digest_size=16)
+    for key in keys:
+        h.update(repr(key).encode("utf-8"))
+        h.update(b"\x1f")
+    return h.hexdigest()
+
+
+class TraceStore:
+    """Directory-backed cache of serialised traces and probe bundles.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created (with parents) on first use.  Safe to share
+        between processes and to delete wholesale at any time.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.traces_dir = self.root / "traces"
+        self.probes_dir = self.root / "probes"
+        self.traces_dir.mkdir(parents=True, exist_ok=True)
+        self.probes_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _trace_path(
+        self, application: str, cpus: int, base_machine: str, sample_size: int, cache_sim: bool
+    ) -> Path:
+        name = _digest(
+            "trace", SCHEMA_VERSION, application, cpus, base_machine, sample_size, cache_sim
+        )
+        return self.traces_dir / f"{name}.json"
+
+    def _probes_path(self, machine: MachineSpec) -> Path:
+        name = _digest("probes", SCHEMA_VERSION, machine.name, machine.fingerprint())
+        return self.probes_dir / f"{name}.json"
+
+    @staticmethod
+    def _write_atomic(path: Path, text: str) -> None:
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    @staticmethod
+    def _read(path: Path) -> str | None:
+        try:
+            return path.read_text()
+        except OSError:
+            return None
+
+    # ------------------------------------------------------------------
+    # traces
+    # ------------------------------------------------------------------
+    def has_trace(
+        self,
+        application: str,
+        cpus: int,
+        base_machine: str,
+        sample_size: int,
+        cache_sim: bool = False,
+    ) -> bool:
+        """Whether an entry exists for this identity (it may still be corrupt)."""
+        return self._trace_path(
+            application, cpus, base_machine, sample_size, cache_sim
+        ).exists()
+
+    def load_trace(
+        self,
+        application: str,
+        cpus: int,
+        base_machine: str,
+        sample_size: int,
+        cache_sim: bool = False,
+    ) -> ApplicationTrace | None:
+        """The cached trace for this identity, or None if absent/unreadable."""
+        text = self._read(self._trace_path(application, cpus, base_machine, sample_size, cache_sim))
+        if text is None:
+            return None
+        try:
+            return trace_from_json(text)
+        except (ValueError, KeyError):
+            return None  # corrupt or stale-schema entry: recompute
+
+    def save_trace(self, trace: ApplicationTrace, *, cache_sim: bool = False) -> None:
+        """Persist ``trace`` under its identity key."""
+        path = self._trace_path(
+            trace.application, trace.cpus, trace.base_machine, trace.sample_size, cache_sim
+        )
+        self._write_atomic(path, trace_to_json(trace))
+
+    # ------------------------------------------------------------------
+    # probes
+    # ------------------------------------------------------------------
+    def has_probes(self, machine: MachineSpec) -> bool:
+        """Whether an entry exists for this exact spec."""
+        return self._probes_path(machine).exists()
+
+    def load_probes(self, machine: MachineSpec) -> MachineProbes | None:
+        """Cached probe bundle for this exact spec, or None."""
+        text = self._read(self._probes_path(machine))
+        if text is None:
+            return None
+        try:
+            return probes_from_json(text)
+        except (ValueError, KeyError):
+            return None
+
+    def save_probes(self, machine: MachineSpec, probes: MachineProbes) -> None:
+        """Persist ``probes`` keyed by the spec's content fingerprint."""
+        self._write_atomic(self._probes_path(machine), probes_to_json(probes))

@@ -1,0 +1,143 @@
+"""Tests for the parallel/persistent study engine and its caches."""
+
+import numpy as np
+import pytest
+
+from repro.probes.suite import probe_machine
+from repro.study.runner import StudyConfig, run_study
+from repro.tracing.metasim import trace_application
+from repro.tracing.store import TraceStore
+
+from tests.conftest import make_machine
+
+REDUCED = StudyConfig(
+    applications=("RFCTH-standard", "HYCOM-standard"),
+    systems=("ARL_Opteron", "NAVO_P3", "NAVO_655"),
+)
+
+
+# ---------------------------------------------------------------------------
+# parallel fan-out
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_study_byte_identical_to_serial():
+    serial = run_study(REDUCED)
+    parallel = run_study(REDUCED, workers=4)
+    assert parallel.records == serial.records
+    assert parallel.observed == serial.observed
+    # dataclass equality is float equality; pin bit-identity explicitly too
+    assert all(
+        a.predicted_seconds.hex() == b.predicted_seconds.hex()
+        and a.actual_seconds.hex() == b.actual_seconds.hex()
+        for a, b in zip(serial.records, parallel.records)
+    )
+
+
+def test_parallel_record_order_is_canonical():
+    result = run_study(REDUCED, workers=2)
+    keys = [(r.application, r.system, r.cpus, r.metric) for r in result.records]
+    by_app = [k[0] for k in keys]
+    assert by_app == sorted(by_app, key=list(REDUCED.applications).index)
+
+
+# ---------------------------------------------------------------------------
+# persistent store
+# ---------------------------------------------------------------------------
+
+
+def test_store_round_trip_preserves_study_output(tmp_path):
+    cold = run_study(REDUCED, store=tmp_path)
+    warm = run_study(REDUCED, store=tmp_path)
+    assert warm.records == cold.records
+    assert list(tmp_path.joinpath("traces").iterdir())
+    assert list(tmp_path.joinpath("probes").iterdir())
+
+
+def test_store_trace_round_trip_is_exact(tmp_path, base_machine, avus):
+    store = TraceStore(tmp_path)
+    computed = trace_application(avus, 64, base_machine, use_cache=False, store=store)
+    loaded = store.load_trace(avus.label, 64, base_machine.name, computed.sample_size, False)
+    assert loaded == computed
+
+
+def test_store_probes_round_trip_is_exact(tmp_path, base_machine):
+    store = TraceStore(tmp_path)
+    computed = probe_machine(base_machine, use_cache=False, store=store)
+    loaded = store.load_probes(base_machine)
+    assert loaded is not None
+    assert loaded.machine == computed.machine
+    np.testing.assert_array_equal(loaded.maps.unit.bandwidths, computed.maps.unit.bandwidths)
+    assert loaded.hpl == computed.hpl
+
+
+def test_store_tolerates_corrupt_files(tmp_path, base_machine, avus):
+    store = TraceStore(tmp_path)
+    trace_application(avus, 64, base_machine, use_cache=False, store=store)
+    for f in tmp_path.joinpath("traces").iterdir():
+        f.write_text("{not json")
+    assert store.load_trace(avus.label, 64, base_machine.name, 4096, False) is None
+
+
+# ---------------------------------------------------------------------------
+# probe cache staleness (regression: _CACHE was keyed by name alone)
+# ---------------------------------------------------------------------------
+
+
+def test_probe_cache_distinguishes_mutated_specs_sharing_a_name():
+    slow = make_machine(name="SAME_NAME", clock_ghz=1.0)
+    fast = make_machine(name="SAME_NAME", clock_ghz=4.0)
+    p_slow = probe_machine(slow)
+    p_fast = probe_machine(fast)
+    assert p_fast.hpl.rmax_flops > p_slow.hpl.rmax_flops
+    # identical spec still hits the cache
+    assert probe_machine(make_machine(name="SAME_NAME", clock_ghz=1.0)) is p_slow
+
+
+def test_fingerprint_tracks_content_not_name():
+    a = make_machine(name="X")
+    b = make_machine(name="X")
+    c = make_machine(name="X", mem_bw=9.9)
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint() != c.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# indexed select
+# ---------------------------------------------------------------------------
+
+
+def _linear_select(result, **filters):
+    out = []
+    for rec in result.records:
+        if all(getattr(rec, k) == v for k, v in filters.items()):
+            out.append(rec)
+    return out
+
+
+@pytest.mark.parametrize(
+    "filters",
+    [
+        {},
+        {"metric": 5},
+        {"system": "ARL_Opteron"},
+        {"metric": 9, "system": "NAVO_P3"},
+        {"metric": 1, "application": "RFCTH-standard", "cpus": 16},
+        {"metric": 2, "system": "nope"},
+        {"cpus": 123456},
+    ],
+)
+def test_indexed_select_matches_linear_scan(full_study, filters):
+    assert full_study.select(**filters) == _linear_select(full_study, **filters)
+
+
+def test_select_index_rebuilds_after_mutation(full_study):
+    import copy
+
+    result = copy.deepcopy(full_study)
+    result.select(metric=1)  # build the index
+    extra = result.records[0]
+    result.records.append(extra)
+    recs = result.select(metric=extra.metric, system=extra.system, cpus=extra.cpus,
+                         application=extra.application)
+    assert recs == [extra, extra]
