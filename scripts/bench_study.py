@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Wall-clock benchmark of the full-study engine.
+"""Wall-clock benchmark and regression gate of the full-study engine.
 
 Runs the paper's 145-run / 1305-prediction matrix through
 :func:`repro.study.runner.run_study` and reports throughput for each engine
@@ -12,15 +12,36 @@ configuration:
   caches cleared (what a fresh CLI invocation with ``--cache-dir`` sees);
 * ``parallel``      — ``workers=N`` fan-out (byte-identity is asserted).
 
-Results land in ``BENCH_study.json`` next to the repo root (or ``--output``),
-including the seed-implementation baseline for the speedup ratio.  The CI
-smoke gate runs this script with ``--budget`` to fail the build if the
-serial cold run regresses past a generous wall-clock ceiling.
+Each configuration also records the engine's per-stage wall-clock breakdown
+(probe / execute / trace / cache_model / convolve) for its best repeat.
+
+``--scale N`` multiplies the application axis with ``label@k`` replicas
+(N x the matrix) so parallel speedup is measurable above the engine's
+serial/parallel crossover; the scale is recorded in the report.
+
+Gates (any failure exits 1):
+
+* ``--budget SECONDS`` — absolute ceiling on the serial cold wall-clock;
+* ``--gate-reference BENCH_study.json`` — regression gate: fails when
+  serial-cold predictions/sec drop below the reference report's figure by
+  more than ``--gate-tolerance`` (fractional, default 0.75 — generous
+  because shared hardware shows multi-x scheduling noise; the gate exists
+  to catch order-of-magnitude regressions such as a return to scalar
+  kernels, which is a ~20x drop);
+* ``--require-parallel-win`` — fails when the parallel run is slower than
+  serial cold at the same scale (25% noise margin — generous because
+  on a capped single-core host both measurements are the same serial
+  code path and differ only by scheduler noise).  The engine caps
+  ``workers`` at the usable core count, so on a single-core host the
+  parallel run degrades to serial and the gate asserts exactly the
+  engine's "never slower than serial" guarantee.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_study.py [--repeats 3] [--workers 4]
-        [--budget SECONDS] [--output BENCH_study.json]
+        [--scale N] [--budget SECONDS] [--gate-reference FILE]
+        [--gate-tolerance FRACTION] [--require-parallel-win]
+        [--output BENCH_study.json]
 """
 
 from __future__ import annotations
@@ -33,8 +54,9 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro.apps.suite import APPLICATIONS
 from repro.probes.suite import clear_probe_cache
-from repro.study.runner import run_study
+from repro.study.runner import StudyConfig, run_study
 from repro.tracing.metasim import clear_trace_cache
 
 #: Serial cold wall-clock of the seed implementation (scalar kernels,
@@ -42,26 +64,54 @@ from repro.tracing.metasim import clear_trace_cache
 #: issue's quoted figure on slower hardware was ~1.9 s.
 SEED_BASELINE_SECONDS = 0.893
 
+#: Stage keys always reported (missing stages print as 0).
+STAGES = ("probe", "execute", "trace", "cache_model", "convolve")
+
 
 def _clear_caches() -> None:
     clear_trace_cache()
     clear_probe_cache()
 
 
-def _time(fn, repeats: int) -> tuple[float, list[float]]:
-    """Best-of-``repeats`` wall-clock of ``fn()`` (best filters scheduler noise)."""
-    times = []
+def scaled_config(scale: int) -> StudyConfig:
+    """The paper matrix, replicated ``scale``x along the application axis."""
+    if scale <= 1:
+        return StudyConfig()
+    base = tuple(APPLICATIONS)
+    labels = list(base)
+    for k in range(1, scale):
+        labels.extend(f"{label}@{k}" for label in base)
+    return StudyConfig(applications=tuple(labels))
+
+
+def _time(fn, repeats: int):
+    """Best-of-``repeats`` wall-clock of ``fn()`` (best filters scheduler noise).
+
+    Returns ``(best_seconds, all_seconds, best_run_result)``.
+    """
+    best, times, best_result = float("inf"), [], None
     for _ in range(repeats):
         t0 = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - t0)
-    return min(times), times
+        result = fn()
+        dt = time.perf_counter() - t0
+        times.append(dt)
+        if dt < best:
+            best, best_result = dt, result
+    return best, times, best_result
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
     parser.add_argument("--workers", type=int, default=4, help="pool size for the parallel run")
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=1,
+        metavar="N",
+        help="replicate the application axis N times (label@k replicas) so "
+        "parallel speedup is measurable (default: 1, the paper matrix)",
+    )
     parser.add_argument(
         "--budget",
         type=float,
@@ -70,52 +120,87 @@ def main(argv: list[str] | None = None) -> int:
         help="fail (exit 1) if the serial cold run exceeds this wall-clock",
     )
     parser.add_argument(
+        "--gate-reference",
+        default=None,
+        metavar="FILE",
+        help="committed BENCH_study.json to gate predictions/sec against",
+    )
+    parser.add_argument(
+        "--gate-tolerance",
+        type=float,
+        default=0.75,
+        metavar="FRACTION",
+        help="allowed fractional drop in serial-cold predictions/sec vs the "
+        "gate reference before failing (default: 0.75)",
+    )
+    parser.add_argument(
+        "--require-parallel-win",
+        action="store_true",
+        help="fail if the parallel run is slower than serial cold "
+        "(25%% noise margin)",
+    )
+    parser.add_argument(
         "--output",
         default="BENCH_study.json",
         help="where to write the JSON report (default: BENCH_study.json)",
     )
     args = parser.parse_args(argv)
 
+    config = scaled_config(args.scale)
     results: dict[str, dict] = {}
-    reference = run_study()  # also warms caches for the warm measurement
+    reference = run_study(config)  # also warms caches for the warm measurement
 
     def bench(name: str, fn, *, clear: bool) -> float:
         def run():
             if clear:
                 _clear_caches()
-            fn()
+            return fn()
 
-        best, times = _time(run, args.repeats)
+        if not clear:
+            run()  # warm-up: cold-start noise must not leak into a warm bench
+        best, times, best_result = _time(run, args.repeats)
         n = reference.n_predictions
+        stages = best_result.stage_seconds if best_result is not None else {}
         results[name] = {
             "best_seconds": round(best, 4),
             "all_seconds": [round(t, 4) for t in times],
             "predictions_per_second": round(n / best, 1),
+            "stage_seconds": {
+                k: round(stages.get(k, 0.0), 4) for k in STAGES
+            },
         }
         print(f"{name:13s} {best:7.4f}s  ({n / best:,.0f} predictions/s)")
         return best
 
-    serial_cold = bench("serial_cold", run_study, clear=True)
-    bench("serial_warm", run_study, clear=False)
+    serial_cold = bench("serial_cold", lambda: run_study(config), clear=True)
 
-    def store_cold_run():
-        with tempfile.TemporaryDirectory() as fresh_dir:
-            run_study(store=fresh_dir)
-
-    bench("store_cold", store_cold_run, clear=True)
-    with tempfile.TemporaryDirectory() as store_dir:
-        run_study(store=store_dir)  # populate once
-        bench("store_warm", lambda: run_study(store=store_dir), clear=True)
-
+    # Bench the parallel path back-to-back with serial cold: the two are
+    # compared by the --require-parallel-win gate, so measuring them under
+    # the same process conditions keeps the comparison fair.
     _clear_caches()
-    parallel = run_study(workers=args.workers)
+    parallel = run_study(config, workers=args.workers)
     if parallel.records != reference.records or parallel.observed != reference.observed:
         print("FATAL: parallel output differs from serial", file=sys.stderr)
         return 1
-    bench(f"parallel_w{args.workers}", lambda: run_study(workers=args.workers), clear=True)
+    parallel_name = f"parallel_w{args.workers}"
+    parallel_best = bench(
+        parallel_name, lambda: run_study(config, workers=args.workers), clear=True
+    )
+
+    bench("serial_warm", lambda: run_study(config), clear=False)
+
+    def store_cold_run():
+        with tempfile.TemporaryDirectory() as fresh_dir:
+            return run_study(config, store=fresh_dir)
+
+    bench("store_cold", store_cold_run, clear=True)
+    with tempfile.TemporaryDirectory() as store_dir:
+        run_study(config, store=store_dir)  # populate once
+        bench("store_warm", lambda: run_study(config, store=store_dir), clear=True)
 
     report = {
         "matrix": {
+            "scale": args.scale,
             "runs": reference.n_runs,
             "predictions": reference.n_predictions,
         },
@@ -131,13 +216,38 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\nspeedup vs seed implementation: {report['speedup_vs_seed']}x")
     print(f"report written to {out}")
 
+    failed = False
     if args.budget is not None and serial_cold > args.budget:
         print(
             f"FAIL: serial cold run {serial_cold:.3f}s exceeds budget {args.budget:.3f}s",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if args.gate_reference is not None:
+        ref = json.loads(Path(args.gate_reference).read_text())
+        ref_pps = ref["results"]["serial_cold"]["predictions_per_second"]
+        got_pps = results["serial_cold"]["predictions_per_second"]
+        floor = ref_pps * (1.0 - args.gate_tolerance)
+        if got_pps < floor:
+            print(
+                f"FAIL: serial cold {got_pps:,.0f} predictions/s regressed below "
+                f"{floor:,.0f} (reference {ref_pps:,.0f} - {args.gate_tolerance:.0%})",
+                file=sys.stderr,
+            )
+            failed = True
+        else:
+            print(
+                f"gate ok: {got_pps:,.0f} predictions/s >= {floor:,.0f} "
+                f"(reference {ref_pps:,.0f})"
+            )
+    if args.require_parallel_win and parallel_best > serial_cold * 1.25:
+        print(
+            f"FAIL: {parallel_name} ({parallel_best:.3f}s) is slower than "
+            f"serial cold ({serial_cold:.3f}s) at --scale {args.scale}",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

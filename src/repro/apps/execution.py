@@ -27,9 +27,12 @@ executor's output plays the role of the paper's observed times-to-solution
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from collections.abc import Sequence
+from typing import NamedTuple
 
-from repro.apps.model import ApplicationModel, BasicBlock
+import numpy as np
+
+from repro.apps.model import MIN_WORKING_SET, ApplicationModel, BasicBlock
 from repro.machines.spec import MachineSpec
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.patterns import AccessPattern, StrideClass
@@ -44,9 +47,12 @@ __all__ = ["GroundTruthExecutor", "ExecutionResult", "observed_time", "BlockTimi
 PORT_SIGMA = 0.10
 
 
-@dataclass(frozen=True)
-class BlockTiming:
+class BlockTiming(NamedTuple):
     """Per-timestep timing of one basic block on one rank.
+
+    A ``NamedTuple`` rather than a frozen dataclass: the executor builds
+    one per (run, block) on the study's hot path, and tuple construction
+    skips per-field ``object.__setattr__`` calls.
 
     Attributes
     ----------
@@ -69,9 +75,10 @@ class BlockTiming:
     working_set: float
 
 
-@dataclass(frozen=True)
-class ExecutionResult:
+class ExecutionResult(NamedTuple):
     """Outcome of one simulated application run.
+
+    A ``NamedTuple`` for the same hot-path reason as :class:`BlockTiming`.
 
     Attributes
     ----------
@@ -98,7 +105,72 @@ class ExecutionResult:
     compute_seconds: float
     comm_seconds: float
     noise_factor: float
-    blocks: tuple[BlockTiming, ...] = field(repr=False, default=())
+    blocks: tuple[BlockTiming, ...] = ()
+
+
+#: The scalar executor prices each block's traffic stride class by stride
+#: class (UNIT, SHORT, RANDOM — enum order), independent part before
+#: dependent part.  The tensorised path replays the same accumulation order
+#: so every float lands identically.
+_COMBOS = tuple(
+    (stride_class, dependent)
+    for stride_class in StrideClass
+    for dependent in (False, True)
+)
+
+#: Machine-independent block tensors, shared by every executor (a study
+#: builds one executor per system; the block statics and pattern shapes are
+#: identical across all of them).  Keyed by the (frozen, hashable) block
+#: tuple itself so modified copies of an application never collide.
+_APP_STATICS: dict[tuple[BasicBlock, ...], dict] = {}
+
+
+def _app_statics(app: ApplicationModel) -> dict:
+    """Block-axis statics of ``app`` that do not depend on the machine.
+
+    ``active_shapes`` holds, per (stride class, dependence) combination with
+    any traffic, the combination's class fractions, dependence parts, block
+    mask and per-block pattern shapes; executors price the shapes against
+    their own hierarchy.  All-empty combinations are dropped here once
+    instead of being re-tested on every timing call.
+    """
+    cached = _APP_STATICS.get(app.blocks)
+    if cached is not None:
+        return cached
+    blocks = app.blocks
+    dep = np.array([b.dependency_fraction for b in blocks])
+    class_frac = {
+        sc: np.array([b.stride.fraction(sc) for b in blocks]) for sc in StrideClass
+    }
+    active_shapes = []
+    for stride_class, dependent in _COMBOS:
+        frac = class_frac[stride_class]
+        part = dep if dependent else 1.0 - dep
+        mask = (frac > 0.0) & (part > 0.0)
+        if np.any(mask):
+            patterns = [
+                AccessPattern(
+                    working_set=1.0,
+                    stride=stride_class,
+                    stride_elems=b.stride.short_stride_elems,
+                    dependent=dependent,
+                    chase_fraction=b.chase_fraction,
+                )
+                for b in blocks
+            ]
+            active_shapes.append((frac, part, mask, patterns))
+    cached = {
+        "fp_per_cell": np.array([b.fp_per_cell for b in blocks]),
+        "bytes_per_cell": np.array([b.bytes_per_cell for b in blocks]),
+        "dep": dep,
+        "class_frac": class_frac,
+        "ws_scale": np.array([b.ws_scale for b in blocks]),
+        "ws_exponent": np.array([b.ws_exponent for b in blocks]),
+        "active_shapes": active_shapes,
+        "names": [b.name for b in blocks],
+    }
+    _APP_STATICS[app.blocks] = cached
+    return cached
 
 
 class GroundTruthExecutor:
@@ -118,6 +190,12 @@ class GroundTruthExecutor:
         self.noise = noise
         self.hierarchy = MemoryHierarchy.of(machine)
         self.network = NetworkModel.of(machine)
+        # Per-app tensors (block statics + per-(class, dependence) level
+        # bandwidth matrices) and port factors recur for every processor
+        # count and every repeat of a study cell; both are deterministic
+        # functions of (machine, app) and safe to memoise per executor.
+        self._app_cache: dict[tuple[BasicBlock, ...], dict] = {}
+        self._port_cache: dict[tuple[str, str], float] = {}
 
     # ------------------------------------------------------------------
     # per-block compute
@@ -176,8 +254,121 @@ class GroundTruthExecutor:
         application family) — the same factor at every processor count,
         as a compiler effect is.
         """
-        rng = stable_rng("port-factor", self.machine.name, app.name, app.testcase)
-        return float(math.exp(rng.normal(0.0, PORT_SIGMA)))
+        key = (app.name, app.testcase)
+        cached = self._port_cache.get(key)
+        if cached is None:
+            rng = stable_rng("port-factor", self.machine.name, app.name, app.testcase)
+            cached = float(math.exp(rng.normal(0.0, PORT_SIGMA)))
+            self._port_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # tensorised block timing
+    # ------------------------------------------------------------------
+    _COMBOS = _COMBOS  # module-level constant; kept as a class alias too
+
+    def _app_tensors(self, app: ApplicationModel) -> dict:
+        """Block-axis statics of ``app`` on this machine, built once.
+
+        Extends the machine-independent :func:`_app_statics` with, per
+        active (stride class, dependence) combination, the
+        ``(blocks, levels)`` matrix of per-level useful bandwidths — the
+        only machine-dependent pattern input that does *not* vary with the
+        processor count.
+        """
+        cached = self._app_cache.get(app.blocks)
+        if cached is not None:
+            return cached
+        statics = _app_statics(app)
+        cached = dict(statics)
+        cached["fp_rate"] = np.array([self._fp_rate(b) for b in app.blocks])
+        # Stack the active combinations into single (combos, blocks[, levels])
+        # tensors so the timing pass prices all of them in one dispatch set.
+        shapes = statics["active_shapes"]
+        if shapes:
+            cached["frac_stack"] = np.array([frac for frac, _, _, _ in shapes])
+            cached["part_stack"] = np.array([part for _, part, _, _ in shapes])
+            cached["mask_stack"] = np.array([mask for _, _, mask, _ in shapes])
+            flat_patterns = [p for _, _, _, patterns in shapes for p in patterns]
+            cached["level_bw_stack"] = self.hierarchy.level_bandwidth_matrix(
+                flat_patterns
+            ).reshape(len(shapes), len(app.blocks), -1)
+        else:
+            cached["frac_stack"] = None
+        self._app_cache[app.blocks] = cached
+        return cached
+
+    def _timings_arrays(
+        self, app: ApplicationModel, rank_cells: np.ndarray, rank_bytes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(t_fp, t_mem, seconds, ws)``, each ``(n_runs, n_blocks)``.
+
+        Bit-identical to mapping :meth:`block_timing` over ``app.blocks``
+        for every (rank_cells, rank_bytes) row: per-level and
+        per-combination accumulations run in the scalar path's order,
+        combinations the scalar path skips (zero class fraction or zero
+        dependence part) contribute an exact ``0.0``, and batching over
+        runs only widens the elementwise operations.
+        """
+        t = self._app_tensors(app)
+        rb = rank_bytes[:, None]
+        ws = np.minimum(
+            np.maximum(t["ws_scale"][None, :] * rb ** t["ws_exponent"][None, :],
+                       MIN_WORKING_SET),
+            rb,
+        )
+        residency = self.hierarchy.residency_matrix(ws.ravel()).reshape(
+            ws.shape[0], ws.shape[1], -1
+        )
+        total_bytes = t["bytes_per_cell"][None, :] * rank_cells[:, None]
+        t_fp = t["fp_per_cell"][None, :] * rank_cells[:, None] / t["fp_rate"][None, :]
+        if t["frac_stack"] is None:
+            t_mem = np.zeros(ws.shape)
+        else:
+            # All active combinations priced together: the per-level
+            # accumulation runs in level order (as the scalar path does) on
+            # a (combos, runs, blocks) stack, and the final reduce over the
+            # short combos axis is NumPy's sequential left fold — the same
+            # combination order and float order as accumulating one
+            # combination at a time.
+            level_bw = t["level_bw_stack"]  # (combos, blocks, levels)
+            time_per_byte = np.zeros((level_bw.shape[0],) + ws.shape)
+            for lvl in range(level_bw.shape[2]):
+                time_per_byte = (
+                    time_per_byte
+                    + residency[None, :, :, lvl] / level_bw[:, None, :, lvl]
+                )
+            eff_bw = 1.0 / time_per_byte
+            term = (
+                (total_bytes[None, :, :] * t["frac_stack"][:, None, :])
+                * t["part_stack"][:, None, :]
+                / eff_bw
+            )
+            t_mem = np.add.reduce(
+                np.where(t["mask_stack"][:, None, :], term, 0.0), axis=0
+            )
+        hidden = self.machine.overlap_factor * np.minimum(t_fp, t_mem)
+        seconds = t_fp + t_mem - hidden
+        return t_fp, t_mem, seconds, ws
+
+    def _timings(
+        self, app: ApplicationModel, rank_cells: float, rank_bytes: float
+    ) -> tuple[BlockTiming, ...]:
+        """All blocks' timings in one block-axis pass (see `_timings_arrays`)."""
+        t_fp, t_mem, seconds, ws = self._timings_arrays(
+            app, np.array([rank_cells]), np.array([rank_bytes])
+        )
+        names = self._app_tensors(app)["names"]
+        return tuple(
+            BlockTiming(
+                name=name,
+                fp_seconds=float(fp),
+                mem_seconds=float(mem),
+                seconds=float(sec),
+                working_set=float(w),
+            )
+            for name, fp, mem, sec, w in zip(names, t_fp[0], t_mem[0], seconds[0], ws[0])
+        )
 
     # ------------------------------------------------------------------
     # communication
@@ -203,52 +394,101 @@ class GroundTruthExecutor:
     # ------------------------------------------------------------------
     def run(self, app: ApplicationModel, cpus: int) -> ExecutionResult:
         """Simulate ``app`` at ``cpus`` processors; return the full breakdown."""
-        if cpus <= 0:
-            raise ValueError(f"cpus must be > 0, got {cpus}")
-        if cpus > self.machine.cpus:
-            raise ValueError(
-                f"{self.machine.name} has {self.machine.cpus} processors; "
-                f"cannot run at {cpus}"
+        return self.run_many(app, (cpus,))[0]
+
+    def run_many(
+        self,
+        app: ApplicationModel,
+        cpus_list: "Sequence[int]",
+        *,
+        detail: bool = True,
+    ) -> list[ExecutionResult]:
+        """Simulate ``app`` at several processor counts in one tensor pass.
+
+        The study runner's executor hot path: block timings for all counts
+        are computed in a single ``(runs, blocks)`` batch, so a whole
+        appendix-table column costs one set of NumPy dispatches instead of
+        one per cell.  Each result is bit-identical to the corresponding
+        scalar :meth:`run` call.  ``detail=False`` leaves each result's
+        ``blocks`` empty (identical totals, skips building the per-block
+        breakdown) for callers that only consume ``total_seconds``.
+        """
+        for cpus in cpus_list:
+            if cpus <= 0:
+                raise ValueError(f"cpus must be > 0, got {cpus}")
+            if cpus > self.machine.cpus:
+                raise ValueError(
+                    f"{self.machine.name} has {self.machine.cpus} processors; "
+                    f"cannot run at {cpus}"
+                )
+        if not cpus_list:
+            return []
+        rank_cells = np.array([app.rank_cells(cpus) for cpus in cpus_list])
+        rank_bytes = np.array([app.rank_bytes(cpus) for cpus in cpus_list])
+        t_fp, t_mem, seconds, ws = self._timings_arrays(app, rank_cells, rank_bytes)
+        names = self._app_tensors(app)["names"]
+        port = self._port_factor(app)
+
+        results = []
+        for i, cpus in enumerate(cpus_list):
+            if detail:
+                timings = tuple(
+                    BlockTiming(
+                        name=name,
+                        fp_seconds=float(fp),
+                        mem_seconds=float(mem),
+                        seconds=float(sec),
+                        working_set=float(w),
+                    )
+                    for name, fp, mem, sec, w in zip(
+                        names, t_fp[i], t_mem[i], seconds[i], ws[i]
+                    )
+                )
+                step_compute = sum(t.seconds for t in timings)
+            else:
+                timings = ()
+                # Same left-fold over the same per-block floats as the
+                # detailed path's sum, so totals stay bit-identical.
+                step_compute = 0
+                for sec in seconds[i]:
+                    step_compute += float(sec)
+            step_compute *= port
+
+            # Amdahl: a serial fraction of the whole-problem work is not
+            # divided.
+            amdahl = 1.0 - app.serial_fraction + app.serial_fraction * cpus
+            # Load imbalance grows slowly with the rank count.
+            imbalance = 1.0 + app.imbalance * math.log2(max(cpus, 2)) / 10.0
+            step_compute *= amdahl * imbalance
+
+            step_comm = self.comm_time_per_step(app, cpus)
+
+            compute = step_compute * app.timesteps
+            comm = step_comm * app.timesteps
+
+            noise_factor = 1.0
+            if self.noise:
+                rng = stable_rng("exec-noise", self.machine.name, app.label, cpus)
+                draw = float(rng.normal(0.0, self.machine.noise_level))
+                # clip to 3 sigma so a single unlucky key cannot distort a
+                # table
+                limit = 3.0 * self.machine.noise_level
+                noise_factor = 1.0 + max(-limit, min(limit, draw))
+
+            total = (compute + comm) * noise_factor
+            results.append(
+                ExecutionResult(
+                    machine=self.machine.name,
+                    application=app.label,
+                    cpus=cpus,
+                    total_seconds=total,
+                    compute_seconds=compute,
+                    comm_seconds=comm,
+                    noise_factor=noise_factor,
+                    blocks=timings,
+                )
             )
-        rank_cells = app.rank_cells(cpus)
-        rank_bytes = app.rank_bytes(cpus)
-
-        timings = tuple(
-            self.block_timing(block, rank_cells, rank_bytes) for block in app.blocks
-        )
-        step_compute = sum(t.seconds for t in timings)
-        step_compute *= self._port_factor(app)
-
-        # Amdahl: a serial fraction of the whole-problem work is not divided.
-        amdahl = 1.0 - app.serial_fraction + app.serial_fraction * cpus
-        # Load imbalance grows slowly with the rank count.
-        imbalance = 1.0 + app.imbalance * math.log2(max(cpus, 2)) / 10.0
-        step_compute *= amdahl * imbalance
-
-        step_comm = self.comm_time_per_step(app, cpus)
-
-        compute = step_compute * app.timesteps
-        comm = step_comm * app.timesteps
-
-        noise_factor = 1.0
-        if self.noise:
-            rng = stable_rng("exec-noise", self.machine.name, app.label, cpus)
-            draw = float(rng.normal(0.0, self.machine.noise_level))
-            # clip to 3 sigma so a single unlucky key cannot distort a table
-            limit = 3.0 * self.machine.noise_level
-            noise_factor = 1.0 + max(-limit, min(limit, draw))
-
-        total = (compute + comm) * noise_factor
-        return ExecutionResult(
-            machine=self.machine.name,
-            application=app.label,
-            cpus=cpus,
-            total_seconds=total,
-            compute_seconds=compute,
-            comm_seconds=comm,
-            noise_factor=noise_factor,
-            blocks=timings,
-        )
+        return results
 
 
 def observed_time(machine: MachineSpec, app: ApplicationModel, cpus: int) -> float:

@@ -16,6 +16,8 @@ export-controlled / unavailable); DESIGN.md §2 records the substitution.
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.apps.model import ApplicationModel, BasicBlock, CommEvent
 from repro.memory.patterns import StrideHistogram
 from repro.network.model import CollectiveKind
@@ -423,13 +425,30 @@ APPLICATIONS = {
 
 
 def get_application(label: str) -> ApplicationModel:
-    """Instantiate the test case called ``label`` (e.g. ``"AVUS-standard"``)."""
+    """Instantiate the test case called ``label`` (e.g. ``"AVUS-standard"``).
+
+    A ``"label@k"`` suffix (``k`` a positive integer) names a synthetic
+    *replica* of the base test case: the same model under a distinct study
+    label, so benches can scale the study matrix (``--scale N``) without
+    inventing new applications.  Replicas resolve in any process — the
+    suffix is parsed here, not registered — which keeps parallel study
+    workers oblivious to scaling.
+    """
+    base_label, sep, suffix = label.partition("@")
     try:
-        factory = APPLICATIONS[label]
+        factory = APPLICATIONS[base_label]
     except KeyError:
         known = ", ".join(APPLICATIONS)
         raise KeyError(f"unknown application {label!r}; known: {known}") from None
-    return factory()
+    app = factory()
+    if not sep:
+        return app
+    if not suffix.isdigit() or int(suffix) <= 0:
+        raise KeyError(
+            f"bad replica suffix in {label!r}; expected '<label>@<positive int>'"
+        )
+    # label round-trips: app.label == f"{base_label}@{suffix}"
+    return dataclasses.replace(app, testcase=f"{app.testcase}@{suffix}")
 
 
 def list_applications() -> list[str]:

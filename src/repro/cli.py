@@ -137,6 +137,14 @@ def main(argv: list[str] | None = None) -> int:
         help="persist traces and probe results under DIR so repeated "
         "invocations skip the non-recurring costs",
     )
+    parser.add_argument(
+        "--cache-model",
+        choices=["analytic", "exact"],
+        default="analytic",
+        help="cache accounting back-end when tracing: 'analytic' prices all "
+        "levels from one reuse-distance profile (default), 'exact' replays "
+        "streams through the set-associative simulator",
+    )
     args = parser.parse_args(argv)
 
     needs_study = args.artifact in {
@@ -152,7 +160,9 @@ def main(argv: list[str] | None = None) -> int:
     if needs_study:
         from repro.study.runner import StudyConfig
 
-        config = StudyConfig(mode=args.mode, noise=not args.no_noise)
+        config = StudyConfig(
+            mode=args.mode, noise=not args.no_noise, cache_model=args.cache_model
+        )
         result = run_study(config, workers=args.workers, store=args.cache_dir)
 
     if args.artifact in {"table4", "all"}:

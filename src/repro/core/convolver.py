@@ -38,7 +38,13 @@ from repro.probes.results import MachineProbes
 from repro.tracing.trace import ApplicationTrace, BlockTrace, CommRecord
 from repro.util.validation import check_fraction
 
-__all__ = ["MemoryModel", "Convolver", "ConvolvedTime", "BlockPrediction"]
+__all__ = [
+    "MemoryModel",
+    "Convolver",
+    "ConvolvedTime",
+    "BlockPrediction",
+    "RateTable",
+]
 
 #: Fraction of min(FP, memory) time the convolver assumes is hidden by
 #: overlap.  A single number for all machines — the predictor cannot know
@@ -140,6 +146,102 @@ class _TraceArrays:
         )
 
 
+class RateTable:
+    """Shared rate tensors of one trace against a list of machines.
+
+    The tensorised pipeline's working set: the trace's (blocks x
+    categories) operation matrix (:class:`_TraceArrays`) plus, per rate
+    category, a machines-axis (or ``(machines, blocks)`` for working-set
+    dependent MAPS curves) rate tensor.  Building one table per study row
+    and handing it to every metric's convolver means the expensive parts —
+    block extraction, the four MAPS curve interpolations per machine, the
+    per-event network pricing — happen once per row instead of once per
+    (metric, machine) cell.
+
+    All tensors are lazy: a metric mix without MAPS models never
+    interpolates a curve, and the network term only prices when some
+    metric carries the NETBENCH component.
+    """
+
+    def __init__(self, trace: ApplicationTrace, probes_list: list[MachineProbes]):
+        self.trace = trace
+        self.probes_list = list(probes_list)
+        self.arrays = _TraceArrays.of(trace)
+        self.rmax = np.array([p.hpl.rmax_flops for p in self.probes_list])
+        self._stream_bw: np.ndarray | None = None
+        self._gups_bw: np.ndarray | None = None
+        self._maps_bw: dict[str, np.ndarray] = {}
+        self._log_ws: np.ndarray | None = None
+        self._comm: np.ndarray | None = None
+
+    @property
+    def stream_bw(self) -> np.ndarray:
+        """(machines,) STREAM bandwidths."""
+        if self._stream_bw is None:
+            self._stream_bw = np.array(
+                [p.stream.bandwidth for p in self.probes_list]
+            )
+        return self._stream_bw
+
+    @property
+    def gups_bw(self) -> np.ndarray:
+        """(machines,) GUPS random bandwidths."""
+        if self._gups_bw is None:
+            self._gups_bw = np.array(
+                [p.gups.random_bandwidth for p in self.probes_list]
+            )
+        return self._gups_bw
+
+    def maps_bw(self, kind: str) -> np.ndarray:
+        """(machines, blocks) MAPS bandwidths of ``kind`` at each block's WS."""
+        cached = self._maps_bw.get(kind)
+        if cached is None:
+            if self._log_ws is None:
+                # One log per row, shared by every (machine, kind) lookup.
+                self._log_ws = np.log(self.arrays.working_set)
+            log_ws = self._log_ws
+            cached = np.vstack(
+                [p.maps.curve(kind).lookup_many_log(log_ws) for p in self.probes_list]
+            )
+            self._maps_bw[kind] = cached
+        return cached
+
+    def comm_seconds(self) -> np.ndarray:
+        """(machines,) per-timestep network seconds for the traced events."""
+        if self._comm is None:
+            self._comm = np.array(
+                [
+                    _comm_seconds(self.trace.comm, p, self.trace.cpus)
+                    for p in self.probes_list
+                ]
+            )
+        return self._comm
+
+
+def _comm_seconds(
+    records: tuple[CommRecord, ...], probes: MachineProbes, cpus: int
+) -> float:
+    """Price one timestep of traced MPI events with NETBENCH results."""
+    net = probes.netbench
+    time = 0.0
+    for rec in records:
+        if rec.is_p2p:
+            per = net.point_to_point(rec.size_bytes) * rec.neighbors
+        elif rec.kind is CollectiveKind.ALLREDUCE:
+            per = net.allreduce_time(cpus, rec.size_bytes)
+        elif rec.kind is CollectiveKind.BARRIER:
+            per = net.allreduce_time(cpus, 8.0) / 2.0
+        elif rec.kind is CollectiveKind.BROADCAST:
+            depth = math.ceil(math.log2(max(cpus, 2)))
+            per = depth * net.point_to_point(rec.size_bytes)
+        elif rec.kind is CollectiveKind.ALLTOALL:
+            per = (cpus - 1) * net.point_to_point(rec.size_bytes)
+        else:
+            raise ValueError(f"unhandled comm kind {rec.kind!r}")
+        time += rec.count * per
+    return time
+
+
 class Convolver:
     """Convolve application traces with machine probe results.
 
@@ -214,24 +316,7 @@ class Convolver:
         self, records: tuple[CommRecord, ...], probes: MachineProbes, cpus: int
     ) -> float:
         """Price one timestep of traced MPI events with NETBENCH results."""
-        net = probes.netbench
-        time = 0.0
-        for rec in records:
-            if rec.is_p2p:
-                per = net.point_to_point(rec.size_bytes) * rec.neighbors
-            elif rec.kind is CollectiveKind.ALLREDUCE:
-                per = net.allreduce_time(cpus, rec.size_bytes)
-            elif rec.kind is CollectiveKind.BARRIER:
-                per = net.allreduce_time(cpus, 8.0) / 2.0
-            elif rec.kind is CollectiveKind.BROADCAST:
-                depth = math.ceil(math.log2(max(cpus, 2)))
-                per = depth * net.point_to_point(rec.size_bytes)
-            elif rec.kind is CollectiveKind.ALLTOALL:
-                per = (cpus - 1) * net.point_to_point(rec.size_bytes)
-            else:
-                raise ValueError(f"unhandled comm kind {rec.kind!r}")
-            time += rec.count * per
-        return time
+        return _comm_seconds(records, probes, cpus)
 
     # ------------------------------------------------------------------
     def _mem_seconds_arrays(
@@ -331,6 +416,60 @@ class Convolver:
             )
         return out
 
+    # ------------------------------------------------------------------
+    def _mem_seconds_matrix(self, rates: RateTable) -> np.ndarray:
+        """(machines, blocks) memory seconds — the 2-D form of
+        :meth:`_mem_seconds_arrays` (same per-element operation order)."""
+        model = self.memory_model
+        arrays = rates.arrays
+        n_machines = len(rates.probes_list)
+        if model is MemoryModel.NONE:
+            return np.zeros((n_machines, arrays.total_bytes.shape[0]))
+        if model is MemoryModel.STREAM:
+            return arrays.total_bytes[None, :] / rates.stream_bw[:, None]
+
+        strided = arrays.strided_bytes[None, :]
+        random = arrays.random_bytes[None, :]
+        if model is MemoryModel.STREAM_GUPS:
+            return (
+                strided / rates.stream_bw[:, None]
+                + random / rates.gups_bw[:, None]
+            )
+
+        unit_bw = rates.maps_bw("unit")
+        random_bw = rates.maps_bw("random")
+        if model is MemoryModel.MAPS:
+            return strided / unit_bw + random / random_bw
+
+        if model is MemoryModel.MAPS_DEP:
+            w = rates.arrays.dependency[None, :]
+            t = strided * (1.0 - w) / unit_bw
+            t = t + random * (1.0 - w) / random_bw
+            t = t + strided * w / rates.maps_bw("unit_dep")
+            t = t + random * w / rates.maps_bw("random_dep")
+            return t
+        raise AssertionError(f"unhandled memory model {model!r}")
+
+    def total_seconds_matrix(self, rates: RateTable) -> np.ndarray:
+        """Predicted wall-clock seconds for every machine of ``rates``.
+
+        The whole machines x blocks sheet is priced in one 2-D pass;
+        element ``m`` is bit-identical to
+        ``predict(trace, rates.probes_list[m]).total_seconds`` (the same
+        elementwise operations in the same order, with row sums reducing
+        sequentially like the 1-D path).
+        """
+        arrays = rates.arrays
+        t_fp = arrays.fp_ops[None, :] / rates.rmax[:, None]
+        t_mem = self._mem_seconds_matrix(rates)
+        hidden = self.overlap * np.minimum(t_fp, t_mem)
+        seconds = t_fp + t_mem - hidden
+        compute = np.sum(seconds, axis=1) * rates.trace.timesteps
+        if not self.network:
+            return compute + 0.0
+        comm = rates.comm_seconds() * rates.trace.timesteps
+        return compute + comm
+
     def total_seconds_batch(
         self, trace: ApplicationTrace, probes_list: list[MachineProbes]
     ) -> list[float]:
@@ -340,12 +479,8 @@ class Convolver:
         skips building the per-block breakdown dataclasses — the study
         runner's inner loop only ever needs the totals.
         """
-        return [
-            compute + comm
-            for _probes, _fp, _mem, _sec, compute, comm in self._batch_core(
-                trace, probes_list
-            )
-        ]
+        totals = self.total_seconds_matrix(RateTable(trace, list(probes_list)))
+        return [float(t) for t in totals]
 
     def predict(self, trace: ApplicationTrace, probes: MachineProbes) -> ConvolvedTime:
         """Predict the traced application's wall-clock time on ``probes``' machine."""

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.core.convolver import Convolver, MemoryModel
+from repro.core.convolver import Convolver, MemoryModel, RateTable
 from repro.probes.results import MachineProbes
 from repro.tracing.trace import ApplicationTrace
 from repro.util.validation import check_in
@@ -32,6 +32,7 @@ __all__ = [
     "PredictiveMetric",
     "ALL_METRICS",
     "get_metric",
+    "predict_all",
 ]
 
 
@@ -191,13 +192,56 @@ class PredictiveMetric(Metric):
         base_time: float,
         mode: str = "relative",
     ) -> list[float]:
-        """Batch :meth:`predict` over targets, convolving the base once."""
+        """Batch :meth:`predict` over targets, convolving the base once.
+
+        Targets and base share one :class:`~repro.core.convolver.RateTable`
+        (base as the last column), so the whole row is one matrix pass.
+        """
         check_in("mode", mode, ("relative", "absolute"))
-        c_targets = self.convolver.total_seconds_batch(trace, target_probes_list)
+        rates = RateTable(trace, list(target_probes_list) + [base_probes])
+        return self._predict_from_rates(rates, base_time, mode)
+
+    def _predict_from_rates(
+        self, rates: RateTable, base_time: float, mode: str
+    ) -> list[float]:
+        """Price a prepared rate table (targets plus trailing base column)."""
+        totals = self.convolver.total_seconds_matrix(rates)
+        c_targets = [float(t) for t in totals[:-1]]
         if mode == "absolute":
             return c_targets
-        (c_base,) = self.convolver.total_seconds_batch(trace, [base_probes])
+        c_base = float(totals[-1])
         return [(c_target / c_base) * base_time for c_target in c_targets]
+
+
+def predict_all(
+    metrics: list[Metric],
+    trace: ApplicationTrace,
+    target_probes_list: list[MachineProbes],
+    base_probes: MachineProbes,
+    base_time: float,
+    mode: str = "relative",
+) -> dict[int, list[float]]:
+    """Predict one (application, cpus) row for every metric at once.
+
+    The study runner's inner step: all predictive metrics share a single
+    :class:`~repro.core.convolver.RateTable` (one block extraction, one set
+    of MAPS interpolations, one network pricing — per row, not per metric),
+    then each prices its own matrix pass.  Every returned value is
+    bit-identical to the corresponding scalar :meth:`Metric.predict` call.
+    """
+    check_in("mode", mode, ("relative", "absolute"))
+    rates: RateTable | None = None
+    out: dict[int, list[float]] = {}
+    for metric in metrics:
+        if isinstance(metric, PredictiveMetric):
+            if rates is None:
+                rates = RateTable(trace, list(target_probes_list) + [base_probes])
+            out[metric.number] = metric._predict_from_rates(rates, base_time, mode)
+        else:
+            out[metric.number] = metric.predict_many(
+                trace, target_probes_list, base_probes, base_time, mode
+            )
+    return out
 
 
 def _build_metrics() -> dict[int, Metric]:

@@ -246,6 +246,41 @@ class MultiLevelCache:
         for level in self.levels:
             level.reset()
 
+    def service_fractions_analytic(self, addresses: np.ndarray) -> dict[str, float]:
+        """Per-level service fractions from one reuse-distance pass.
+
+        Machine-independent core: the stream is profiled once per distinct
+        line size (:func:`repro.memory.reuse.reuse_profile`) and each
+        level's hit rate falls out of its ``(n_sets, ways)`` geometry in
+        O(1) — no replay, so pricing another machine's hierarchy reuses the
+        same profile.  Cumulative hit rates are forced monotone across
+        levels (an inclusive stack can only serve more from a farther
+        level), then differenced into the same ``{level: fraction, "MEM":
+        fraction}`` shape :meth:`simulate` reports.  Agreement with the
+        exact simulator is within the binomial conflict model's tolerance
+        (DESIGN.md §5c), not exact — keep :meth:`simulate` for golden runs.
+        """
+        from repro.memory.reuse import reuse_profile
+
+        addrs = np.asarray(addresses, dtype=np.int64)
+        if addrs.shape[0] == 0:
+            return {name: 0.0 for name in self.names} | {"MEM": 0.0}
+        profiles = {
+            lb: reuse_profile(addrs, lb)
+            for lb in {level.line_bytes for level in self.levels}
+        }
+        hit_rates = np.array(
+            [
+                profiles[level.line_bytes].assoc_hit_fraction(level.n_sets, level.ways)
+                for level in self.levels
+            ]
+        )
+        cumulative = np.maximum.accumulate(hit_rates)
+        served = np.diff(np.concatenate([[0.0], cumulative]))
+        out = {name: float(f) for name, f in zip(self.names, served)}
+        out["MEM"] = float(1.0 - cumulative[-1])
+        return out
+
     def simulate(self, addresses: np.ndarray) -> CacheStats:
         """Replay ``addresses`` through the stack and tally per-level hits.
 

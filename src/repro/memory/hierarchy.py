@@ -176,6 +176,106 @@ class MemoryHierarchy:
         self._bandwidth_cache[pattern] = bw
         return bw
 
+    def effective_bandwidth_sweep(
+        self, pattern: AccessPattern, working_sets: np.ndarray
+    ) -> np.ndarray:
+        """Achieved bandwidth of ``pattern``'s *shape* at many working sets.
+
+        Per-level pricing depends only on the pattern's shape (stride,
+        dependence, element size) — never on the working set — so a sweep
+        prices the levels once and varies only the residency mix.  Each
+        element is bit-identical to :meth:`effective_bandwidth` on the same
+        shape with that working set (the per-level accumulation runs in the
+        same order, and levels with zero residency contribute an exact
+        ``0.0``).  This is the MAPS probe's hot path.
+        """
+        ws = np.asarray(working_sets, dtype=float)
+        if ws.size and float(np.min(ws)) <= 0.0:
+            raise ValueError("working sets must be > 0")
+        level_bws = self._level_bandwidths(pattern)
+        time_per_byte = np.zeros(ws.shape)
+        prev = np.zeros(ws.shape)
+        last = len(self.levels) - 1
+        for i, (level, level_bw) in enumerate(zip(self.levels, level_bws)):
+            if i == last:
+                cum = np.ones(ws.shape)
+            else:
+                cum = np.minimum(1.0, level.size_bytes / ws)
+            frac = np.maximum(cum - prev, 0.0)
+            prev = cum
+            time_per_byte = time_per_byte + frac / level_bw
+        return 1.0 / time_per_byte
+
+    def residency_matrix(self, working_sets: np.ndarray) -> np.ndarray:
+        """Row-per-working-set residency fractions (``(n_ws, n_levels)``).
+
+        Vectorised :meth:`residency_fractions`; rows are bit-identical.
+        """
+        ws = np.asarray(working_sets, dtype=float)
+        if ws.size and float(np.min(ws)) <= 0.0:
+            raise ValueError("working sets must be > 0")
+        out = np.empty((ws.shape[0], len(self.levels)))
+        prev = np.zeros(ws.shape)
+        last = len(self.levels) - 1
+        for i, level in enumerate(self.levels):
+            if i == last:
+                cum = np.ones(ws.shape)
+            else:
+                cum = np.minimum(1.0, level.size_bytes / ws)
+            out[:, i] = np.maximum(cum - prev, 0.0)
+            prev = cum
+        return out
+
+    def level_bandwidth_row(self, pattern: AccessPattern) -> tuple[float, ...]:
+        """Per-level useful bandwidths for ``pattern``'s shape (cached)."""
+        return self._level_bandwidths(pattern)
+
+    def level_bandwidth_matrix(self, patterns: Sequence[AccessPattern]) -> np.ndarray:
+        """``(n_patterns, n_levels)`` useful bandwidths for many shapes at once.
+
+        Row ``i`` is bit-identical to ``level_bandwidth_row(patterns[i])``:
+        every branch of :meth:`level_useful_bandwidth` runs the same
+        operations in the same order, just elementwise across the stack
+        (the executor prices all (stride class, dependence) splits of an
+        application's blocks in one call here).
+        """
+        levels = self.levels
+        lat = np.array([lvl.latency for lvl in levels])
+        mlp = np.array([float(lvl.mlp) for lvl in levels])
+        bw = np.array([lvl.bandwidth for lvl in levels])
+        line = np.array([float(lvl.line_bytes) for lvl in levels])
+        dsf = np.array([lvl.dependent_stream_factor for lvl in levels])
+
+        elem = np.array([float(p.element_bytes) for p in patterns])[:, None]
+        dep = np.array([p.dependent for p in patterns])[:, None]
+        cf = np.array([p.chase_fraction for p in patterns])[:, None]
+        rand = np.array([p.stride is StrideClass.RANDOM for p in patterns])[:, None]
+        # Random patterns have no stride_bytes; feed a placeholder through
+        # the strided branch — np.where discards those lanes.
+        sb = np.array(
+            [
+                float(
+                    p.element_bytes
+                    if p.stride is StrideClass.RANDOM
+                    else p.stride_bytes
+                )
+                for p in patterns
+            ]
+        )[:, None]
+
+        chase = elem / lat
+        overlap = np.minimum(elem * mlp / lat, bw)
+        waste = np.minimum(sb, line) / elem
+        strided = bw / waste
+        t_per_byte = (1.0 - cf) / (strided * dsf)
+        t_per_byte = t_per_byte + cf * lat / elem
+        dep_strided = 1.0 / t_per_byte
+        return np.where(
+            rand,
+            np.where(dep, chase, overlap),
+            np.where(dep, dep_strided, strided),
+        )
+
     def access_time(self, pattern: AccessPattern, total_bytes: float) -> float:
         """Seconds to consume ``total_bytes`` of useful data under ``pattern``."""
         if total_bytes < 0:

@@ -67,43 +67,61 @@ class StrideDetector:
         self.short_max = short_max
         self.line_bytes = line_bytes
 
-    def classify(self, addresses: np.ndarray) -> StrideReport:
+    def classify(
+        self, addresses: np.ndarray, *, working_set: bool = True
+    ) -> StrideReport:
         """Analyse one reference stream (addresses of a single load/store group).
 
         The first reference of a stream has no predecessor and inherits the
         classification of the second, matching how per-instruction stride
-        detectors warm up.
+        detectors warm up.  ``working_set=False`` skips the distinct-line
+        count (the costliest part) and reports ``nan`` — for callers that
+        estimate working sets another way.
         """
         addrs = np.asarray(addresses, dtype=np.int64)
         n = int(addrs.shape[0])
         if n == 0:
             raise ValueError("cannot classify an empty address stream")
-        lines = np.unique(addrs // self.line_bytes)
-        ws = float(lines.size * self.line_bytes)
+        if working_set:
+            lines = np.unique(addrs // self.line_bytes)
+            ws = float(lines.size * self.line_bytes)
+        else:
+            ws = float("nan")
         if n == 1:
             hist = StrideHistogram(unit=1.0, short=0.0, random=0.0)
             return StrideReport(histogram=hist, working_set_bytes=ws, references=1)
 
-        deltas = np.diff(addrs)
-        elem_strides = deltas / self.element_bytes
-        abs_strides = np.abs(elem_strides)
+        deltas = addrs[1:] - addrs[:-1]  # np.diff minus the wrapper overhead
+        # Classification happens in the integer byte domain: an element
+        # stride |d/e| is exactly 1 (or within [2, short_max]) iff the byte
+        # delta |d| is exactly e (or within [2e, short_max*e]) — integer
+        # comparisons give bit-for-bit the classification the float
+        # element-stride domain would, without a float division per delta.
+        eb = self.element_bytes
+        abs_deltas = np.abs(deltas)
         # wrap-around jumps of a cyclic sweep look like one huge stride; they
         # are a fixed, detectable artifact and real detectors ignore them.
-        unit = np.count_nonzero(abs_strides == 1)
-        short = np.count_nonzero((abs_strides >= 2) & (abs_strides <= self.short_max))
+        unit = int(np.count_nonzero(abs_deltas == eb))
+        short_mask = (abs_deltas >= 2 * eb) & (abs_deltas <= self.short_max * eb)
+        short = int(np.count_nonzero(short_mask))
         random = deltas.size - unit - short
         hist = StrideHistogram.normalised(
             unit=float(unit),
             short=float(short),
             random=float(random),
-            short_stride_elems=self._dominant_short_stride(abs_strides),
+            short_stride_elems=self._dominant_short_stride(
+                abs_deltas, short_mask, short
+            ),
         )
         return StrideReport(histogram=hist, working_set_bytes=ws, references=n)
 
-    def _dominant_short_stride(self, abs_strides: np.ndarray) -> int:
-        mask = (abs_strides >= 2) & (abs_strides <= self.short_max)
-        if not np.any(mask):
+    def _dominant_short_stride(
+        self, abs_deltas: np.ndarray, short_mask: np.ndarray, short: int
+    ) -> int:
+        if short == 0:
             return 4
-        values = abs_strides[mask].astype(np.int64)
+        # Truncated element strides, as the float path's astype produced
+        # (byte deltas are non-negative here, so floor == trunc).
+        values = (abs_deltas[short_mask] / self.element_bytes).astype(np.int64)
         counts = np.bincount(values, minlength=self.short_max + 1)
         return int(np.argmax(counts))

@@ -42,14 +42,12 @@ def _sweep(
     stride: StrideClass,
     dependent: bool,
 ) -> MapsCurve:
-    bws = np.array(
-        [
-            hierarchy.effective_bandwidth(
-                AccessPattern(working_set=float(s), stride=stride, dependent=dependent)
-            )
-            for s in sizes
-        ]
+    # One level-pricing pass for the whole grid; each point is bit-identical
+    # to the former per-size effective_bandwidth call.
+    shape = AccessPattern(
+        working_set=float(sizes[0]), stride=stride, dependent=dependent
     )
+    bws = hierarchy.effective_bandwidth_sweep(shape, sizes)
     return MapsCurve(sizes=sizes.copy(), bandwidths=bws)
 
 

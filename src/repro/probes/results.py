@@ -113,16 +113,13 @@ class MapsCurve:
             raise ValueError("bandwidths must be positive")
         object.__setattr__(self, "sizes", sizes)
         object.__setattr__(self, "bandwidths", bws)
+        object.__setattr__(self, "_log_sizes", np.log(sizes))
 
     def lookup(self, working_set: float) -> float:
         """Bandwidth (B/s) at ``working_set`` bytes."""
         if working_set <= 0:
             raise ValueError(f"working_set must be > 0, got {working_set!r}")
-        return float(
-            np.interp(
-                np.log(working_set), np.log(self.sizes), self.bandwidths
-            )
-        )
+        return float(np.interp(np.log(working_set), self._log_sizes, self.bandwidths))
 
     def lookup_many(self, working_sets: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`lookup` over an array of working-set sizes.
@@ -133,7 +130,16 @@ class MapsCurve:
         ws = np.asarray(working_sets, dtype=float)
         if np.any(ws <= 0):
             raise ValueError("working sets must all be > 0")
-        return np.interp(np.log(ws), np.log(self.sizes), self.bandwidths)
+        return np.interp(np.log(ws), self._log_sizes, self.bandwidths)
+
+    def lookup_many_log(self, log_working_sets: np.ndarray) -> np.ndarray:
+        """:meth:`lookup_many` for callers holding pre-taken ``log(ws)``.
+
+        The convolver's rate table prices one row's working sets against
+        every machine and curve kind; taking the log once there turns each
+        curve lookup into a single ``np.interp``.
+        """
+        return np.interp(log_working_sets, self._log_sizes, self.bandwidths)
 
     @property
     def main_memory_bandwidth(self) -> float:

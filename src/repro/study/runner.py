@@ -12,10 +12,12 @@ The engine is built for throughput:
   eligible systems through the metrics' batch path
   (:meth:`~repro.core.metrics.Metric.predict_many`), so no cell re-loops
   scalar block math;
-* ``workers=N`` fans the embarrassingly-parallel cells out over a process
-  pool, chunked by (application, system), and merges results in canonical
-  order — every RNG draw is seed-stable, so parallel output is
-  byte-identical to serial;
+* ``workers=N`` fans the embarrassingly-parallel cells out over a
+  persistent, probe-warmed process pool, chunked by application row so
+  each trace stays in the worker that prices it, and merges results in
+  canonical order — every RNG draw is seed-stable, so parallel output is
+  byte-identical to serial; matrices under :data:`PARALLEL_MIN_CELLS`
+  cells stay serial, so fan-out never loses to a serial run;
 * an opt-in :class:`~repro.tracing.store.TraceStore` persists traces and
   probe results on disk, letting repeated studies, ablations and fresh
   worker processes skip the non-recurring costs entirely.
@@ -23,23 +25,38 @@ The engine is built for throughput:
 
 from __future__ import annotations
 
+import atexit
 import os
 from collections import defaultdict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
+from typing import NamedTuple
 
 import numpy as np
 
 from repro.apps.execution import GroundTruthExecutor
 from repro.apps.suite import APPLICATIONS, get_application
-from repro.core.errors import ErrorSummary, signed_error, summarise
-from repro.core.metrics import ALL_METRICS
-from repro.machines.registry import BASE_SYSTEM, TARGET_SYSTEMS, get_machine
+from repro.core.errors import ErrorSummary, summarise
+from repro.core.metrics import ALL_METRICS, predict_all
+from repro.machines.registry import BASE_SYSTEM, MACHINES, TARGET_SYSTEMS, get_machine
 from repro.probes.suite import probe_machine
-from repro.tracing.metasim import DEFAULT_SAMPLE_SIZE, trace_application
+from repro.tracing.metasim import CACHE_MODELS, DEFAULT_SAMPLE_SIZE, trace_application
 from repro.tracing.store import TraceStore
+from repro.util.timing import StageTimer
 
-__all__ = ["StudyConfig", "PredictionRecord", "StudyResult", "run_study"]
+__all__ = [
+    "StudyConfig",
+    "PredictionRecord",
+    "StudyResult",
+    "run_study",
+    "PARALLEL_MIN_CELLS",
+]
+
+#: Below this many (application, cpus, system) cells a study runs serially
+#: even when ``workers > 1``: fan-out overhead (chunk pickling, result
+#: transfer) exceeds the compute of a small matrix, and the paper's own
+#: 145-cell matrix sits under it.  DESIGN.md §5c records the measurement.
+PARALLEL_MIN_CELLS = 200
 
 
 @dataclass(frozen=True)
@@ -48,7 +65,9 @@ class StudyConfig:
 
     The defaults reproduce the paper's setup exactly; ablation benches
     construct variants (``noise=False``, ``mode="absolute"``, coarser
-    tracer sampling, ...).
+    tracer sampling, ...).  Every identifier is validated on construction:
+    an unknown application label, system name, metric number, mode or
+    cache model raises :class:`ValueError` naming the offending key.
     """
 
     applications: tuple[str, ...] = tuple(APPLICATIONS)
@@ -58,15 +77,55 @@ class StudyConfig:
     mode: str = "relative"
     sample_size: int = DEFAULT_SAMPLE_SIZE
     noise: bool = True
+    cache_model: str = "analytic"
+
+    def __post_init__(self) -> None:
+        for label in self.applications:
+            base_label = label.partition("@")[0]
+            if base_label not in APPLICATIONS:
+                known = ", ".join(APPLICATIONS)
+                raise ValueError(
+                    f"unknown application {label!r} in StudyConfig.applications; "
+                    f"known: {known}"
+                )
+        for system in self.systems:
+            if system not in MACHINES:
+                known = ", ".join(MACHINES)
+                raise ValueError(
+                    f"unknown system {system!r} in StudyConfig.systems; known: {known}"
+                )
+        if self.base_system not in MACHINES:
+            known = ", ".join(MACHINES)
+            raise ValueError(
+                f"unknown base system {self.base_system!r}; known: {known}"
+            )
+        for number in self.metrics:
+            if number not in ALL_METRICS:
+                known = ", ".join(str(m) for m in ALL_METRICS)
+                raise ValueError(
+                    f"unknown metric {number!r} in StudyConfig.metrics; known: {known}"
+                )
+        if self.mode not in ("relative", "absolute"):
+            raise ValueError(
+                f"unknown mode {self.mode!r}; known: relative, absolute"
+            )
+        if self.cache_model not in CACHE_MODELS:
+            known = ", ".join(CACHE_MODELS)
+            raise ValueError(
+                f"unknown cache model {self.cache_model!r}; known: {known}"
+            )
 
     def variant(self, **changes) -> "StudyConfig":
         """A copy with the given fields replaced."""
         return replace(self, **changes)
 
 
-@dataclass(frozen=True)
-class PredictionRecord:
+class PredictionRecord(NamedTuple):
     """One (run, metric) outcome.
+
+    A ``NamedTuple`` rather than a frozen dataclass: a full study emits
+    1350 of these and tuple construction skips per-field
+    ``object.__setattr__`` calls.
 
     Attributes
     ----------
@@ -99,6 +158,11 @@ class StudyResult:
     config: StudyConfig
     records: list[PredictionRecord]
     observed: dict[tuple[str, str, int], float] = field(default_factory=dict)
+    #: Wall-clock seconds per pipeline stage (probe / trace / cache_model /
+    #: execute / convolve); parallel runs sum the workers' breakdowns, so
+    #: stage seconds can exceed the run's wall time.  Diagnostic only —
+    #: excluded from equality.
+    stage_seconds: dict[str, float] = field(default_factory=dict, compare=False)
     _select_index: dict[str, dict] | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -237,48 +301,87 @@ def _run_submatrix(
     labels: tuple[str, ...],
     systems: tuple[str, ...],
     store: TraceStore | None,
+    timer: StageTimer | None = None,
 ) -> tuple[list[PredictionRecord], dict[tuple[str, str, int], float]]:
     """Compute the (labels x systems) block of the study matrix.
 
     Each (application, cpus) row is traced once and priced against all
-    eligible systems per metric in one :meth:`predict_many` batch; records
-    are then emitted in the canonical (application, system, cpus, metric)
-    order.  Per-system results are independent, so any partition of the
-    matrix produces the same records cell-for-cell.
+    eligible systems for **all** metrics in one shot
+    (:func:`~repro.core.metrics.predict_all` shares the row's rate tensors
+    across metrics); records are then emitted in the canonical
+    (application, system, cpus, metric) order.  Per-system results are
+    independent, so any partition of the matrix produces the same records
+    cell-for-cell.
     """
+    t = timer if timer is not None else StageTimer()
     base_machine = get_machine(cfg.base_system)
-    base_probes = probe_machine(base_machine, store=store)
+    with t.time("probe"):
+        base_probes = probe_machine(base_machine, store=store)
+        machines = {system: get_machine(system) for system in systems}
+        probes = {
+            system: probe_machine(machine, store=store)
+            for system, machine in machines.items()
+        }
     base_executor = GroundTruthExecutor(base_machine, noise=cfg.noise)
-    machines = {system: get_machine(system) for system in systems}
     executors = {
         system: GroundTruthExecutor(machine, noise=cfg.noise)
         for system, machine in machines.items()
     }
-    probes = {system: probe_machine(machine, store=store) for system, machine in machines.items()}
     metrics = [ALL_METRICS[m] for m in cfg.metrics]
 
     actuals: dict[tuple[str, str, int], float] = {}
-    predictions: dict[tuple[str, str, int, int], float] = {}
+    #: (label, system, cpus) -> predicted seconds per metric, in cfg.metrics
+    #: order.
+    predictions: dict[tuple[str, str, int], list[float]] = {}
     for label in labels:
         app = get_application(label)
-        for cpus in app.cpu_counts:
-            eligible = [s for s in systems if cpus <= machines[s].cpus]
-            if not eligible:
-                continue  # paper leaves these cells blank
-            for system in eligible:
-                actuals[(label, system, cpus)] = executors[system].run(app, cpus).total_seconds
-            trace = trace_application(app, cpus, base_machine, cfg.sample_size, store=store)
-            base_time = base_executor.run(app, cpus).total_seconds
-            probes_row = [probes[system] for system in eligible]
-            for metric in metrics:
-                predicted_row = metric.predict_many(
-                    trace, probes_row, base_probes, base_time, cfg.mode
+        eligible_rows = [
+            (cpus, [s for s in systems if cpus <= machines[s].cpus])
+            for cpus in app.cpu_counts
+        ]
+        # Paper leaves cells blank where no system is large enough.
+        eligible_rows = [(cpus, eligible) for cpus, eligible in eligible_rows if eligible]
+        if not eligible_rows:
+            continue
+        with t.time("execute"):
+            # One batched executor pass per system covers the whole
+            # appendix-table column for this application.
+            for system in systems:
+                counts = [c for c, eligible in eligible_rows if system in eligible]
+                for res in executors[system].run_many(app, counts, detail=False):
+                    actuals[(label, system, res.cpus)] = res.total_seconds
+            base_times = {
+                res.cpus: res.total_seconds
+                for res in base_executor.run_many(
+                    app, [cpus for cpus, _ in eligible_rows], detail=False
                 )
-                for system, predicted in zip(eligible, predicted_row):
-                    predictions[(label, system, cpus, metric.number)] = predicted
+            }
+        for cpus, eligible in eligible_rows:
+            base_time = base_times[cpus]
+            trace = trace_application(
+                app,
+                cpus,
+                base_machine,
+                cfg.sample_size,
+                cache_model=cfg.cache_model,
+                store=store,
+                timer=t,
+            )
+            probes_row = [probes[system] for system in eligible]
+            with t.time("convolve"):
+                rows = predict_all(
+                    metrics, trace, probes_row, base_probes, base_time, cfg.mode
+                )
+            per_system: dict[str, list[float]] = {s: [] for s in eligible}
+            for metric in metrics:
+                for system, predicted in zip(eligible, rows[metric.number]):
+                    per_system[system].append(predicted)
+            for system, values in per_system.items():
+                predictions[(label, system, cpus)] = values
 
     records: list[PredictionRecord] = []
     observed: dict[tuple[str, str, int], float] = {}
+    metric_numbers = [metric.number for metric in metrics]
     for label in labels:
         app = get_application(label)
         for system in systems:
@@ -286,28 +389,105 @@ def _run_submatrix(
             for cpus in app.cpu_counts:
                 if cpus > machine.cpus:
                     continue
-                actual = actuals[(label, system, cpus)]
-                observed[(label, system, cpus)] = actual
-                for metric in metrics:
-                    predicted = predictions[(label, system, cpus, metric.number)]
-                    records.append(
-                        PredictionRecord(
-                            application=label,
-                            cpus=cpus,
-                            system=system,
-                            metric=metric.number,
-                            actual_seconds=actual,
-                            predicted_seconds=predicted,
-                            error_percent=signed_error(predicted, actual),
-                        )
+                key = (label, system, cpus)
+                actual = actuals[key]
+                observed[key] = actual
+                # Inlined signed_error: executors guarantee actual > 0 and
+                # the metrics non-negative predictions, so the guard-free
+                # expression is exactly its value.
+                records.extend(
+                    PredictionRecord(
+                        label,
+                        cpus,
+                        system,
+                        number,
+                        actual,
+                        predicted,
+                        (predicted - actual) / actual * 100.0,
                     )
+                    for number, predicted in zip(metric_numbers, predictions[key])
+                )
     return records, observed
 
 
-def _run_chunk(cfg: StudyConfig, label: str, system: str, store_root: str | None):
-    """Worker entry point: one (application, system) chunk of the matrix."""
+def _run_chunk(cfg: StudyConfig, labels: tuple[str, ...], store_root: str | None):
+    """Worker entry point: one application-row chunk across **all** systems.
+
+    Row chunks keep each trace in the worker that prices it (a per-cell
+    chunking would re-trace the same (application, cpus) row once per
+    system).  Returns the chunk's records, observed times and per-stage
+    timing breakdown for the parent to merge.
+    """
     store = TraceStore(store_root) if store_root else None
-    return _run_submatrix(cfg, (label,), (system,), store)
+    timer = StageTimer()
+    records, observed = _run_submatrix(cfg, labels, cfg.systems, store, timer)
+    return records, observed, timer.breakdown()
+
+
+def _warm_worker(store_root: str | None, system_names: tuple[str, ...]) -> None:
+    """Pool initializer: pre-populate the worker's probe cache.
+
+    Probing is pure deterministic compute, so each fresh process used to
+    redo it per chunk — the root cause of ``workers=4`` losing to serial.
+    Warming once per worker makes every subsequent chunk's probe stage a
+    dictionary lookup.
+    """
+    store = TraceStore(store_root) if store_root else None
+    for name in system_names:
+        probe_machine(get_machine(name), store=store)
+
+
+#: Lazily-created persistent worker pool, keyed by (workers, store_root,
+#: warmed system names).  Reused across ``run_study`` calls so repeated
+#: studies (benches, notebooks) pay process spawn + warm-up once.
+_POOL: ProcessPoolExecutor | None = None
+_POOL_KEY: tuple | None = None
+
+
+def _shutdown_pool() -> None:
+    global _POOL, _POOL_KEY
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = None
+        _POOL_KEY = None
+
+
+atexit.register(_shutdown_pool)
+
+
+def _get_pool(workers: int, store_root: str | None, cfg: StudyConfig) -> ProcessPoolExecutor:
+    """Return the persistent pool, (re)creating it when the key changes."""
+    global _POOL, _POOL_KEY
+    systems = tuple(dict.fromkeys((cfg.base_system,) + tuple(cfg.systems)))
+    key = (workers, store_root, systems)
+    if _POOL is None or _POOL_KEY != key:
+        _shutdown_pool()
+        _POOL = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_warm_worker,
+            initargs=(store_root, systems),
+        )
+        _POOL_KEY = key
+    return _POOL
+
+
+def _usable_cores() -> int:
+    """CPU cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity (macOS)
+        return os.cpu_count() or 1
+
+
+def _matrix_cells(cfg: StudyConfig) -> int:
+    """Number of non-blank (application, cpus, system) cells in the matrix."""
+    sizes = {system: get_machine(system).cpus for system in cfg.systems}
+    cells = 0
+    for label in cfg.applications:
+        app = get_application(label)
+        for cpus in app.cpu_counts:
+            cells += sum(1 for system in cfg.systems if cpus <= sizes[system])
+    return cells
 
 
 def _resolve_store(
@@ -326,6 +506,7 @@ def run_study(
     *,
     workers: int = 1,
     store: "TraceStore | str | os.PathLike | None" = None,
+    min_parallel_cells: int | None = None,
 ) -> StudyResult:
     """Run the complete study described by ``config`` (defaults: the paper's).
 
@@ -337,37 +518,61 @@ def run_study(
     config:
         Study parameters; the paper's full matrix when omitted.
     workers:
-        Processes to fan the matrix out over.  Cells are chunked by
-        (application, system) and merged in canonical order; because every
+        Processes to fan the matrix out over.  Rows are chunked by
+        application (each worker traces a row once and prices it against
+        every system) and merged in canonical order; because every
         stochastic input is seed-stable, the result is byte-identical to a
-        serial run.
+        serial run.  Two crossover guards keep ``workers=N`` from ever
+        being slower than serial: matrices under
+        :data:`PARALLEL_MIN_CELLS` cells run serially (fan-out overhead
+        would exceed the compute), and ``workers`` is capped at the
+        process's usable core count (on a single-core host every pool is
+        pure overhead, so the study degrades to serial).
     store:
         Optional persistent trace/probe cache — a
         :class:`~repro.tracing.store.TraceStore` or a directory path.
         Warm stores let repeated studies and worker processes skip
         re-tracing entirely.
+    min_parallel_cells:
+        Override the serial-fallback crossover (tests use ``0`` to force
+        the pool path on small matrices; the override also bypasses the
+        core-count cap so single-core CI still exercises the pool).
     """
     cfg = config or StudyConfig()
     store_obj, store_root = _resolve_store(store)
-    if workers <= 1:
-        records, observed = _run_submatrix(cfg, cfg.applications, cfg.systems, store_obj)
-        return StudyResult(config=cfg, records=records, observed=observed)
+    if min_parallel_cells is None:
+        floor = PARALLEL_MIN_CELLS
+        workers = min(workers, _usable_cores())
+    else:
+        floor = min_parallel_cells
+    if workers <= 1 or _matrix_cells(cfg) < floor:
+        timer = StageTimer()
+        records, observed = _run_submatrix(
+            cfg, cfg.applications, cfg.systems, store_obj, timer
+        )
+        return StudyResult(
+            config=cfg,
+            records=records,
+            observed=observed,
+            stage_seconds=timer.breakdown(),
+        )
 
-    chunk_results: dict[tuple[str, str], tuple] = {}
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {
-            pool.submit(_run_chunk, cfg, label, system, store_root): (label, system)
-            for label in cfg.applications
-            for system in cfg.systems
-        }
-        for future, key in futures.items():
-            chunk_results[key] = future.result()
-
+    pool = _get_pool(workers, store_root, cfg)
+    futures = {
+        label: pool.submit(_run_chunk, cfg, (label,), store_root)
+        for label in cfg.applications
+    }
     records = []
     observed = {}
+    timer = StageTimer()
     for label in cfg.applications:
-        for system in cfg.systems:
-            chunk_records, chunk_observed = chunk_results[(label, system)]
-            records.extend(chunk_records)
-            observed.update(chunk_observed)
-    return StudyResult(config=cfg, records=records, observed=observed)
+        chunk_records, chunk_observed, stages = futures[label].result()
+        records.extend(chunk_records)
+        observed.update(chunk_observed)
+        timer.merge(stages)
+    return StudyResult(
+        config=cfg,
+        records=records,
+        observed=observed,
+        stage_seconds=timer.breakdown(),
+    )

@@ -28,7 +28,12 @@ from repro.probes.results import (
     NetbenchResult,
     StreamResult,
 )
-from repro.tracing.trace import ApplicationTrace, BlockTrace, CommRecord
+from repro.tracing.trace import (
+    ApplicationTrace,
+    BlockTrace,
+    CommRecord,
+    ReuseHistogram,
+)
 
 __all__ = [
     "trace_to_json",
@@ -38,7 +43,7 @@ __all__ = [
 ]
 
 #: Bumped whenever the on-disk layout changes incompatibly.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def _check_version(doc: dict, kind: str) -> None:
@@ -70,11 +75,30 @@ def _block_to_dict(block: BlockTrace) -> dict[str, Any]:
         "working_set": block.working_set,
         "dependency_weight": block.dependency_weight,
         "l_service": block.l_service,
+        "reuse": None
+        if block.reuse is None
+        else {
+            "distances": list(block.reuse.distances),
+            "counts": list(block.reuse.counts),
+            "cold": block.reuse.cold,
+            "total": block.reuse.total,
+            "line_bytes": block.reuse.line_bytes,
+        },
     }
 
 
 def _block_from_dict(doc: dict[str, Any]) -> BlockTrace:
     stride = doc["stride"]
+    reuse_doc = doc.get("reuse")
+    reuse = None
+    if reuse_doc is not None:
+        reuse = ReuseHistogram(
+            distances=tuple(reuse_doc["distances"]),
+            counts=tuple(reuse_doc["counts"]),
+            cold=reuse_doc["cold"],
+            total=reuse_doc["total"],
+            line_bytes=reuse_doc["line_bytes"],
+        )
     return BlockTrace(
         name=doc["name"],
         fp_ops=doc["fp_ops"],
@@ -89,6 +113,7 @@ def _block_from_dict(doc: dict[str, Any]) -> BlockTrace:
         working_set=doc["working_set"],
         dependency_weight=doc["dependency_weight"],
         l_service=doc.get("l_service"),
+        reuse=reuse,
     )
 
 

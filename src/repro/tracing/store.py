@@ -65,10 +65,25 @@ class TraceStore:
 
     # ------------------------------------------------------------------
     def _trace_path(
-        self, application: str, cpus: int, base_machine: str, sample_size: int, cache_sim: bool
+        self,
+        application: str,
+        cpus: int,
+        base_machine: str,
+        sample_size: int,
+        cache_sim: bool,
+        cache_model: str | None,
     ) -> Path:
+        # cache_model only shapes the artifact when cache accounting ran.
+        model = cache_model if cache_sim else None
         name = _digest(
-            "trace", SCHEMA_VERSION, application, cpus, base_machine, sample_size, cache_sim
+            "trace",
+            SCHEMA_VERSION,
+            application,
+            cpus,
+            base_machine,
+            sample_size,
+            cache_sim,
+            model,
         )
         return self.traces_dir / f"{name}.json"
 
@@ -105,10 +120,11 @@ class TraceStore:
         base_machine: str,
         sample_size: int,
         cache_sim: bool = False,
+        cache_model: str = "analytic",
     ) -> bool:
         """Whether an entry exists for this identity (it may still be corrupt)."""
         return self._trace_path(
-            application, cpus, base_machine, sample_size, cache_sim
+            application, cpus, base_machine, sample_size, cache_sim, cache_model
         ).exists()
 
     def load_trace(
@@ -118,9 +134,14 @@ class TraceStore:
         base_machine: str,
         sample_size: int,
         cache_sim: bool = False,
+        cache_model: str = "analytic",
     ) -> ApplicationTrace | None:
         """The cached trace for this identity, or None if absent/unreadable."""
-        text = self._read(self._trace_path(application, cpus, base_machine, sample_size, cache_sim))
+        text = self._read(
+            self._trace_path(
+                application, cpus, base_machine, sample_size, cache_sim, cache_model
+            )
+        )
         if text is None:
             return None
         try:
@@ -128,10 +149,21 @@ class TraceStore:
         except (ValueError, KeyError):
             return None  # corrupt or stale-schema entry: recompute
 
-    def save_trace(self, trace: ApplicationTrace, *, cache_sim: bool = False) -> None:
+    def save_trace(
+        self,
+        trace: ApplicationTrace,
+        *,
+        cache_sim: bool = False,
+        cache_model: str = "analytic",
+    ) -> None:
         """Persist ``trace`` under its identity key."""
         path = self._trace_path(
-            trace.application, trace.cpus, trace.base_machine, trace.sample_size, cache_sim
+            trace.application,
+            trace.cpus,
+            trace.base_machine,
+            trace.sample_size,
+            cache_sim,
+            cache_model,
         )
         self._write_atomic(path, trace_to_json(trace))
 

@@ -14,7 +14,60 @@ from dataclasses import dataclass
 from repro.memory.patterns import StrideHistogram
 from repro.network.model import CollectiveKind
 
-__all__ = ["BlockTrace", "CommRecord", "ApplicationTrace"]
+__all__ = ["ReuseHistogram", "BlockTrace", "CommRecord", "ApplicationTrace"]
+
+
+@dataclass(frozen=True)
+class ReuseHistogram:
+    """Machine-independent stack-distance histogram of a block's stream.
+
+    A serialisable mirror of :class:`repro.memory.reuse.ReuseProfile`
+    (tuples instead of arrays, so traces stay hashable/comparable): from
+    this one histogram the analytic cache engine derives hit rates for any
+    cache geometry without replaying the stream.
+
+    Attributes
+    ----------
+    distances, counts:
+        Sorted distinct finite LRU stack distances and reference counts.
+    cold:
+        First-touch references (miss at any capacity).
+    total:
+        Total references profiled.
+    line_bytes:
+        Line granularity of the profile.
+    """
+
+    distances: tuple[int, ...]
+    counts: tuple[int, ...]
+    cold: int
+    total: int
+    line_bytes: int
+
+    @classmethod
+    def of(cls, profile) -> "ReuseHistogram":
+        """Freeze a :class:`~repro.memory.reuse.ReuseProfile`."""
+        return cls(
+            distances=tuple(int(d) for d in profile.distances),
+            counts=tuple(int(c) for c in profile.counts),
+            cold=profile.cold,
+            total=profile.total,
+            line_bytes=profile.line_bytes,
+        )
+
+    def profile(self):
+        """Thaw back into a :class:`~repro.memory.reuse.ReuseProfile`."""
+        import numpy as np
+
+        from repro.memory.reuse import ReuseProfile
+
+        return ReuseProfile(
+            distances=np.asarray(self.distances, dtype=np.int64),
+            counts=np.asarray(self.counts, dtype=np.int64),
+            cold=self.cold,
+            total=self.total,
+            line_bytes=self.line_bytes,
+        )
 
 
 @dataclass(frozen=True)
@@ -39,6 +92,10 @@ class BlockTrace:
     l_service:
         Optional per-level service fractions observed by the cache
         simulator on the base machine (diagnostic; not used by metrics).
+    reuse:
+        Optional machine-independent reuse-distance histogram of the
+        block's sampled stream (recorded when the tracer's cache
+        accounting is on) — prices any cache geometry without the stream.
     """
 
     name: str
@@ -49,6 +106,7 @@ class BlockTrace:
     working_set: float
     dependency_weight: float
     l_service: dict[str, float] | None = None
+    reuse: ReuseHistogram | None = None
 
     @property
     def refs(self) -> float:

@@ -1,0 +1,51 @@
+"""Per-stage wall-clock accounting for the study pipeline.
+
+A :class:`StageTimer` is a named bag of accumulated seconds.  The study
+runner threads one through tracing, probing and convolution so a run can
+report *where* its time went (trace / probe / cache_model / execute /
+convolve) — the breakdown `scripts/bench_study.py` records in
+``BENCH_study.json``.  All methods tolerate a ``None`` timer at call sites
+via :func:`StageTimer.time` being cheap, but callers typically guard with
+``if timer is not None`` to keep the hot path free of context managers.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["StageTimer"]
+
+
+class StageTimer:
+    """Accumulate wall-clock seconds under named stages."""
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+
+    @contextmanager
+    def time(self, stage: str) -> Iterator[None]:
+        """Context manager adding the enclosed wall time to ``stage``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(stage, time.perf_counter() - start)
+
+    def add(self, stage: str, seconds: float) -> None:
+        """Add ``seconds`` to ``stage``'s accumulator."""
+        self._seconds[stage] = self._seconds.get(stage, 0.0) + seconds
+
+    def merge(self, other: dict[str, float]) -> None:
+        """Fold another breakdown (e.g. from a worker process) into this one."""
+        for stage, seconds in other.items():
+            self.add(stage, seconds)
+
+    def get(self, stage: str) -> float:
+        """Accumulated seconds for ``stage`` (0 when never timed)."""
+        return self._seconds.get(stage, 0.0)
+
+    def breakdown(self) -> dict[str, float]:
+        """Snapshot of all stages, insertion-ordered."""
+        return dict(self._seconds)

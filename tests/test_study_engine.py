@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.apps.suite import APPLICATIONS
 from repro.probes.suite import probe_machine
 from repro.study.runner import StudyConfig, run_study
 from repro.tracing.metasim import trace_application
@@ -23,7 +24,8 @@ REDUCED = StudyConfig(
 
 def test_parallel_study_byte_identical_to_serial():
     serial = run_study(REDUCED)
-    parallel = run_study(REDUCED, workers=4)
+    # REDUCED sits under PARALLEL_MIN_CELLS; force the pool path.
+    parallel = run_study(REDUCED, workers=4, min_parallel_cells=0)
     assert parallel.records == serial.records
     assert parallel.observed == serial.observed
     # dataclass equality is float equality; pin bit-identity explicitly too
@@ -35,10 +37,31 @@ def test_parallel_study_byte_identical_to_serial():
 
 
 def test_parallel_record_order_is_canonical():
-    result = run_study(REDUCED, workers=2)
+    result = run_study(REDUCED, workers=2, min_parallel_cells=0)
     keys = [(r.application, r.system, r.cpus, r.metric) for r in result.records]
     by_app = [k[0] for k in keys]
     assert by_app == sorted(by_app, key=list(REDUCED.applications).index)
+
+
+def test_small_matrix_stays_serial_despite_workers(monkeypatch):
+    """Below the crossover floor, workers=N must not pay pool overhead."""
+    import repro.study.runner as runner_mod
+
+    def boom(*a, **k):  # pragma: no cover - failure path
+        raise AssertionError("pool must not be created for a small matrix")
+
+    monkeypatch.setattr(runner_mod, "_get_pool", boom)
+    result = run_study(REDUCED, workers=4)  # REDUCED < PARALLEL_MIN_CELLS cells
+    assert result.n_predictions > 0
+    assert "convolve" in result.stage_seconds
+
+
+def test_stage_seconds_reported_on_both_paths():
+    serial = run_study(REDUCED)
+    parallel = run_study(REDUCED, workers=2, min_parallel_cells=0)
+    for result in (serial, parallel):
+        assert set(result.stage_seconds) >= {"probe", "trace", "execute", "convolve"}
+        assert all(v >= 0.0 for v in result.stage_seconds.values())
 
 
 # ---------------------------------------------------------------------------
@@ -141,3 +164,41 @@ def test_select_index_rebuilds_after_mutation(full_study):
     recs = result.select(metric=extra.metric, system=extra.system, cpus=extra.cpus,
                          application=extra.application)
     assert recs == [extra, extra]
+
+
+# ---------------------------------------------------------------------------
+# StudyConfig validation
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "field, value, fragment",
+    [
+        ("applications", ("NoSuchApp-bogus",), "NoSuchApp-bogus"),
+        ("systems", ("ARL_Opteron", "HAL9000"), "HAL9000"),
+        ("base_system", "HAL9000", "HAL9000"),
+        ("metrics", (1, 42), "42"),
+        ("mode", "sideways", "sideways"),
+        ("cache_model", "psychic", "psychic"),
+    ],
+)
+def test_config_rejects_unknown_ids_by_name(field, value, fragment):
+    with pytest.raises(ValueError, match=fragment):
+        StudyConfig(**{field: value})
+
+
+def test_config_error_lists_known_values():
+    with pytest.raises(ValueError, match="known:.*ARL_Opteron"):
+        StudyConfig(systems=("HAL9000",))
+
+
+def test_config_accepts_replica_labels():
+    # "label@k" aliases (the --scale matrix) must pass validation.
+    label = next(iter(APPLICATIONS))
+    cfg = StudyConfig(applications=(label, f"{label}@1"))
+    assert cfg.applications[1].endswith("@1")
+
+
+def test_config_variant_revalidates():
+    with pytest.raises(ValueError, match="psychic"):
+        StudyConfig().variant(cache_model="psychic")
