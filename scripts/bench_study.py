@@ -58,6 +58,7 @@ from repro.apps.suite import APPLICATIONS
 from repro.probes.suite import clear_probe_cache
 from repro.study.runner import StudyConfig, run_study
 from repro.tracing.metasim import clear_trace_cache
+from repro.util.io import write_atomic
 
 #: Serial cold wall-clock of the seed implementation (scalar kernels,
 #: per-cell scalar convolution) measured on the reference container; the
@@ -212,7 +213,9 @@ def main(argv: list[str] | None = None) -> int:
         "machine": platform.machine(),
     }
     out = Path(args.output)
-    out.write_text(json.dumps(report, indent=2) + "\n")
+    # Atomic (tmp + os.replace): a crash mid-bench can never leave a torn
+    # report where the committed CI gate baseline used to be.
+    write_atomic(out, json.dumps(report, indent=2) + "\n")
     print(f"\nspeedup vs seed implementation: {report['speedup_vs_seed']}x")
     print(f"report written to {out}")
 

@@ -19,12 +19,14 @@ import argparse
 import sys
 
 from repro.apps.suite import list_applications
+from repro.core.errors import ReproError, StudyAbortedError
 from repro.machines.registry import MACHINES
 from repro.probes.suite import probe_machine
 from repro.reporting.ascii_charts import bar_chart, line_chart
 from repro.reporting.export import result_to_csv
-from repro.study.runner import StudyResult, run_study
+from repro.study.runner import StudyResult, run_study, shutdown_pool
 from repro.study import tables as T
+from repro.util.faults import FaultPlan
 
 __all__ = ["main"]
 
@@ -89,7 +91,25 @@ def _print_probes() -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point for ``repro-study``."""
+    """Entry point for ``repro-study``.
+
+    Failures never escape as raw tracebacks: each
+    :class:`~repro.core.errors.ReproError` class maps to a one-line
+    message on stderr and its own nonzero exit code, and Ctrl-C shuts the
+    persistent worker pool down and exits 130.
+    """
+    try:
+        return _run(argv)
+    except ReproError as exc:
+        print(f"repro-study: error: {exc}", file=sys.stderr)
+        return exc.exit_code
+    except KeyboardInterrupt:
+        shutdown_pool()  # workers must not outlive an interrupted study
+        print("repro-study: interrupted", file=sys.stderr)
+        return 130
+
+
+def _run(argv: list[str] | None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-study",
         description="Reproduce the SC'05 simple-metrics prediction study.",
@@ -145,7 +165,46 @@ def main(argv: list[str] | None = None) -> int:
         "levels from one reuse-distance profile (default), 'exact' replays "
         "streams through the set-associative simulator",
     )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="journal completed study chunks to FILE; a killed run resumes "
+        "from the last completed chunk (byte-identical output) on the next "
+        "invocation with the same FILE",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per study chunk before it is quarantined into the "
+        "result's failures list (default: 2)",
+    )
+    parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-chunk deadline; overrunning chunks are retried like "
+        "crashes (default: none)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="deterministic chaos harness: comma-separated key=value spec "
+        "(crash=RATE, stall=RATE, corrupt=RATE, seed=N, stall_seconds=S, "
+        "hard=0/1, abort_after=N), e.g. 'crash=0.25,stall=0.1,seed=7'",
+    )
     args = parser.parse_args(argv)
+
+    faults = None
+    if args.inject_faults is not None:
+        try:
+            faults = FaultPlan.parse(args.inject_faults)
+        except ValueError as exc:
+            parser.error(str(exc))
 
     needs_study = args.artifact in {
         "table4",
@@ -163,7 +222,27 @@ def main(argv: list[str] | None = None) -> int:
         config = StudyConfig(
             mode=args.mode, noise=not args.no_noise, cache_model=args.cache_model
         )
-        result = run_study(config, workers=args.workers, store=args.cache_dir)
+        result = run_study(
+            config,
+            workers=args.workers,
+            store=args.cache_dir,
+            checkpoint=args.checkpoint,
+            faults=faults,
+            max_retries=args.max_retries,
+            chunk_timeout=args.chunk_timeout,
+        )
+        for failure in result.failures:
+            print(
+                f"repro-study: warning: chunk {failure.application!r} "
+                f"quarantined after {failure.attempts} attempt(s): "
+                f"{failure.error}: {failure.message}",
+                file=sys.stderr,
+            )
+        if result.failures and not result.records:
+            raise StudyAbortedError(
+                f"all {len(result.failures)} study chunks were quarantined; "
+                "nothing to report"
+            )
 
     if args.artifact in {"table4", "all"}:
         _print_table4(result)

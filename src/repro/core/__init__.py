@@ -14,7 +14,18 @@
   agreement between predicted and observed rankings).
 """
 
-from repro.core.errors import ErrorSummary, absolute_error, signed_error, summarise
+from repro.core.errors import (
+    CheckpointError,
+    ChunkTimeoutError,
+    ErrorSummary,
+    ReproError,
+    StudyAbortedError,
+    TraceCorruptError,
+    WorkerCrashError,
+    absolute_error,
+    signed_error,
+    summarise,
+)
 from repro.core.convolver import ConvolvedTime, Convolver, MemoryModel
 from repro.core.metrics import (
     ALL_METRICS,
@@ -33,6 +44,12 @@ __all__ = [
     "absolute_error",
     "summarise",
     "ErrorSummary",
+    "ReproError",
+    "TraceCorruptError",
+    "WorkerCrashError",
+    "ChunkTimeoutError",
+    "StudyAbortedError",
+    "CheckpointError",
     "Convolver",
     "ConvolvedTime",
     "MemoryModel",

@@ -1,8 +1,13 @@
-"""Prediction-error statistics (paper Equation 2).
+"""Prediction-error statistics (paper Equation 2) and the failure taxonomy.
 
 Signed error keeps the direction — "negative error indicates the
 prediction was faster than the actual runtime" — while absolute error is
 what the paper averages, "preventing error cancellation".
+
+The module also defines the exception hierarchy the fault-tolerant study
+engine quarantines by: every failure a study can survive maps to one
+:class:`ReproError` subclass, each carrying a distinct CLI exit code so
+scripted callers can branch on *what* went wrong without parsing text.
 """
 
 from __future__ import annotations
@@ -12,7 +17,65 @@ from collections.abc import Iterable
 
 import numpy as np
 
-__all__ = ["signed_error", "absolute_error", "summarise", "ErrorSummary"]
+__all__ = [
+    "signed_error",
+    "absolute_error",
+    "summarise",
+    "ErrorSummary",
+    "ReproError",
+    "TraceCorruptError",
+    "WorkerCrashError",
+    "ChunkTimeoutError",
+    "StudyAbortedError",
+    "CheckpointError",
+]
+
+
+class ReproError(Exception):
+    """Base of all repro failure classes.
+
+    ``exit_code`` is what :func:`repro.cli.main` returns when the error
+    escapes a study; subclasses override it so each failure class maps to
+    a distinct nonzero code.
+    """
+
+    exit_code = 2
+
+
+class TraceCorruptError(ReproError, ValueError):
+    """A persisted trace/probe entry failed validation.
+
+    Also a :class:`ValueError` so pre-taxonomy callers catching the
+    serializer's original exception keep working.  The self-healing
+    :class:`~repro.tracing.store.TraceStore` catches this internally,
+    invalidates the entry and falls through to re-tracing.
+    """
+
+    exit_code = 3
+
+
+class WorkerCrashError(ReproError):
+    """A study worker died mid-chunk (broken pool, hard exit, crash fault)."""
+
+    exit_code = 4
+
+
+class ChunkTimeoutError(ReproError):
+    """A study chunk overran its per-chunk deadline."""
+
+    exit_code = 5
+
+
+class StudyAbortedError(ReproError):
+    """The study was deliberately stopped mid-run (fault harness or caller)."""
+
+    exit_code = 6
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file could not be written."""
+
+    exit_code = 7
 
 
 def signed_error(predicted: float, actual: float) -> float:

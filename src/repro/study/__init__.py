@@ -13,6 +13,21 @@
   sources (noise, contention, dependency modelling, tracer sampling).
 """
 
-from repro.study.runner import PredictionRecord, StudyConfig, StudyResult, run_study
+from repro.study.resilience import CellFailure, StudyCheckpoint
+from repro.study.runner import (
+    PredictionRecord,
+    StudyConfig,
+    StudyResult,
+    run_study,
+    shutdown_pool,
+)
 
-__all__ = ["run_study", "StudyConfig", "StudyResult", "PredictionRecord"]
+__all__ = [
+    "run_study",
+    "shutdown_pool",
+    "StudyConfig",
+    "StudyResult",
+    "PredictionRecord",
+    "CellFailure",
+    "StudyCheckpoint",
+]

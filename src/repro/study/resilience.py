@@ -1,0 +1,262 @@
+"""Resilience layer of the study engine: checkpoints, retries, quarantine.
+
+The full paper matrix is 150 simulated runs and 1350 predictions; at
+production scale (``--scale N`` replicas, parallel workers, shared cache
+directories) a single worker death, torn cache file or Ctrl-C must not
+throw the whole campaign away.  This module provides the pieces
+:func:`repro.study.runner.run_study` composes into that guarantee:
+
+* :class:`StudyCheckpoint` — an append-only journal of completed
+  (application-row) chunks.  The header is written atomically and pins the
+  study config's identity digest; each entry is one checksummed JSON line,
+  so a crash mid-append at worst leaves a torn tail that the loader drops
+  (and compacts away).  Because chunk results are partition-invariant and
+  every stochastic input is seed-stable, a resumed study is byte-identical
+  to an uninterrupted one.
+* :class:`CellFailure` — the quarantine record for a chunk that exhausted
+  its retries, carrying the failure taxonomy class
+  (:mod:`repro.core.errors`) so partial results stay diagnosable.
+* :func:`backoff_seconds` — capped exponential backoff with
+  *deterministic* seeded jitter (:func:`repro.util.rng.stable_rng`), so
+  retry schedules are reproducible run-to-run.
+* :func:`classify_failure` — maps arbitrary chunk exceptions onto the
+  taxonomy (``WorkerCrashError``, ``ChunkTimeoutError``, ...).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+from concurrent.futures import CancelledError
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import NamedTuple
+
+from repro.core.errors import (
+    CheckpointError,
+    ChunkTimeoutError,
+    ReproError,
+    WorkerCrashError,
+)
+from repro.util.io import append_line_durable, write_atomic
+from repro.util.rng import stable_rng
+
+__all__ = [
+    "CellFailure",
+    "StudyCheckpoint",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "config_digest",
+    "backoff_seconds",
+    "classify_failure",
+]
+
+log = logging.getLogger(__name__)
+
+#: Bumped whenever the checkpoint layout changes incompatibly.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+#: Identity fields of a StudyConfig — the ones that shape results.  Engine
+#: knobs (``max_retries``, ``chunk_timeout``) are deliberately excluded:
+#: changing them must not orphan a checkpoint.
+_IDENTITY_FIELDS = (
+    "applications",
+    "systems",
+    "base_system",
+    "metrics",
+    "mode",
+    "sample_size",
+    "noise",
+    "cache_model",
+)
+
+#: Backoff schedule: ``min(cap, base * 2**round)`` scaled by jitter in
+#: [0.5, 1.5).  Base is small because chunks are seconds-scale at most.
+BACKOFF_BASE_SECONDS = 0.05
+BACKOFF_CAP_SECONDS = 2.0
+
+
+class CellFailure(NamedTuple):
+    """A quarantined chunk: every cell of one application row is missing.
+
+    Attributes
+    ----------
+    application:
+        The chunk's application label (chunks span all systems of a row).
+    error:
+        Taxonomy class name (``"WorkerCrashError"``, ``"ChunkTimeoutError"``,
+        ...) — the *last* attempt's failure class.
+    message:
+        The last attempt's error message.
+    attempts:
+        Total attempts made (1 + retries) before quarantine.
+    """
+
+    application: str
+    error: str
+    message: str
+    attempts: int
+
+
+def config_digest(config) -> str:
+    """Stable digest of a :class:`StudyConfig`'s result-shaping identity."""
+    h = hashlib.blake2b(digest_size=16)
+    for name in _IDENTITY_FIELDS:
+        h.update(repr(getattr(config, name)).encode("utf-8"))
+        h.update(b"\x1f")
+    return h.hexdigest()
+
+
+def backoff_seconds(round_index: int, *keys: object) -> float:
+    """Capped exponential backoff with deterministic seeded jitter.
+
+    ``keys`` joins the jitter's RNG key so distinct studies desynchronise
+    their retry storms while any given study backs off identically every
+    run.
+    """
+    rng = stable_rng("study-backoff", round_index, *keys)
+    base = min(BACKOFF_CAP_SECONDS, BACKOFF_BASE_SECONDS * (2.0**round_index))
+    return base * (0.5 + rng.random())
+
+
+def classify_failure(exc: BaseException) -> tuple[str, str]:
+    """Map a chunk failure onto the taxonomy: ``(class_name, message)``.
+
+    Pool-infrastructure failures collapse onto :class:`WorkerCrashError` /
+    :class:`ChunkTimeoutError`; :class:`ReproError` subclasses keep their
+    own class; anything else keeps its concrete type name so quarantine
+    records stay diagnosable.
+    """
+    if isinstance(exc, ReproError):
+        return type(exc).__name__, str(exc)
+    if isinstance(exc, (BrokenProcessPool, CancelledError)):
+        return WorkerCrashError.__name__, f"worker pool broke: {exc}"
+    if isinstance(exc, FuturesTimeoutError):
+        return ChunkTimeoutError.__name__, f"chunk deadline exceeded: {exc}"
+    return type(exc).__name__, str(exc)
+
+
+def _entry_checksum(doc: dict) -> str:
+    canonical = json.dumps(doc, sort_keys=True)
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+
+
+class StudyCheckpoint:
+    """Append-only journal of completed study chunks.
+
+    Layout: line 1 is an atomically-written header pinning the schema
+    version and the study config's identity digest; every further line is
+    one completed chunk's records/observed-times/stage-breakdown with a
+    content checksum.  Loading validates everything and silently heals the
+    two possible damage shapes:
+
+    * header mismatch (different config, stale schema, foreign file) —
+      the journal is ignored and overwritten on the next ``record``;
+    * torn tail (killed mid-append) — the valid prefix is kept and the
+      file is compacted in place.
+
+    JSON float serialisation round-trips exactly (``repr`` semantics), so
+    chunks replayed from a checkpoint are *byte-identical* to freshly
+    computed ones.
+    """
+
+    def __init__(self, path: str, digest: str):
+        self.path = Path(path)
+        self.config_digest = digest
+        self._header_ok = False
+
+    # ------------------------------------------------------------------
+    def load(self) -> dict[str, dict]:
+        """Validated entries keyed by chunk label (empty when unusable)."""
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return {}
+        lines = text.splitlines()
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+            usable = (
+                isinstance(header, dict)
+                and header.get("kind") == "study-checkpoint"
+                and header.get("schema_version") == CHECKPOINT_SCHEMA_VERSION
+                and header.get("config_digest") == self.config_digest
+            )
+        except json.JSONDecodeError:
+            usable = False
+        if not usable:
+            log.warning(
+                "checkpoint %s does not match this study (stale schema or "
+                "different config); it will be restarted", self.path,
+            )
+            return {}
+        self._header_ok = True
+        entries: dict[str, dict] = {}
+        torn = False
+        for offset, line in enumerate(lines[1:], start=2):
+            try:
+                doc = json.loads(line)
+                checksum = doc.pop("checksum")
+                if checksum != _entry_checksum(doc):
+                    raise ValueError("entry checksum mismatch")
+                label = doc["label"]
+            except (ValueError, KeyError, TypeError, AttributeError):
+                log.warning(
+                    "checkpoint %s: dropping torn tail from line %d",
+                    self.path, offset,
+                )
+                torn = True
+                break
+            entries[label] = doc
+        if torn:
+            self._rewrite(entries)
+        return entries
+
+    # ------------------------------------------------------------------
+    def record(self, label: str, records, observed, stages) -> None:
+        """Journal one completed chunk (durable before returning).
+
+        ``records`` are :class:`~repro.study.runner.PredictionRecord`
+        tuples; ``observed`` maps ``(application, system, cpus)`` to
+        seconds; ``stages`` is the chunk's stage-seconds breakdown.
+        """
+        doc = {
+            "label": label,
+            "records": [list(rec) for rec in records],
+            "observed": [[a, s, c, v] for (a, s, c), v in observed.items()],
+            "stages": dict(stages),
+        }
+        doc["checksum"] = _entry_checksum({k: v for k, v in doc.items()})
+        try:
+            if not self._header_ok:
+                write_atomic(self.path, self._header_line())
+                self._header_ok = True
+            append_line_durable(self.path, json.dumps(doc))
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot journal chunk {label!r} to checkpoint {self.path}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def _header_line(self) -> str:
+        return json.dumps(
+            {
+                "kind": "study-checkpoint",
+                "schema_version": CHECKPOINT_SCHEMA_VERSION,
+                "config_digest": self.config_digest,
+            }
+        ) + "\n"
+
+    def _rewrite(self, entries: dict[str, dict]) -> None:
+        """Compact the journal to header + the given valid entries."""
+        lines = [self._header_line()]
+        for doc in entries.values():
+            full = dict(doc)
+            full["checksum"] = _entry_checksum(doc)
+            lines.append(json.dumps(full) + "\n")
+        try:
+            write_atomic(self.path, "".join(lines))
+        except OSError as exc:  # pragma: no cover - compaction is best-effort
+            log.warning("could not compact checkpoint %s: %s", self.path, exc)

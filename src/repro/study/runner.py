@@ -27,8 +27,11 @@ from __future__ import annotations
 
 import atexit
 import os
+import time
 from collections import defaultdict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import NamedTuple
 
@@ -36,10 +39,23 @@ import numpy as np
 
 from repro.apps.execution import GroundTruthExecutor
 from repro.apps.suite import APPLICATIONS, get_application
-from repro.core.errors import ErrorSummary, summarise
+from repro.core.errors import (
+    ChunkTimeoutError,
+    ErrorSummary,
+    StudyAbortedError,
+    WorkerCrashError,
+    summarise,
+)
 from repro.core.metrics import ALL_METRICS, predict_all
 from repro.machines.registry import BASE_SYSTEM, MACHINES, TARGET_SYSTEMS, get_machine
 from repro.probes.suite import probe_machine
+from repro.study.resilience import (
+    CellFailure,
+    StudyCheckpoint,
+    backoff_seconds,
+    classify_failure,
+    config_digest,
+)
 from repro.tracing.metasim import CACHE_MODELS, DEFAULT_SAMPLE_SIZE, trace_application
 from repro.tracing.store import TraceStore
 from repro.util.timing import StageTimer
@@ -48,7 +64,9 @@ __all__ = [
     "StudyConfig",
     "PredictionRecord",
     "StudyResult",
+    "CellFailure",
     "run_study",
+    "shutdown_pool",
     "PARALLEL_MIN_CELLS",
 ]
 
@@ -78,6 +96,11 @@ class StudyConfig:
     sample_size: int = DEFAULT_SAMPLE_SIZE
     noise: bool = True
     cache_model: str = "analytic"
+    #: Engine resilience knobs (identity-neutral: they never change study
+    #: output, only how hard the engine fights to produce it, so they are
+    #: excluded from the checkpoint's config digest).
+    max_retries: int = 2
+    chunk_timeout: float | None = None
 
     def __post_init__(self) -> None:
         for label in self.applications:
@@ -113,6 +136,12 @@ class StudyConfig:
             known = ", ".join(CACHE_MODELS)
             raise ValueError(
                 f"unknown cache model {self.cache_model!r}; known: {known}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries!r}")
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ValueError(
+                f"chunk_timeout must be > 0 seconds, got {self.chunk_timeout!r}"
             )
 
     def variant(self, **changes) -> "StudyConfig":
@@ -153,11 +182,21 @@ class PredictionRecord(NamedTuple):
 
 @dataclass
 class StudyResult:
-    """All records of one study run plus aggregation helpers."""
+    """All records of one study run plus aggregation helpers.
+
+    A result can be *partial*: chunks that exhausted their retries under
+    the fault-tolerant engine are quarantined into :attr:`failures`
+    instead of aborting the study, and every aggregation below tolerates
+    the missing cells (empty selections summarise to NaN/0-count).
+    """
 
     config: StudyConfig
     records: list[PredictionRecord]
     observed: dict[tuple[str, str, int], float] = field(default_factory=dict)
+    #: Quarantined chunks — one :class:`~repro.study.resilience.CellFailure`
+    #: per application row whose retries were exhausted, in canonical
+    #: application order.  Empty for a fully successful study.
+    failures: list[CellFailure] = field(default_factory=list)
     #: Wall-clock seconds per pipeline stage (probe / trace / cache_model /
     #: execute / convolve); parallel runs sum the workers' breakdowns, so
     #: stage seconds can exceed the run's wall time.  Diagnostic only —
@@ -240,8 +279,17 @@ class StudyResult:
     # aggregations mirroring the paper
     # ------------------------------------------------------------------
     def metric_summary(self, metric: int) -> ErrorSummary:
-        """Table 4 row: error summary of one metric over all runs."""
-        return summarise(self.errors(metric=metric))
+        """Table 4 row: error summary of one metric over all runs.
+
+        Quarantine-tolerant: when every cell of a metric is missing (all
+        of its chunks failed), the summary is NaN with ``count=0`` rather
+        than an exception, so partial studies still render their tables.
+        """
+        errs = self.errors(metric=metric)
+        if not errs:
+            nan = float("nan")
+            return ErrorSummary(mean_abs=nan, std_abs=nan, mean_signed=nan, count=0)
+        return summarise(errs)
 
     def overall_table(self) -> dict[int, ErrorSummary]:
         """Table 4: per-metric summaries."""
@@ -410,15 +458,28 @@ def _run_submatrix(
     return records, observed
 
 
-def _run_chunk(cfg: StudyConfig, labels: tuple[str, ...], store_root: str | None):
+def _run_chunk(
+    cfg: StudyConfig,
+    labels: tuple[str, ...],
+    store_root: str | None,
+    faults=None,
+    attempt: int = 0,
+):
     """Worker entry point: one application-row chunk across **all** systems.
 
     Row chunks keep each trace in the worker that prices it (a per-cell
     chunking would re-trace the same (application, cpus) row once per
     system).  Returns the chunk's records, observed times and per-stage
     timing breakdown for the parent to merge.
+
+    ``faults`` (a :class:`~repro.util.faults.FaultPlan`) injects this
+    attempt's scheduled chaos: a stall and/or crash before the compute
+    (hard crashes ``os._exit`` the worker, breaking the pool) and
+    corruption of store writes.
     """
-    store = TraceStore(store_root) if store_root else None
+    if faults is not None:
+        faults.inject_chunk_faults(labels[0], attempt, in_worker=True)
+    store = TraceStore(store_root, faults=faults) if store_root else None
     timer = StageTimer()
     records, observed = _run_submatrix(cfg, labels, cfg.systems, store, timer)
     return records, observed, timer.breakdown()
@@ -452,15 +513,31 @@ def _shutdown_pool() -> None:
         _POOL_KEY = None
 
 
+def shutdown_pool() -> None:
+    """Tear down the persistent worker pool (idempotent).
+
+    Callers that interrupt a study (the CLI's Ctrl-C handler, embedding
+    applications shutting down) use this so worker processes never outlive
+    the run that spawned them.
+    """
+    _shutdown_pool()
+
+
 atexit.register(_shutdown_pool)
 
 
 def _get_pool(workers: int, store_root: str | None, cfg: StudyConfig) -> ProcessPoolExecutor:
-    """Return the persistent pool, (re)creating it when the key changes."""
+    """Return the persistent pool, (re)creating it when the key changes.
+
+    A pool whose workers died (``BrokenProcessPool``) is detected here and
+    transparently rebuilt: a broken pool used to poison ``_POOL`` for the
+    rest of the session, failing every subsequent ``run_study`` call.
+    """
     global _POOL, _POOL_KEY
     systems = tuple(dict.fromkeys((cfg.base_system,) + tuple(cfg.systems)))
     key = (workers, store_root, systems)
-    if _POOL is None or _POOL_KEY != key:
+    broken = _POOL is not None and getattr(_POOL, "_broken", False)
+    if _POOL is None or _POOL_KEY != key or broken:
         _shutdown_pool()
         _POOL = ProcessPoolExecutor(
             max_workers=workers,
@@ -507,6 +584,10 @@ def run_study(
     workers: int = 1,
     store: "TraceStore | str | os.PathLike | None" = None,
     min_parallel_cells: int | None = None,
+    checkpoint: "str | os.PathLike | None" = None,
+    faults=None,
+    max_retries: int | None = None,
+    chunk_timeout: float | None = None,
 ) -> StudyResult:
     """Run the complete study described by ``config`` (defaults: the paper's).
 
@@ -537,15 +618,45 @@ def run_study(
         Override the serial-fallback crossover (tests use ``0`` to force
         the pool path on small matrices; the override also bypasses the
         core-count cap so single-core CI still exercises the pool).
+    checkpoint:
+        Path of an append-only journal of completed chunks
+        (:class:`~repro.study.resilience.StudyCheckpoint`).  A study
+        killed mid-run resumes from the last journaled chunk on the next
+        call with the same path and config, and the resumed result is
+        byte-identical to an uninterrupted run.  Delete the file to force
+        a full re-run.
+    faults:
+        Optional :class:`~repro.util.faults.FaultPlan` injecting
+        deterministic chaos (worker crashes, chunk stalls, store
+        corruption) — the harness that proves the retry/resume paths.
+    max_retries:
+        Retries per chunk before quarantine (overrides
+        ``config.max_retries``).  Retries back off exponentially with
+        deterministic seeded jitter and re-dispatch to a rebuilt pool when
+        the previous one broke.  Chunks that exhaust retries land in
+        :attr:`StudyResult.failures` instead of aborting the study.
+    chunk_timeout:
+        Per-chunk deadline in seconds (overrides ``config.chunk_timeout``).
+        In parallel mode an overrunning chunk's wait is abandoned (the
+        pool is rebuilt); in serial mode the deadline is checked after the
+        chunk finishes.  Timed-out chunks retry like crashes.
     """
     cfg = config or StudyConfig()
     store_obj, store_root = _resolve_store(store)
+    retries = cfg.max_retries if max_retries is None else max_retries
+    deadline = cfg.chunk_timeout if chunk_timeout is None else chunk_timeout
+    if retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {retries!r}")
+    if deadline is not None and deadline <= 0:
+        raise ValueError(f"chunk_timeout must be > 0 seconds, got {deadline!r}")
     if min_parallel_cells is None:
         floor = PARALLEL_MIN_CELLS
         workers = min(workers, _usable_cores())
     else:
         floor = min_parallel_cells
-    if workers <= 1 or _matrix_cells(cfg) < floor:
+    parallel = workers > 1 and _matrix_cells(cfg) >= floor
+    resilient = checkpoint is not None or faults is not None or deadline is not None
+    if not parallel and not resilient:
         timer = StageTimer()
         records, observed = _run_submatrix(
             cfg, cfg.applications, cfg.systems, store_obj, timer
@@ -556,23 +667,211 @@ def run_study(
             observed=observed,
             stage_seconds=timer.breakdown(),
         )
+    try:
+        return _run_resilient(
+            cfg,
+            store_obj,
+            store_root,
+            workers if parallel else 1,
+            checkpoint,
+            faults,
+            retries,
+            deadline,
+        )
+    except KeyboardInterrupt:
+        # Never strand worker processes behind an interrupted study; the
+        # checkpoint (when given) already journals every completed chunk.
+        _shutdown_pool()
+        raise
 
-    pool = _get_pool(workers, store_root, cfg)
-    futures = {
-        label: pool.submit(_run_chunk, cfg, (label,), store_root)
-        for label in cfg.applications
-    }
-    records = []
-    observed = {}
+
+# ---------------------------------------------------------------------------
+# resilient engine: chunked execution with checkpoint, retries, quarantine
+# ---------------------------------------------------------------------------
+
+
+def _run_resilient(
+    cfg: StudyConfig,
+    store_obj: TraceStore | None,
+    store_root: str | None,
+    workers: int,
+    checkpoint: "str | os.PathLike | None",
+    faults,
+    retries: int,
+    deadline: float | None,
+) -> StudyResult:
+    """Chunk-at-a-time study execution with the full resilience stack.
+
+    Chunk results are partition-invariant and seed-stable, so however many
+    processes, retries or resumes a study needs, the surviving chunks are
+    byte-identical to a clean serial run's.
+    """
+    if faults is not None and store_obj is not None:
+        # Rebind the caller's store with the fault plan so serial-path
+        # store writes are corruptible too (workers build their own).
+        store_obj = TraceStore(store_obj.root, faults=faults)
+
+    ckpt = None
+    done: dict[str, tuple[list[PredictionRecord], dict, dict]] = {}
+    if checkpoint is not None:
+        ckpt = StudyCheckpoint(os.fspath(checkpoint), config_digest(cfg))
+        for label, entry in ckpt.load().items():
+            if label not in cfg.applications:
+                continue  # stale entry from a superset matrix: ignore
+            done[label] = (
+                [PredictionRecord(*row) for row in entry["records"]],
+                {(a, s, c): v for a, s, c, v in entry["observed"]},
+                dict(entry.get("stages", {})),
+            )
+
+    pending = {label: 0 for label in cfg.applications if label not in done}
+    failures: list[CellFailure] = []
+    completed_this_run = 0
+    round_index = 0
+    while pending:
+        run_round = _pool_round if workers > 1 else _serial_round
+        outcomes = run_round(cfg, pending, store_obj, store_root, faults, deadline, workers)
+        next_pending: dict[str, int] = {}
+        for label, attempt in pending.items():
+            outcome = outcomes[label]
+            if not isinstance(outcome, BaseException):
+                done[label] = outcome
+                if ckpt is not None:
+                    ckpt.record(label, *outcome)
+                completed_this_run += 1
+                if (
+                    faults is not None
+                    and faults.abort_after is not None
+                    and completed_this_run >= faults.abort_after
+                    and len(done) + len(failures) < len(cfg.applications)
+                ):
+                    _shutdown_pool()
+                    raise StudyAbortedError(
+                        f"fault injection: study aborted after "
+                        f"{completed_this_run} chunk(s) this run"
+                    )
+                continue
+            error, message = classify_failure(outcome)
+            if attempt >= retries:
+                failures.append(CellFailure(label, error, message, attempt + 1))
+            else:
+                next_pending[label] = attempt + 1
+        if next_pending:
+            time.sleep(backoff_seconds(round_index, cfg.base_system, *sorted(next_pending)))
+        pending = next_pending
+        round_index += 1
+
+    records: list[PredictionRecord] = []
+    observed: dict[tuple[str, str, int], float] = {}
     timer = StageTimer()
     for label in cfg.applications:
-        chunk_records, chunk_observed, stages = futures[label].result()
+        if label not in done:
+            continue
+        chunk_records, chunk_observed, stages = done[label]
         records.extend(chunk_records)
         observed.update(chunk_observed)
         timer.merge(stages)
+    order = {label: i for i, label in enumerate(cfg.applications)}
+    failures.sort(key=lambda f: order[f.application])
     return StudyResult(
         config=cfg,
         records=records,
         observed=observed,
+        failures=failures,
         stage_seconds=timer.breakdown(),
     )
+
+
+def _serial_round(
+    cfg: StudyConfig,
+    attempts: dict[str, int],
+    store_obj: TraceStore | None,
+    store_root: str | None,
+    faults,
+    deadline: float | None,
+    workers: int,
+) -> dict[str, object]:
+    """Run one attempt of every pending chunk in-process.
+
+    The deadline is necessarily post-hoc here (a single-threaded chunk
+    cannot be pre-empted): a chunk that overran still raises
+    :class:`ChunkTimeoutError` and goes through the same retry path the
+    pool engine uses.
+    """
+    outcomes: dict[str, object] = {}
+    for label, attempt in attempts.items():
+        start = time.perf_counter()
+        try:
+            if faults is not None:
+                faults.inject_chunk_faults(label, attempt, in_worker=False)
+            timer = StageTimer()
+            records, observed = _run_submatrix(cfg, (label,), cfg.systems, store_obj, timer)
+            elapsed = time.perf_counter() - start
+            if deadline is not None and elapsed > deadline:
+                raise ChunkTimeoutError(
+                    f"chunk {label!r} took {elapsed:.3f}s "
+                    f"(deadline {deadline:.3f}s)"
+                )
+            outcomes[label] = (records, observed, timer.breakdown())
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            outcomes[label] = exc
+    return outcomes
+
+
+def _pool_round(
+    cfg: StudyConfig,
+    attempts: dict[str, int],
+    store_obj: TraceStore | None,
+    store_root: str | None,
+    faults,
+    deadline: float | None,
+    workers: int,
+) -> dict[str, object]:
+    """Run one attempt of every pending chunk on the worker pool.
+
+    Failures never escape: each chunk's outcome is its result tuple or the
+    exception that felled it (broken pool, missed deadline, raised error),
+    and a broken/overrun pool is torn down so the next round re-dispatches
+    to a freshly rebuilt one.
+    """
+    outcomes: dict[str, object] = {}
+    futures = {}
+    try:
+        pool = _get_pool(workers, store_root, cfg)
+        for label, attempt in attempts.items():
+            futures[label] = pool.submit(
+                _run_chunk, cfg, (label,), store_root, faults, attempt
+            )
+    except BrokenProcessPool:
+        pass  # chunks left unsubmitted are marked crashed below
+    must_rebuild = False
+    for label in attempts:
+        fut = futures.get(label)
+        if fut is None:
+            must_rebuild = True
+            outcomes[label] = WorkerCrashError(
+                f"worker pool broke before chunk {label!r} was dispatched"
+            )
+            continue
+        try:
+            outcomes[label] = fut.result(timeout=deadline)
+        except FuturesTimeoutError:
+            fut.cancel()
+            must_rebuild = True  # a stalled worker may never free up: abandon
+            outcomes[label] = ChunkTimeoutError(
+                f"chunk {label!r} missed its {deadline:.3f}s deadline"
+            )
+        except (BrokenProcessPool, CancelledError) as exc:
+            must_rebuild = True
+            outcomes[label] = WorkerCrashError(
+                f"worker running chunk {label!r} died: {exc or type(exc).__name__}"
+            )
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            outcomes[label] = exc
+    if must_rebuild:
+        _shutdown_pool()
+    return outcomes

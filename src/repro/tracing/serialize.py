@@ -17,6 +17,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.errors import TraceCorruptError
 from repro.memory.patterns import StrideHistogram
 from repro.network.model import CollectiveKind
 from repro.probes.results import (
@@ -49,7 +50,9 @@ SCHEMA_VERSION = 2
 def _check_version(doc: dict, kind: str) -> None:
     version = doc.get("schema_version")
     if version != SCHEMA_VERSION:
-        raise ValueError(
+        # TraceCorruptError is also a ValueError, so pre-taxonomy callers
+        # that catch ValueError keep working.
+        raise TraceCorruptError(
             f"unsupported {kind} schema version {version!r} "
             f"(this build reads version {SCHEMA_VERSION})"
         )
@@ -162,7 +165,9 @@ def trace_from_json(text: str) -> ApplicationTrace:
     doc = json.loads(text)
     _check_version(doc, "trace")
     if doc.get("kind") != "application_trace":
-        raise ValueError(f"not an application trace document: {doc.get('kind')!r}")
+        raise TraceCorruptError(
+            f"not an application trace document: {doc.get('kind')!r}"
+        )
     return ApplicationTrace(
         application=doc["application"],
         cpus=doc["cpus"],
@@ -238,7 +243,9 @@ def probes_from_json(text: str) -> MachineProbes:
     doc = json.loads(text)
     _check_version(doc, "probes")
     if doc.get("kind") != "machine_probes":
-        raise ValueError(f"not a machine probes document: {doc.get('kind')!r}")
+        raise TraceCorruptError(
+            f"not a machine probes document: {doc.get('kind')!r}"
+        )
     nb = doc["netbench"]
     return MachineProbes(
         machine=doc["machine"],

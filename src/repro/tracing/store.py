@@ -1,4 +1,4 @@
-"""Persistent on-disk cache of traces and probe results.
+"""Persistent on-disk cache of traces and probe results — self-healing.
 
 Tracing is the methodology's non-recurring cost ("it is only required once
 per application on the base system" — paper Section 3) and probing ten
@@ -8,22 +8,35 @@ makes the caches durable: repeated studies, ablation sweeps and CLI
 invocations skip re-tracing and re-probing entirely, and parallel study
 workers share one warm store instead of each re-deriving the same traces.
 
-Artifacts are the JSON documents of :mod:`repro.tracing.serialize`, written
-atomically (temp file + rename) so concurrent workers can race on the same
-entry without corrupting it; both sides of such a race produce identical
-bytes, because everything upstream is seed-stable.  Entries are keyed by a
-BLAKE2b digest of their full identity — for probes that includes the
-machine spec's content :meth:`~repro.machines.spec.MachineSpec.fingerprint`,
-so editing a spec invalidates its cached probes automatically.
+Artifacts are the JSON documents of :mod:`repro.tracing.serialize` wrapped
+in a checksummed envelope::
+
+    {"kind": "store-entry", "store_schema": 1,
+     "checksum": "<blake2b of payload>", "payload": "<serialized JSON>"}
+
+written atomically (temp file + rename) so concurrent workers can race on
+the same entry without corrupting it.  Entries are keyed by a BLAKE2b
+digest of their full identity — for probes that includes the machine
+spec's content :meth:`~repro.machines.spec.MachineSpec.fingerprint`, so
+editing a spec invalidates its cached probes automatically.
+
+**Self-healing:** a load that fails *any* validation step — unreadable
+file, non-envelope bytes, checksum mismatch (truncation, bit rot, torn
+concurrent write), stale schema version, malformed payload — logs a
+warning, deletes the entry, counts it in :attr:`TraceStore.invalidated`
+and returns ``None``, so the caller transparently re-traces and re-saves.
+A corrupt cache can therefore never fail a study, only slow it down.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
+import logging
 import os
-import tempfile
 from pathlib import Path
 
+from repro.core.errors import TraceCorruptError
 from repro.machines.spec import MachineSpec
 from repro.probes.results import MachineProbes
 from repro.tracing.serialize import (
@@ -34,8 +47,15 @@ from repro.tracing.serialize import (
     trace_to_json,
 )
 from repro.tracing.trace import ApplicationTrace
+from repro.util.io import write_atomic
 
-__all__ = ["TraceStore"]
+__all__ = ["TraceStore", "STORE_SCHEMA_VERSION"]
+
+log = logging.getLogger(__name__)
+
+#: Version of the envelope layout (independent of the payload's
+#: :data:`~repro.tracing.serialize.SCHEMA_VERSION`).
+STORE_SCHEMA_VERSION = 1
 
 
 def _digest(*keys: object) -> str:
@@ -46,6 +66,10 @@ def _digest(*keys: object) -> str:
     return h.hexdigest()
 
 
+def _checksum(payload: str) -> str:
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
 class TraceStore:
     """Directory-backed cache of serialised traces and probe bundles.
 
@@ -54,14 +78,27 @@ class TraceStore:
     root:
         Cache directory; created (with parents) on first use.  Safe to share
         between processes and to delete wholesale at any time.
+    faults:
+        Optional :class:`~repro.util.faults.FaultPlan`; when its
+        ``corrupt_rate`` fires, a save writes deterministically damaged
+        bytes — the chaos harness's way of proving the checksummed load
+        path heals instead of raising.
+
+    Attributes
+    ----------
+    invalidated:
+        Count of entries this instance deleted because they failed
+        validation (diagnostic; the chaos tests assert it moves).
     """
 
-    def __init__(self, root: str | os.PathLike):
+    def __init__(self, root: str | os.PathLike, *, faults=None):
         self.root = Path(root)
         self.traces_dir = self.root / "traces"
         self.probes_dir = self.root / "probes"
         self.traces_dir.mkdir(parents=True, exist_ok=True)
         self.probes_dir.mkdir(parents=True, exist_ok=True)
+        self.faults = faults
+        self.invalidated = 0
 
     # ------------------------------------------------------------------
     def _trace_path(
@@ -93,15 +130,7 @@ class TraceStore:
 
     @staticmethod
     def _write_atomic(path: Path, text: str) -> None:
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(text)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        write_atomic(path, text)
 
     @staticmethod
     def _read(path: Path) -> str | None:
@@ -109,6 +138,66 @@ class TraceStore:
             return path.read_text()
         except OSError:
             return None
+
+    # ------------------------------------------------------------------
+    # envelope
+    # ------------------------------------------------------------------
+    def _save_entry(self, path: Path, payload: str) -> None:
+        if self.faults is not None and self.faults.should_corrupt(path.name):
+            payload = self.faults.corrupt_text(payload, path.name)
+        envelope = {
+            "kind": "store-entry",
+            "store_schema": STORE_SCHEMA_VERSION,
+            "checksum": _checksum(payload),
+            "payload": payload,
+        }
+        write_atomic(path, json.dumps(envelope))
+
+    def _load_entry(self, path: Path, kind: str) -> str | None:
+        """Validated payload text of the entry at ``path``, or None.
+
+        Every failure mode self-heals: the entry is logged, deleted and
+        reported absent so the caller recomputes it.
+        """
+        text = self._read(path)
+        if text is None:
+            return None
+        try:
+            try:
+                envelope = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise TraceCorruptError(f"unparseable store entry: {exc}") from exc
+            if not isinstance(envelope, dict) or envelope.get("kind") != "store-entry":
+                raise TraceCorruptError(
+                    "not a store entry envelope (pre-envelope or foreign file)"
+                )
+            if envelope.get("store_schema") != STORE_SCHEMA_VERSION:
+                raise TraceCorruptError(
+                    f"stale store schema {envelope.get('store_schema')!r} "
+                    f"(this build reads {STORE_SCHEMA_VERSION})"
+                )
+            payload = envelope.get("payload")
+            if not isinstance(payload, str):
+                raise TraceCorruptError("envelope payload missing")
+            if _checksum(payload) != envelope.get("checksum"):
+                raise TraceCorruptError("checksum mismatch (corrupt or torn entry)")
+            return payload
+        except TraceCorruptError as exc:
+            self._invalidate(path, kind, exc)
+            return None
+
+    def _invalidate(self, path: Path, kind: str, reason: Exception) -> None:
+        self.invalidated += 1
+        log.warning(
+            "invalidating corrupt %s entry %s (%s); it will be recomputed",
+            kind,
+            path.name,
+            reason,
+        )
+        try:
+            path.unlink()
+        except OSError:  # already gone (concurrent healer) — fine
+            pass
 
     # ------------------------------------------------------------------
     # traces
@@ -136,18 +225,18 @@ class TraceStore:
         cache_sim: bool = False,
         cache_model: str = "analytic",
     ) -> ApplicationTrace | None:
-        """The cached trace for this identity, or None if absent/unreadable."""
-        text = self._read(
-            self._trace_path(
-                application, cpus, base_machine, sample_size, cache_sim, cache_model
-            )
+        """The cached trace for this identity, or None if absent/invalid."""
+        path = self._trace_path(
+            application, cpus, base_machine, sample_size, cache_sim, cache_model
         )
-        if text is None:
+        payload = self._load_entry(path, "trace")
+        if payload is None:
             return None
         try:
-            return trace_from_json(text)
-        except (ValueError, KeyError):
-            return None  # corrupt or stale-schema entry: recompute
+            return trace_from_json(payload)
+        except (ValueError, KeyError, TypeError) as exc:
+            self._invalidate(path, "trace", exc)
+            return None
 
     def save_trace(
         self,
@@ -165,7 +254,7 @@ class TraceStore:
             cache_sim,
             cache_model,
         )
-        self._write_atomic(path, trace_to_json(trace))
+        self._save_entry(path, trace_to_json(trace))
 
     # ------------------------------------------------------------------
     # probes
@@ -176,14 +265,16 @@ class TraceStore:
 
     def load_probes(self, machine: MachineSpec) -> MachineProbes | None:
         """Cached probe bundle for this exact spec, or None."""
-        text = self._read(self._probes_path(machine))
-        if text is None:
+        path = self._probes_path(machine)
+        payload = self._load_entry(path, "probes")
+        if payload is None:
             return None
         try:
-            return probes_from_json(text)
-        except (ValueError, KeyError):
+            return probes_from_json(payload)
+        except (ValueError, KeyError, TypeError) as exc:
+            self._invalidate(path, "probes", exc)
             return None
 
     def save_probes(self, machine: MachineSpec, probes: MachineProbes) -> None:
         """Persist ``probes`` keyed by the spec's content fingerprint."""
-        self._write_atomic(self._probes_path(machine), probes_to_json(probes))
+        self._save_entry(self._probes_path(machine), probes_to_json(probes))

@@ -4,6 +4,7 @@ These are the lowest-level building blocks of :mod:`repro`; every other
 subpackage may depend on them, and they depend on nothing but NumPy.
 """
 
+from repro.util.io import append_line_durable, write_atomic
 from repro.util.rng import stable_rng, stable_seed
 from repro.util.units import (
     KIB,
@@ -20,6 +21,8 @@ from repro.util.tables import Table, render_table
 from repro.util.validation import check_positive, check_fraction, check_in
 
 __all__ = [
+    "write_atomic",
+    "append_line_durable",
     "stable_rng",
     "stable_seed",
     "KIB",

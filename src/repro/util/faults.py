@@ -1,0 +1,161 @@
+"""Deterministic fault injection for the study engine.
+
+A :class:`FaultPlan` is a *seeded* chaos schedule: every injection decision
+(crash this chunk attempt? stall it? corrupt this store write?) is a
+Bernoulli draw from :func:`repro.util.rng.stable_rng` keyed by the plan's
+seed plus the decision's identity, so a given plan misbehaves in exactly
+the same places on every run.  That determinism is what makes the chaos
+suite a *test*: the retry/resume/self-heal paths are exercised on known
+chunks and the recovered study output can be asserted byte-identical to a
+fault-free run.
+
+Plans are plain frozen dataclasses of numbers, so they pickle cleanly into
+study worker processes, and the CLI builds one from a compact
+``key=value`` spec string (``--inject-faults crash=0.25,stall=0.1,seed=7``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, fields, replace
+
+from repro.core.errors import WorkerCrashError
+from repro.util.rng import stable_rng
+
+__all__ = ["FaultPlan"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded schedule of injected faults.
+
+    Attributes
+    ----------
+    seed:
+        Root of every injection decision; two plans with equal fields make
+        identical decisions everywhere.
+    crash_rate:
+        Probability a chunk attempt raises (or hard-kills, see
+        ``hard_crashes``) before computing anything.
+    stall_rate:
+        Probability a chunk attempt sleeps ``stall_seconds`` first —
+        enough to trip a tight ``chunk_timeout`` deadline.
+    corrupt_rate:
+        Probability a :class:`~repro.tracing.store.TraceStore` write is
+        corrupted on disk (one byte flipped), proving the checksummed
+        load path invalidates and re-traces.
+    stall_seconds:
+        Injected stall duration.
+    hard_crashes:
+        When true, a crash inside a pool worker calls ``os._exit`` —
+        killing the process and breaking the pool — instead of raising;
+        this drives the ``BrokenProcessPool``/pool-rebuild path.  In the
+        parent process a crash always raises.
+    abort_after:
+        Abort the whole study (``StudyAbortedError``) after this many
+        chunks have completed in the current run — the harness's
+        simulation of a mid-run kill, used to test checkpoint resume.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    stall_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    stall_seconds: float = 0.25
+    hard_crashes: bool = False
+    abort_after: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "stall_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
+        if self.stall_seconds < 0:
+            raise ValueError(f"stall_seconds must be >= 0, got {self.stall_seconds!r}")
+        if self.abort_after is not None and self.abort_after < 0:
+            raise ValueError(f"abort_after must be >= 0, got {self.abort_after!r}")
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+    def _hit(self, rate: float, kind: str, *key: object) -> bool:
+        if rate <= 0.0:
+            return False
+        return bool(stable_rng("faults", self.seed, kind, *key).random() < rate)
+
+    def should_crash(self, label: str, attempt: int) -> bool:
+        """Whether this (chunk, attempt) is scheduled to crash."""
+        return self._hit(self.crash_rate, "crash", label, attempt)
+
+    def should_stall(self, label: str, attempt: int) -> bool:
+        """Whether this (chunk, attempt) is scheduled to stall."""
+        return self._hit(self.stall_rate, "stall", label, attempt)
+
+    def should_corrupt(self, *key: object) -> bool:
+        """Whether the store write identified by ``key`` is corrupted."""
+        return self._hit(self.corrupt_rate, "corrupt", *key)
+
+    # ------------------------------------------------------------------
+    # injections
+    # ------------------------------------------------------------------
+    def inject_chunk_faults(self, label: str, attempt: int, *, in_worker: bool = False) -> None:
+        """Apply this attempt's scheduled stall and/or crash.
+
+        Called at the top of a study chunk.  The stall runs first so a
+        stalled-then-crashed attempt still exercises the deadline path.
+        """
+        if self.should_stall(label, attempt):
+            time.sleep(self.stall_seconds)
+        if self.should_crash(label, attempt):
+            if in_worker and self.hard_crashes:
+                os._exit(13)  # no cleanup: simulate a genuine worker death
+            raise WorkerCrashError(
+                f"injected crash: chunk {label!r} attempt {attempt}"
+            )
+
+    def corrupt_text(self, text: str, *key: object) -> str:
+        """Deterministically damage ``text`` (flip one byte, drop the tail)."""
+        rng = stable_rng("faults", self.seed, "corrupt-bytes", *key)
+        if not text:
+            return "\x00"
+        if rng.random() < 0.5:  # truncation: the torn-write shape
+            return text[: int(rng.integers(0, len(text)))]
+        i = int(rng.integers(0, len(text)))
+        flipped = chr(ord(text[i]) ^ 0x01)
+        return text[:i] + flipped + text[i + 1 :]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a ``key=value[,key=value...]`` CLI spec.
+
+        Keys are the short CLI names: ``crash``, ``stall``, ``corrupt``
+        (rates), ``seed``, ``stall_seconds``, ``hard`` (0/1) and
+        ``abort_after``.  Example: ``crash=0.25,stall=0.1,seed=7``.
+        """
+        aliases = {"crash": "crash_rate", "stall": "stall_rate", "corrupt": "corrupt_rate"}
+        casts = {
+            "seed": int,
+            "crash_rate": float,
+            "stall_rate": float,
+            "corrupt_rate": float,
+            "stall_seconds": float,
+            "hard_crashes": lambda v: bool(int(v)),
+            "abort_after": int,
+        }
+        known = {f.name for f in fields(cls)}
+        plan = cls()
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            key, sep, value = part.partition("=")
+            name = aliases.get(key, "hard_crashes" if key == "hard" else key)
+            if not sep or name not in known:
+                options = ", ".join(sorted(set(aliases) | known | {"hard"}))
+                raise ValueError(
+                    f"bad fault spec item {part!r}; expected key=value with "
+                    f"key in: {options}"
+                )
+            plan = replace(plan, **{name: casts[name](value)})
+        return plan

@@ -1,0 +1,52 @@
+"""Crash-safe file I/O primitives.
+
+Everything the project persists — trace/probe archives, study checkpoints,
+bench reports — goes through :func:`write_atomic`: readers either see the
+previous complete file or the new complete file, never a torn write, even
+when the writer is killed mid-write or several processes race on the same
+path.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["write_atomic", "append_line_durable"]
+
+
+def write_atomic(path: str | os.PathLike, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file lives in ``path``'s directory so the final rename stays
+    on one filesystem and is atomic; a crash at any point leaves either
+    the old content or the new, and the temp file is removed on failure.
+    """
+    target = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def append_line_durable(path: str | os.PathLike, line: str) -> None:
+    """Append one ``\\n``-terminated line to ``path`` and fsync it.
+
+    Used by append-only journals (the study checkpoint): each entry is a
+    single self-validating line, so a crash mid-append at worst leaves one
+    torn tail line that the reader detects and drops.
+    """
+    if not line.endswith("\n"):
+        line += "\n"
+    with open(path, "a") as handle:
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())

@@ -66,3 +66,84 @@ def test_default_artifact_is_table4(capsys):
 def test_bad_artifact_rejected():
     with pytest.raises(SystemExit):
         main(["table99"])
+
+
+# ---------------------------------------------------------------------------
+# error handling: taxonomy exit codes, Ctrl-C, resilience flags
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "exc_name, code",
+    [
+        ("TraceCorruptError", 3),
+        ("WorkerCrashError", 4),
+        ("ChunkTimeoutError", 5),
+        ("StudyAbortedError", 6),
+        ("CheckpointError", 7),
+    ],
+)
+def test_repro_errors_map_to_exit_codes(monkeypatch, capsys, exc_name, code):
+    import repro.cli as cli
+    from repro.core import errors
+
+    exc = getattr(errors, exc_name)("synthetic failure")
+
+    def boom(*args, **kwargs):
+        raise exc
+
+    monkeypatch.setattr(cli, "run_study", boom)
+    assert main(["table4"]) == code
+    err = capsys.readouterr().err
+    assert err == f"repro-study: error: synthetic failure\n"  # one line, no traceback
+
+
+def test_keyboard_interrupt_exits_130(monkeypatch, capsys):
+    import repro.cli as cli
+
+    def interrupted(*args, **kwargs):
+        raise KeyboardInterrupt
+
+    shutdowns = []
+    monkeypatch.setattr(cli, "run_study", interrupted)
+    monkeypatch.setattr(cli, "shutdown_pool", lambda: shutdowns.append(True))
+    assert main(["table4"]) == 130
+    assert shutdowns == [True]  # the worker pool must not outlive Ctrl-C
+    assert "interrupted" in capsys.readouterr().err
+
+
+def test_inject_faults_flag_survives_chaos(capsys):
+    assert (
+        main(["table4", "--inject-faults", "crash=0.25,seed=3", "--max-retries", "8"])
+        == 0
+    )
+    captured = capsys.readouterr()
+    assert "Table 4" in captured.out
+    assert "quarantined" not in captured.err  # retries absorbed every crash
+
+
+def test_exhausted_retries_warn_on_stderr(capsys):
+    # crash rate 1.0 with no retries quarantines every chunk: each one warns,
+    # and the fully-empty study aborts with StudyAbortedError's exit code.
+    assert (
+        main(["table4", "--inject-faults", "crash=1.0,seed=1", "--max-retries", "0"])
+        == 6
+    )
+    captured = capsys.readouterr()
+    assert "quarantined after 1 attempt(s): WorkerCrashError" in captured.err
+    assert "all 5 study chunks were quarantined" in captured.err
+
+
+def test_checkpoint_flag_journals_and_resumes(tmp_path, capsys):
+    ck = tmp_path / "study.ckpt"
+    assert main(["table4", "--checkpoint", str(ck)]) == 0
+    first = capsys.readouterr().out
+    assert ck.exists()
+    assert main(["table4", "--checkpoint", str(ck)]) == 0
+    assert capsys.readouterr().out == first  # replay is byte-identical
+
+
+def test_bad_fault_spec_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["table4", "--inject-faults", "bogus=1"])
+    assert "bad fault spec" in capsys.readouterr().err

@@ -1,0 +1,147 @@
+"""Self-healing TraceStore: corrupt entries invalidate and re-trace, never raise.
+
+Every damage shape a shared cache directory can exhibit — truncated JSON,
+flipped bytes (checksum mismatch), stale payload schema versions, stale
+envelope versions, pre-envelope files, outright garbage — must be detected
+on load, logged, deleted, and reported as a miss so the caller recomputes.
+"""
+
+import json
+
+import pytest
+
+from repro.probes.suite import probe_machine
+from repro.tracing.metasim import trace_application
+from repro.tracing.serialize import trace_to_json
+from repro.tracing.store import STORE_SCHEMA_VERSION, TraceStore
+from repro.util.faults import FaultPlan
+
+
+@pytest.fixture()
+def stored(tmp_path, base_machine, avus):
+    """A store holding one trace + the base machine's probes."""
+    store = TraceStore(tmp_path)
+    trace = trace_application(avus, 64, base_machine, use_cache=False, store=store)
+    probe_machine(base_machine, use_cache=False, store=store)
+    return store, trace
+
+
+def _trace_file(store):
+    (path,) = list(store.traces_dir.iterdir())
+    return path
+
+
+def _load(store, trace):
+    return store.load_trace(
+        trace.application, trace.cpus, trace.base_machine, trace.sample_size, False
+    )
+
+
+# ---------------------------------------------------------------------------
+# damage shapes
+# ---------------------------------------------------------------------------
+
+
+def test_truncated_entry_invalidates_and_deletes(stored):
+    store, trace = stored
+    path = _trace_file(store)
+    path.write_text(path.read_text()[: len(path.read_text()) // 2])
+    assert _load(store, trace) is None
+    assert not path.exists()
+    assert store.invalidated == 1
+
+
+def test_flipped_byte_fails_checksum_and_invalidates(stored):
+    store, trace = stored
+    path = _trace_file(store)
+    doc = json.loads(path.read_text())
+    payload = doc["payload"]
+    i = len(payload) // 2
+    doc["payload"] = payload[:i] + chr(ord(payload[i]) ^ 0x01) + payload[i + 1 :]
+    path.write_text(json.dumps(doc))  # envelope still valid JSON, checksum stale
+    assert _load(store, trace) is None
+    assert not path.exists()
+    assert store.invalidated == 1
+
+
+def test_stale_payload_schema_version_invalidates(stored, base_machine, avus):
+    store, trace = stored
+    path = _trace_file(store)
+    payload = json.loads(json.loads(path.read_text())["payload"])
+    payload["schema_version"] = 1  # an old build's artifact
+    store._save_entry(path, json.dumps(payload))  # checksum is fresh: only schema stale
+    assert _load(store, trace) is None
+    assert not path.exists()
+    assert store.invalidated == 1
+
+
+def test_stale_envelope_schema_invalidates(stored):
+    store, trace = stored
+    path = _trace_file(store)
+    doc = json.loads(path.read_text())
+    doc["store_schema"] = STORE_SCHEMA_VERSION + 1
+    path.write_text(json.dumps(doc))
+    assert _load(store, trace) is None
+    assert store.invalidated == 1
+
+
+def test_pre_envelope_entry_invalidates(stored, base_machine, avus):
+    # An entry from before the checksummed envelope existed: bare payload.
+    store, trace = stored
+    path = _trace_file(store)
+    path.write_text(trace_to_json(trace))
+    assert _load(store, trace) is None
+    assert store.invalidated == 1
+
+
+def test_garbage_entry_invalidates(stored):
+    store, trace = stored
+    path = _trace_file(store)
+    path.write_text("{not json")
+    assert _load(store, trace) is None
+    assert store.invalidated == 1
+
+
+def test_corrupt_probe_entry_invalidates(stored, base_machine):
+    store, _ = stored
+    (path,) = list(store.probes_dir.iterdir())
+    path.write_text(path.read_text()[:40])
+    assert store.load_probes(base_machine) is None
+    assert not path.exists()
+
+
+# ---------------------------------------------------------------------------
+# heal-by-retrace: the study-level guarantee
+# ---------------------------------------------------------------------------
+
+
+def test_invalidation_falls_through_to_retrace(stored, base_machine, avus):
+    store, trace = stored
+    _trace_file(store).write_text("garbage")
+    retraced = trace_application(avus, 64, base_machine, use_cache=False, store=store)
+    assert retraced == trace  # recomputed, not loaded — and byte-equal
+    assert store.invalidated == 1
+    # the healed entry is valid again
+    assert _load(store, trace) == trace
+
+
+def test_fault_injected_store_corruption_heals(tmp_path, base_machine, avus):
+    """A FaultPlan-corrupted save is caught by the next load and re-traced."""
+    plan = FaultPlan(seed=11, corrupt_rate=1.0)
+    dirty = TraceStore(tmp_path, faults=plan)
+    trace = trace_application(avus, 64, base_machine, use_cache=False, store=dirty)
+
+    clean = TraceStore(tmp_path)
+    assert _load(clean, trace) is None  # corrupted on disk -> invalidated
+    assert clean.invalidated == 1
+    healed = trace_application(avus, 64, base_machine, use_cache=False, store=clean)
+    assert healed == trace
+    assert _load(clean, trace) == trace
+
+
+def test_healing_logs_a_warning(stored, caplog):
+    store, trace = stored
+    _trace_file(store).write_text("garbage")
+    with caplog.at_level("WARNING", logger="repro.tracing.store"):
+        assert _load(store, trace) is None
+    assert any("invalidating corrupt trace entry" in m for m in caplog.messages)
