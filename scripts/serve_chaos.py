@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Chaos gate for the resilient prediction service (CI ``serve-chaos`` job).
+
+Boots the real HTTP server with a seeded :class:`~repro.util.faults.FaultPlan`
+stalling the convolve stage, fires concurrent ``/predict`` requests at it,
+and asserts the service's resilience contract end to end:
+
+* **zero unhandled 500s** — every response is a well-formed JSON success,
+  a structured 4xx, or a 503 with ``Retry-After``; nothing escapes as a
+  traceback page;
+* **p100 latency under the deadline** — the slowest request, measured
+  client-side, finishes inside its deadline budget plus a fixed HTTP
+  overhead allowance (the degradation ladder, not luck, is what makes
+  this hold while convolve is stalled);
+* **degradation is marked** — while faults are active, convolve-bearing
+  answers arrive as ``degraded: true`` with ``served_metric`` below the
+  request;
+* **recovery** — once the faults clear and one breaker cooldown elapses,
+  a request is served at full fidelity (``degraded: false``) and
+  ``/readyz`` reports ready again.
+
+Everything is seeded and the stall durations are real but small, so the
+gate is deterministic in behaviour and fast in wall-clock.  Any violated
+assertion exits 1.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_chaos.py [--requests 32]
+        [--deadline-ms 2000] [--inject-faults stall=1.0,...] [--verbose]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro.serve.admission import AdmissionQueue
+from repro.serve.breaker import BreakerBoard
+from repro.serve.httpd import make_server
+from repro.serve.service import PredictionService
+from repro.util.faults import FaultPlan
+
+#: Client-side allowance on top of the request deadline: loopback HTTP,
+#: JSON (de)serialisation and thread scheduling on a busy CI runner.
+HTTP_OVERHEAD_SECONDS = 1.0
+
+#: Breaker cooldown — short, so the recovery phase is fast.
+COOLDOWN_SECONDS = 0.5
+
+QUERY = "application=AVUS-standard&cpus=64&machine=ARL_Xeon&metric=9"
+
+
+def fetch(port: int, path: str) -> tuple[int, dict, float]:
+    """GET ``path``; returns (status, body, seconds). Raises on non-JSON."""
+    start = time.perf_counter()
+    try:
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as resp:
+            return resp.status, json.load(resp), time.perf_counter() - start
+    except urllib.error.HTTPError as err:
+        return err.code, json.load(err), time.perf_counter() - start
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=32, metavar="N")
+    parser.add_argument("--deadline-ms", type=float, default=2000.0)
+    parser.add_argument(
+        "--inject-faults",
+        default="stall=1.0,stall_seconds=0.3,seed=7",
+        metavar="SPEC",
+        help="FaultPlan spec applied to the convolve stage "
+        "(default: always-stall 0.3s, seed 7)",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    deadline_seconds = args.deadline_ms / 1000.0
+    service = PredictionService(
+        noise=False,
+        faults=FaultPlan.parse(args.inject_faults),
+        fault_stages=("convolve",),
+        default_deadline=deadline_seconds,
+        stage_timeouts={"convolve": 0.05},
+        breakers=BreakerBoard(
+            failure_threshold=1, cooldown_seconds=COOLDOWN_SECONDS
+        ),
+        admission=AdmissionQueue(max_concurrent=8, max_queue=max(64, args.requests)),
+    )
+    server = make_server("127.0.0.1", 0, service)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    failures: list[str] = []
+    try:
+        # ------------------------------------------------------------------
+        # Phase 1: concurrent fire under active faults.
+        # ------------------------------------------------------------------
+        results: list[tuple[int, dict, float]] = [None] * args.requests
+        path = f"/predict?{QUERY}&deadline_ms={args.deadline_ms:g}"
+
+        def worker(i: int) -> None:
+            results[i] = fetch(port, path)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(args.requests)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        statuses = [r[0] for r in results]
+        latencies = [r[2] for r in results]
+        p100 = max(latencies)
+        served = [r[1] for r in results if r[0] == 200]
+        degraded = [b for b in served if b.get("degraded")]
+        unhandled = [s for s in statuses if s not in (200, 429, 503)]
+        print(
+            f"serve-chaos: {args.requests} concurrent requests -> "
+            f"{statuses.count(200)}x200 ({len(degraded)} degraded), "
+            f"{statuses.count(429)}x429, {statuses.count(503)}x503; "
+            f"p100 latency {p100:.3f}s (budget {deadline_seconds:g}s "
+            f"+ {HTTP_OVERHEAD_SECONDS:g}s overhead)"
+        )
+        if args.verbose:
+            for status, body, seconds in results:
+                print(f"  {status} {seconds:.3f}s {json.dumps(body)[:120]}")
+
+        if unhandled:
+            failures.append(f"unhandled statuses: {sorted(set(unhandled))}")
+        if not served:
+            failures.append("no request succeeded at all")
+        if not degraded:
+            failures.append(
+                "faults were active but no response was marked degraded"
+            )
+        for body in degraded:
+            if body["served_metric"] >= body["requested_metric"]:
+                failures.append(
+                    f"degraded response did not ladder down: {body}"
+                )
+        if p100 > deadline_seconds + HTTP_OVERHEAD_SECONDS:
+            failures.append(
+                f"p100 latency {p100:.3f}s exceeds deadline budget "
+                f"{deadline_seconds:g}s + overhead {HTTP_OVERHEAD_SECONDS:g}s"
+            )
+        status, body, _ = fetch(port, "/healthz")
+        if status != 200:
+            failures.append(f"/healthz returned {status}")
+        if body["requests"]["total"] < statuses.count(200):
+            failures.append(f"healthz counters inconsistent: {body['requests']}")
+
+        # ------------------------------------------------------------------
+        # Phase 2: the outage ends; one cooldown later, full fidelity.
+        # ------------------------------------------------------------------
+        service.faults = None
+        time.sleep(COOLDOWN_SECONDS * 1.1)
+        status, body, seconds = fetch(port, path)
+        print(
+            f"serve-chaos: post-recovery request -> {status}, "
+            f"served_metric {body.get('served_metric')}, "
+            f"degraded {body.get('degraded')} in {seconds:.3f}s"
+        )
+        if status != 200 or body.get("degraded") or body.get("served_metric") != 9:
+            failures.append(f"service did not recover full fidelity: {body}")
+        status, body, _ = fetch(port, "/readyz")
+        if status != 200:
+            failures.append(f"/readyz still not ready after recovery: {body}")
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    if failures:
+        for failure in failures:
+            print(f"serve-chaos: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("serve-chaos: all resilience assertions held")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

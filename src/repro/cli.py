@@ -10,7 +10,8 @@ Subcommands regenerate the paper's artifacts on the terminal:
 * ``probes`` — probe summary per system;
 * ``cost`` — the Section 3 effort-vs-accuracy table;
 * ``all`` — everything above;
-* ``csv`` — raw prediction records as CSV on stdout.
+* ``csv`` — raw prediction records as CSV on stdout;
+* ``serve`` — the resilient online prediction service (HTTP).
 """
 
 from __future__ import annotations
@@ -90,6 +91,36 @@ def _print_probes() -> None:
         print(f"{name:15s} {row}")
 
 
+def _serve(args, faults) -> int:
+    """Boot the resilient prediction service and block until interrupted."""
+    from repro.serve.httpd import make_server
+    from repro.serve.service import DEFAULT_DEADLINE_SECONDS, PredictionService
+
+    service = PredictionService(
+        mode=args.mode,
+        noise=not args.no_noise,
+        cache_model=args.cache_model,
+        store=args.cache_dir,
+        default_deadline=(
+            DEFAULT_DEADLINE_SECONDS if args.deadline is None else args.deadline
+        ),
+        faults=faults,
+    )
+    server = make_server(args.host, args.port, service)
+    host, port = server.server_address[:2]
+    print(
+        f"repro-study: serving predictions on http://{host}:{port} "
+        f"(deadline {service.default_deadline:g}s; routes: /predict, "
+        f"/healthz, /readyz; Ctrl-C stops)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``repro-study``.
 
@@ -126,6 +157,7 @@ def _run(argv: list[str] | None) -> int:
             "cost",
             "csv",
             "all",
+            "serve",
         ],
         nargs="?",
         default="table4",
@@ -190,6 +222,27 @@ def _run(argv: list[str] | None) -> int:
         "crashes (default: none)",
     )
     parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve: address to bind the prediction service to "
+        "(default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8077,
+        metavar="N",
+        help="serve: TCP port (default: 8077; 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve: default per-request deadline when the request does "
+        "not name one (default: 1.0)",
+    )
+    parser.add_argument(
         "--inject-faults",
         default=None,
         metavar="SPEC",
@@ -205,6 +258,9 @@ def _run(argv: list[str] | None) -> int:
             faults = FaultPlan.parse(args.inject_faults)
         except ValueError as exc:
             parser.error(str(exc))
+
+    if args.artifact == "serve":
+        return _serve(args, faults)
 
     needs_study = args.artifact in {
         "table4",

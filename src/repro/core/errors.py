@@ -28,6 +28,11 @@ __all__ = [
     "ChunkTimeoutError",
     "StudyAbortedError",
     "CheckpointError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
+    "OverloadedError",
+    "UnknownIdError",
+    "ServiceUnavailableError",
 ]
 
 
@@ -76,6 +81,93 @@ class CheckpointError(ReproError):
     """A checkpoint file could not be written."""
 
     exit_code = 7
+
+
+class DeadlineExceededError(ReproError):
+    """A time budget ran out before the work guarded by it finished.
+
+    Raised by :meth:`repro.util.deadline.Deadline.checkpoint` inside the
+    probe/trace/convolve stages; the prediction service catches it to
+    abandon a stage and fall down the degradation ladder, and the study
+    engine's serial chunks convert it into :class:`ChunkTimeoutError`.
+    """
+
+    exit_code = 8
+
+    def __init__(self, message: str, *, stage: str | None = None):
+        super().__init__(message)
+        #: Pipeline stage the budget expired in (``"probe"``, ``"trace"``,
+        #: ``"convolve"``, ...), when known.
+        self.stage = stage
+
+
+class CircuitOpenError(ReproError):
+    """A backend stage's circuit breaker is open: the call was not made.
+
+    Distinct from a backend *failure* — an open breaker fails fast by
+    design, and the service answers from a cheaper rung of the metric
+    ladder instead.
+    """
+
+    exit_code = 9
+
+    def __init__(self, message: str, *, stage: str | None = None, retry_after: float | None = None):
+        super().__init__(message)
+        self.stage = stage
+        #: Seconds until the breaker's next half-open probe window.
+        self.retry_after = retry_after
+
+
+class OverloadedError(ReproError):
+    """The service's bounded admission queue is full (HTTP 429 semantics)."""
+
+    exit_code = 10
+
+    def __init__(self, message: str, *, retry_after: float | None = None):
+        super().__init__(message)
+        #: Suggested client back-off before retrying, seconds.
+        self.retry_after = retry_after
+
+
+class UnknownIdError(ReproError, KeyError):
+    """A request named an application/machine/metric that does not exist.
+
+    Carries the nearest valid identifiers so the service boundary can
+    return a structured 400 (never a traceback).  Also a :class:`KeyError`
+    because that is what the underlying registries raise.
+    """
+
+    exit_code = 11
+
+    def __init__(
+        self,
+        kind: str,
+        value: object,
+        known: tuple[str, ...],
+        nearest: tuple[str, ...] = (),
+    ):
+        hint = f"; nearest: {', '.join(nearest)}" if nearest else ""
+        message = (
+            f"unknown {kind} {value!r}; known: {', '.join(known)}{hint}"
+        )
+        super().__init__(message)
+        self.kind = kind
+        self.value = value
+        self.known = known
+        self.nearest = nearest
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message
+        return self.args[0]
+
+
+class ServiceUnavailableError(ReproError):
+    """Every rung of the degradation ladder failed (HTTP 503 semantics)."""
+
+    exit_code = 12
+
+    def __init__(self, message: str, *, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 def signed_error(predicted: float, actual: float) -> float:

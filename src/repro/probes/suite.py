@@ -19,6 +19,7 @@ from repro.probes.stream import run_stream
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.tracing.store import TraceStore
+    from repro.util.deadline import Deadline
 
 __all__ = ["probe_machine", "clear_probe_cache"]
 
@@ -27,18 +28,33 @@ __all__ = ["probe_machine", "clear_probe_cache"]
 _CACHE: dict[tuple[str, str], MachineProbes] = {}
 
 
+#: Benchmark order of a full probe pass; each is a deadline checkpoint.
+_BENCHMARKS = (
+    ("hpl", run_hpl),
+    ("stream", run_stream),
+    ("gups", run_gups),
+    ("maps", run_maps),
+    ("netbench", run_netbench),
+)
+
+
 def probe_machine(
     machine: MachineSpec,
     *,
     use_cache: bool = True,
     store: "TraceStore | None" = None,
+    deadline: "Deadline | None" = None,
 ) -> MachineProbes:
     """Run HPL, STREAM, GUPS, MAPS and NETBENCH on ``machine``.
 
     Results are cached by the spec's content fingerprint, so two different
     specs sharing a name get independent entries.  ``use_cache=False``
     bypasses the in-memory cache entirely; ``store`` additionally consults
-    and fills a persistent on-disk cache.
+    and fills a persistent on-disk cache.  ``deadline`` (a
+    :class:`~repro.util.deadline.Deadline`) is checked before each of the
+    five benchmarks, so a caller under time pressure abandons an
+    uncached probe pass part-way instead of finishing it late — cache hits
+    cost nothing and are never blocked by an expired budget.
     """
     key = (machine.name, machine.fingerprint())
     if use_cache and key in _CACHE:
@@ -50,14 +66,12 @@ def probe_machine(
         return probes
     probes = store.load_probes(machine) if store is not None else None
     if probes is None:
-        probes = MachineProbes(
-            machine=machine.name,
-            hpl=run_hpl(machine),
-            stream=run_stream(machine),
-            gups=run_gups(machine),
-            maps=run_maps(machine),
-            netbench=run_netbench(machine),
-        )
+        results = {}
+        for name, runner in _BENCHMARKS:
+            if deadline is not None:
+                deadline.checkpoint("probe")
+            results[name] = runner(machine)
+        probes = MachineProbes(machine=machine.name, **results)
         if store is not None:
             store.save_probes(machine, probes)
     if use_cache:

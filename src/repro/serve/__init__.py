@@ -1,0 +1,28 @@
+"""Resilient online serving of metric predictions.
+
+The :mod:`repro.serve` package turns the offline study pipeline into a
+prediction *service* that keeps answering under partial failure:
+per-stage circuit breakers (:mod:`~repro.serve.breaker`), a graceful
+degradation ladder over the Table 3 metric hierarchy
+(:mod:`~repro.serve.degrade`), per-request deadlines threaded through the
+backend stages, bounded admission with load-shedding
+(:mod:`~repro.serve.admission`), and a dependency-free HTTP front end
+(:mod:`~repro.serve.httpd`).  :class:`~repro.serve.service.PredictionService`
+ties them together.
+"""
+
+from repro.serve.admission import AdmissionQueue
+from repro.serve.breaker import BreakerBoard, CircuitBreaker
+from repro.serve.degrade import LADDER, ladder_for, stages_for
+from repro.serve.service import PredictionService, ServedPrediction
+
+__all__ = [
+    "AdmissionQueue",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "LADDER",
+    "PredictionService",
+    "ServedPrediction",
+    "ladder_for",
+    "stages_for",
+]

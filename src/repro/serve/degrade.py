@@ -1,0 +1,82 @@
+"""The graceful-degradation ladder over the paper's metric hierarchy.
+
+Table 3's metrics are ordered by cost *and* fidelity: metric 9
+(HPL+MAPS+NET+DEP) needs a trace and the full convolver, metric 1 (an HPL
+ratio) needs two numbers already sitting in the probe cache.  That
+hierarchy is a ready-made degradation ladder for online serving: when the
+expensive convolver path is slow or its breaker is open, a
+correct-but-coarser answer from a cheaper rung is far better than an
+error — the same "variability matters, prefer an answer with known
+semantics" argument Cornebize & Legrand make for simulation-based MPI
+prediction.
+
+Degraded responses are *marked*, never silent: the service stamps
+``served_metric`` and ``degraded=True`` so a caller can distinguish "the
+best estimate" from "the best estimate available right now" and re-query
+later.  :data:`LADDER` descends 9 → 7 → 5 → 3 → 1, skipping the
+even-numbered metrics — each rung drops one whole ingredient class
+(dependent-access curves, MAPS cache curves, STREAM term, the convolver
+itself) rather than a half-step, so successive fallbacks have visibly
+distinct semantics.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.core.metrics import ALL_METRICS, PredictiveMetric
+
+__all__ = ["LADDER", "ladder_for", "stages_for", "RungAttempt"]
+
+#: Fallback rungs in descending fidelity/cost order (Table 3 numbers).
+LADDER: tuple[int, ...] = (9, 7, 5, 3, 1)
+
+#: Stage dependencies per metric kind: simple ratios (#1-#3) need only
+#: cached probe rates; predictive metrics (#4-#9) add trace + convolve.
+_SIMPLE_STAGES = ("probe",)
+_PREDICTIVE_STAGES = ("probe", "trace", "convolve")
+
+
+def stages_for(metric: int) -> tuple[str, ...]:
+    """Backend stages metric ``metric`` must traverse.
+
+    The split is what makes the ladder useful: an open *convolve* breaker
+    takes out metrics 4-9 but leaves 1-3 servable from the probe cache.
+    """
+    if isinstance(ALL_METRICS[metric], PredictiveMetric):
+        return _PREDICTIVE_STAGES
+    return _SIMPLE_STAGES
+
+
+def ladder_for(requested: int) -> tuple[int, ...]:
+    """Rungs to try for a request, best first.
+
+    The requested metric leads; below it come the strictly-cheaper
+    :data:`LADDER` rungs in order.  Requests for an even metric simply
+    join the ladder at the next rung down (e.g. 8 → 7 → 5 → 3 → 1).
+    """
+    if requested not in ALL_METRICS:
+        raise KeyError(f"metric number must be 1-9, got {requested!r}")
+    return (requested,) + tuple(r for r in LADDER if r < requested)
+
+
+class RungAttempt(NamedTuple):
+    """Why one ladder rung was not served (response observability).
+
+    Attributes
+    ----------
+    metric:
+        The rung that was tried (or skipped).
+    stage:
+        Stage the failure is attributed to, when known.
+    error:
+        Failure class name (``"CircuitOpenError"``,
+        ``"DeadlineExceededError"``, ...).
+    message:
+        Human-readable detail.
+    """
+
+    metric: int
+    stage: str | None
+    error: str
+    message: str

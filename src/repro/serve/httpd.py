@@ -1,0 +1,204 @@
+"""Stdlib HTTP front end for :class:`~repro.serve.service.PredictionService`.
+
+A deliberately small JSON-over-HTTP surface on
+:class:`http.server.ThreadingHTTPServer` — no framework, no new
+dependencies, one thread per connection feeding the service's own
+admission queue:
+
+``GET /predict?application=..&cpus=..&machine=..[&metric=9][&deadline_ms=..]``
+    One prediction.  Always JSON; the resilient error mapping is the
+    whole point:
+
+    * invalid ids → **400** with the known set and nearest matches,
+      never a traceback;
+    * shed by admission → **429** with a ``Retry-After`` header;
+    * every ladder rung failed → **503** with ``Retry-After`` when a
+      breaker cooldown suggests one;
+    * degraded answers are **200** with ``degraded: true`` and the
+      ``served_metric`` that actually answered.
+
+``GET /healthz``
+    Liveness + diagnostics (always 200 while the process can answer at
+    all): breaker states, admission depth, store invalidation counter,
+    request counters.
+
+``GET /readyz``
+    Readiness: 200 when no breaker is open and the queue has room,
+    503 otherwise — load balancers drain the instance while it heals.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.core.errors import (
+    OverloadedError,
+    ReproError,
+    ServiceUnavailableError,
+    UnknownIdError,
+)
+from repro.serve.service import PredictionService
+
+__all__ = ["PredictionHTTPServer", "make_server"]
+
+
+class PredictionHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`PredictionService`."""
+
+    daemon_threads = True
+    #: Quick restarts during tests/chaos runs beat lingering TIME_WAITs.
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], service: PredictionService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler: parse, dispatch, map errors to statuses."""
+
+    server: PredictionHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        url = urlsplit(self.path)
+        query = dict(parse_qsl(url.query))
+        try:
+            if url.path == "/predict":
+                self._predict(query)
+            elif url.path == "/healthz":
+                self._json(200, self.server.service.health())
+            elif url.path == "/readyz":
+                ok, body = self.server.service.ready()
+                self._json(200 if ok else 503, body)
+            else:
+                self._json(
+                    404,
+                    {
+                        "error": "NotFound",
+                        "message": f"no route {url.path!r}",
+                        "routes": ["/predict", "/healthz", "/readyz"],
+                    },
+                )
+        except Exception as exc:  # last-resort guard: still JSON, never a traceback page
+            self._json(
+                500, {"error": type(exc).__name__, "message": str(exc)}
+            )
+
+    # ------------------------------------------------------------------
+    def _predict(self, query: dict[str, str]) -> None:
+        missing = [k for k in ("application", "cpus", "machine") if k not in query]
+        if missing:
+            self._json(
+                400,
+                {
+                    "error": "MissingParameter",
+                    "message": f"missing query parameter(s): {', '.join(missing)}",
+                    "required": ["application", "cpus", "machine"],
+                    "optional": ["metric", "deadline_ms"],
+                },
+            )
+            return
+        try:
+            cpus = int(query["cpus"])
+        except ValueError:
+            self._json(
+                400,
+                {
+                    "error": "BadParameter",
+                    "message": f"cpus must be an integer, got {query['cpus']!r}",
+                },
+            )
+            return
+        deadline_seconds = None
+        if "deadline_ms" in query:
+            try:
+                deadline_seconds = float(query["deadline_ms"]) / 1000.0
+            except ValueError:
+                self._json(
+                    400,
+                    {
+                        "error": "BadParameter",
+                        "message": (
+                            f"deadline_ms must be a number, got "
+                            f"{query['deadline_ms']!r}"
+                        ),
+                    },
+                )
+                return
+        try:
+            served = self.server.service.predict(
+                query["application"],
+                cpus,
+                query["machine"],
+                query.get("metric", 9),
+                deadline_seconds=deadline_seconds,
+            )
+        except UnknownIdError as exc:
+            self._json(
+                400,
+                {
+                    "error": "UnknownId",
+                    "message": str(exc),
+                    "kind": exc.kind,
+                    "value": str(exc.value),
+                    "known": list(exc.known),
+                    "nearest": list(exc.nearest),
+                },
+            )
+        except ValueError as exc:
+            self._json(400, {"error": "BadParameter", "message": str(exc)})
+        except OverloadedError as exc:
+            self._json(
+                429,
+                {
+                    "error": "Overloaded",
+                    "message": str(exc),
+                    "retry_after_seconds": exc.retry_after,
+                },
+                retry_after=exc.retry_after,
+            )
+        except ServiceUnavailableError as exc:
+            self._json(
+                503,
+                {
+                    "error": "ServiceUnavailable",
+                    "message": str(exc),
+                    "retry_after_seconds": exc.retry_after,
+                },
+                retry_after=exc.retry_after,
+            )
+        except ReproError as exc:
+            # A taxonomy error that escaped the ladder (should be rare):
+            # surface it as a structured 500, never a stack trace.
+            self._json(500, {"error": type(exc).__name__, "message": str(exc)})
+        else:
+            self._json(200, served.to_dict())
+
+    # ------------------------------------------------------------------
+    def _json(
+        self, status: int, body: dict, *, retry_after: float | None = None
+    ) -> None:
+        payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        if retry_after is not None:
+            # RFC 9110 allows only integral seconds; round up so clients
+            # never retry before the hint.
+            self.send_header("Retry-After", str(max(1, round(retry_after + 0.5))))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence the default stderr access log (the CLI owns output)."""
+
+
+def make_server(
+    host: str, port: int, service: PredictionService
+) -> PredictionHTTPServer:
+    """Bind a :class:`PredictionHTTPServer`; ``port=0`` picks a free port."""
+    return PredictionHTTPServer((host, port), service)

@@ -1,0 +1,526 @@
+"""The resilient online prediction service.
+
+:class:`PredictionService` answers one question — "how long will
+application Y at N processors take on machine X, by metric K?" — through
+the same probe/trace/convolve pipeline the offline study uses, but
+engineered to keep answering when parts of that pipeline misbehave:
+
+* every request runs under a per-request :class:`~repro.util.deadline.Deadline`
+  threaded through the probe and trace layers, whose mid-stage checkpoints
+  abandon work the moment the budget is spent;
+* each backend stage is wrapped in a
+  :class:`~repro.serve.breaker.CircuitBreaker`; a failing stage trips open
+  and is *not called at all* until its cooldown elapses;
+* on an open breaker, a stage failure or deadline pressure, the request
+  falls down the Table 3 degradation ladder (9 → 7 → 5 → 3 → 1,
+  :mod:`repro.serve.degrade`) and the response is stamped
+  ``served_metric``/``degraded=True`` — a marked coarser answer instead of
+  an error;
+* a bounded :class:`~repro.serve.admission.AdmissionQueue` sheds load
+  beyond its queue with a retry-after hint instead of queueing unboundedly.
+
+Chaos is first-class: the constructor takes the same
+:class:`~repro.util.faults.FaultPlan` the study engine uses, keyed per
+(stage, call number), plus injectable ``clock``/``sleep`` — so the chaos
+suite drives stalls and crashes deterministically on a fake clock and
+asserts exact degradation and recovery timing.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.apps.execution import GroundTruthExecutor
+from repro.apps.suite import APPLICATIONS, get_application
+from repro.core.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    OverloadedError,
+    ReproError,
+    ServiceUnavailableError,
+    UnknownIdError,
+    WorkerCrashError,
+)
+from repro.core.metrics import ALL_METRICS, PredictiveMetric, get_metric
+from repro.machines.registry import BASE_SYSTEM, MACHINES, get_machine
+from repro.probes.suite import probe_machine
+from repro.serve.admission import AdmissionQueue
+from repro.serve.breaker import BreakerBoard
+from repro.serve.degrade import RungAttempt, ladder_for, stages_for
+from repro.tracing.metasim import CACHE_MODELS, DEFAULT_SAMPLE_SIZE, trace_application
+from repro.tracing.store import TraceStore
+from repro.util.deadline import Deadline
+from repro.util.validation import check_in, nearest_ids
+
+__all__ = ["PredictionService", "ServedPrediction", "STAGES"]
+
+#: Backend stages in pipeline order; each gets its own circuit breaker.
+STAGES = ("probe", "trace", "convolve")
+
+#: Default per-request budget, seconds.
+DEFAULT_DEADLINE_SECONDS = 1.0
+
+#: Share of the *remaining* request budget a single stage may consume.
+#: Reserving the rest is what lets a request that lost a stage to a stall
+#: still serve a cheaper rung inside its deadline.
+DEFAULT_STAGE_FRACTION = 0.5
+
+
+@dataclass(frozen=True)
+class ServedPrediction:
+    """One answered prediction query.
+
+    ``degraded`` is never silent: it is True exactly when
+    ``served_metric != requested_metric``, so callers can cache coarse
+    answers differently or re-query once ``/readyz`` reports recovery.
+    """
+
+    application: str
+    cpus: int
+    machine: str
+    requested_metric: int
+    served_metric: int
+    metric_label: str
+    predicted_seconds: float
+    degraded: bool
+    latency_seconds: float
+    attempts: tuple[RungAttempt, ...] = ()
+
+    def to_dict(self) -> dict:
+        """JSON-shaped view (the HTTP layer's response body)."""
+        return {
+            "application": self.application,
+            "cpus": self.cpus,
+            "machine": self.machine,
+            "requested_metric": self.requested_metric,
+            "served_metric": self.served_metric,
+            "metric_label": self.metric_label,
+            "predicted_seconds": self.predicted_seconds,
+            "degraded": self.degraded,
+            "latency_ms": round(self.latency_seconds * 1000.0, 3),
+            "attempts": [
+                {
+                    "metric": a.metric,
+                    "stage": a.stage,
+                    "error": a.error,
+                    "message": a.message,
+                }
+                for a in self.attempts
+            ],
+        }
+
+
+class PredictionService:
+    """Thread-safe online prediction front end over the study pipeline.
+
+    Parameters
+    ----------
+    base_system:
+        System traces and Equation-1 ratios anchor to (the study's X0).
+    mode, sample_size, cache_model, noise:
+        Pipeline knobs, identical in meaning to
+        :class:`~repro.study.runner.StudyConfig`.
+    store:
+        Optional persistent :class:`~repro.tracing.store.TraceStore` (or
+        directory path) shared by all request threads; its invalidation
+        counter is surfaced on ``/healthz``.
+    default_deadline:
+        Per-request budget (seconds) when the request does not name one.
+    stage_fraction:
+        Share of the remaining request budget one stage may spend
+        (see :data:`DEFAULT_STAGE_FRACTION`).
+    stage_timeouts:
+        Optional absolute per-stage caps, e.g. ``{"convolve": 0.1}`` —
+        the effective stage budget is the smaller of cap and fraction.
+    breakers, admission:
+        Injectable resilience components (built with defaults on the
+        service's clock when omitted).
+    faults:
+        Optional :class:`~repro.util.faults.FaultPlan`; stalls/crashes are
+        injected per (stage, call-number) with the plan's seeded draws.
+    fault_stages:
+        Stages the plan applies to (chaos tests target one stage).
+    clock, sleep:
+        Monotonic clock and sleeper — injectable together so chaos tests
+        advance a fake clock instead of wall-waiting.
+    """
+
+    def __init__(
+        self,
+        *,
+        base_system: str = BASE_SYSTEM,
+        mode: str = "relative",
+        sample_size: int = DEFAULT_SAMPLE_SIZE,
+        cache_model: str = "analytic",
+        noise: bool = True,
+        store: "TraceStore | str | os.PathLike | None" = None,
+        default_deadline: float = DEFAULT_DEADLINE_SECONDS,
+        stage_fraction: float = DEFAULT_STAGE_FRACTION,
+        stage_timeouts: dict[str, float] | None = None,
+        breakers: BreakerBoard | None = None,
+        admission: AdmissionQueue | None = None,
+        faults=None,
+        fault_stages: tuple[str, ...] = STAGES,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        check_in("mode", mode, ("relative", "absolute"))
+        check_in("cache_model", cache_model, CACHE_MODELS)
+        if base_system not in MACHINES:
+            raise UnknownIdError(
+                "system", base_system, tuple(MACHINES), nearest_ids(base_system, MACHINES)
+            )
+        if default_deadline <= 0:
+            raise ValueError(
+                f"default_deadline must be > 0 seconds, got {default_deadline!r}"
+            )
+        if not 0.0 < stage_fraction <= 1.0:
+            raise ValueError(
+                f"stage_fraction must be in (0, 1], got {stage_fraction!r}"
+            )
+        unknown = set(stage_timeouts or ()) - set(STAGES)
+        if unknown:
+            raise ValueError(
+                f"unknown stage_timeouts keys {sorted(unknown)}; stages: {STAGES}"
+            )
+        self.base_system = base_system
+        self.mode = mode
+        self.sample_size = sample_size
+        self.cache_model = cache_model
+        self.noise = noise
+        self.default_deadline = default_deadline
+        self.stage_fraction = stage_fraction
+        self.stage_timeouts = dict(stage_timeouts or {})
+        self._clock = clock
+        self._sleep = sleep
+        if isinstance(store, TraceStore) or store is None:
+            self.store = store
+        else:
+            self.store = TraceStore(store)
+        self.breakers = breakers if breakers is not None else BreakerBoard(STAGES, clock=clock)
+        self.admission = admission if admission is not None else AdmissionQueue(clock=clock)
+        self.faults = faults
+        self.fault_stages = tuple(fault_stages)
+
+        self._base_machine = get_machine(base_system)
+        self._base_executor = GroundTruthExecutor(self._base_machine, noise=noise)
+        self._base_times: dict[tuple[str, int], float] = {}
+        self._state_lock = threading.Lock()
+        self._stage_calls: dict[str, int] = {stage: 0 for stage in STAGES}
+        self.requests_total = 0
+        self.degraded_total = 0
+        self.unserved_total = 0
+        self._started_at = clock()
+
+    # ------------------------------------------------------------------
+    # validation (the service boundary: structured errors, never tracebacks)
+    # ------------------------------------------------------------------
+    def validate_request(
+        self, application: str, cpus: int, machine: str, metric: int
+    ) -> tuple[object, object, int, int]:
+        """Resolve and validate one query's identifiers.
+
+        Unknown ids raise :class:`~repro.core.errors.UnknownIdError`
+        carrying the known set and the nearest matches (the HTTP 400
+        body); structural problems (bad cpus, oversized run) raise
+        :class:`ValueError`.  Mirrors ``StudyConfig``'s name-the-bad-key
+        convention.
+        """
+        label = str(application)
+        if label.partition("@")[0] not in APPLICATIONS:
+            raise UnknownIdError(
+                "application", label, tuple(APPLICATIONS), nearest_ids(label, APPLICATIONS)
+            )
+        try:
+            app = get_application(label)
+        except KeyError as exc:  # bad @replica suffix on a known base label
+            raise ValueError(exc.args[0] if exc.args else str(exc)) from None
+        if machine not in MACHINES:
+            raise UnknownIdError(
+                "machine", machine, tuple(MACHINES), nearest_ids(machine, MACHINES)
+            )
+        target = get_machine(machine)
+        try:
+            metric_num = int(metric)
+        except (TypeError, ValueError):
+            raise UnknownIdError(
+                "metric", metric, tuple(str(m) for m in ALL_METRICS),
+                nearest_ids(str(metric), (str(m) for m in ALL_METRICS)),
+            ) from None
+        if metric_num not in ALL_METRICS:
+            raise UnknownIdError(
+                "metric", metric_num, tuple(str(m) for m in ALL_METRICS),
+                nearest_ids(metric_num, ALL_METRICS),
+            )
+        cpus_num = int(cpus)
+        if cpus_num <= 0:
+            raise ValueError(f"cpus must be > 0, got {cpus!r}")
+        if cpus_num > target.cpus:
+            raise ValueError(
+                f"cpus={cpus_num} exceeds the {target.cpus} processors of "
+                f"system {machine!r} (the paper leaves such cells blank)"
+            )
+        return app, target, cpus_num, metric_num
+
+    # ------------------------------------------------------------------
+    # the request path
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        application: str,
+        cpus: int,
+        machine: str,
+        metric: int = 9,
+        *,
+        deadline_seconds: float | None = None,
+    ) -> ServedPrediction:
+        """Answer one query inside its deadline, degrading as needed.
+
+        Raises
+        ------
+        UnknownIdError, ValueError
+            Invalid request (HTTP 400) — checked before admission, so
+            malformed traffic never occupies a slot.
+        OverloadedError
+            Shed by the admission queue (HTTP 429).
+        ServiceUnavailableError
+            Every ladder rung failed (HTTP 503) — only possible when even
+            the probe-cache rungs are failing.
+        """
+        app, target, cpus_num, metric_num = self.validate_request(
+            application, cpus, machine, metric
+        )
+        budget = self.default_deadline if deadline_seconds is None else deadline_seconds
+        if budget <= 0:
+            raise ValueError(f"deadline must be > 0 seconds, got {budget!r}")
+        deadline = Deadline(budget, clock=self._clock, stage="request")
+        start = self._clock()
+        with self._state_lock:
+            self.requests_total += 1
+        timeout = deadline.remaining()
+        with self.admission.admit(None if math.isinf(timeout) else timeout):
+            return self._predict_admitted(
+                app, target, cpus_num, metric_num, deadline, start
+            )
+
+    def _predict_admitted(
+        self, app, target, cpus: int, requested: int, deadline: Deadline, start: float
+    ) -> ServedPrediction:
+        attempts: list[RungAttempt] = []
+        retry_hints: list[float] = []
+        for rung in ladder_for(requested):
+            stages = stages_for(rung)
+            open_stage = next(
+                (s for s in stages if self.breakers[s].state == "open"), None
+            )
+            if open_stage is not None:
+                # Skip without touching any backend: an open breaker means
+                # no calls, including the rung's earlier healthy stages.
+                hint = self.breakers[open_stage].retry_after()
+                retry_hints.append(hint)
+                attempts.append(
+                    RungAttempt(
+                        rung,
+                        open_stage,
+                        "CircuitOpenError",
+                        f"breaker {open_stage!r} open (retry in {hint:.3f}s)",
+                    )
+                )
+                continue
+            try:
+                predicted = self._predict_rung(rung, app, cpus, target, deadline)
+            except CircuitOpenError as exc:
+                if exc.retry_after is not None:
+                    retry_hints.append(exc.retry_after)
+                attempts.append(
+                    RungAttempt(rung, exc.stage, type(exc).__name__, str(exc))
+                )
+            except DeadlineExceededError as exc:
+                attempts.append(
+                    RungAttempt(rung, exc.stage, type(exc).__name__, str(exc))
+                )
+            except Exception as exc:  # backend failure: recorded, laddered past
+                attempts.append(
+                    RungAttempt(rung, None, type(exc).__name__, str(exc))
+                )
+            else:
+                degraded = rung != requested
+                if degraded:
+                    with self._state_lock:
+                        self.degraded_total += 1
+                return ServedPrediction(
+                    application=app.label,
+                    cpus=cpus,
+                    machine=target.name,
+                    requested_metric=requested,
+                    served_metric=rung,
+                    metric_label=get_metric(rung).label,
+                    predicted_seconds=float(predicted),
+                    degraded=degraded,
+                    latency_seconds=self._clock() - start,
+                    attempts=tuple(attempts),
+                )
+        with self._state_lock:
+            self.unserved_total += 1
+        detail = "; ".join(f"#{a.metric}: {a.error}" for a in attempts)
+        raise ServiceUnavailableError(
+            f"no ladder rung could serve the request ({detail})",
+            retry_after=min(retry_hints) if retry_hints else None,
+        )
+
+    # ------------------------------------------------------------------
+    # one rung
+    # ------------------------------------------------------------------
+    def _predict_rung(
+        self, rung: int, app, cpus: int, target, deadline: Deadline
+    ) -> float:
+        metric_obj = get_metric(rung)
+        target_probes, base_probes, base_time = self._stage(
+            "probe",
+            deadline,
+            lambda d: self._probe_bundle(app, cpus, target, d),
+        )
+        if not isinstance(metric_obj, PredictiveMetric):
+            r_target = target_probes.simple_rate(metric_obj.rate_name)
+            r_base = base_probes.simple_rate(metric_obj.rate_name)
+            return (r_base / r_target) * base_time
+        trace = self._stage(
+            "trace",
+            deadline,
+            lambda d: trace_application(
+                app,
+                cpus,
+                self._base_machine,
+                self.sample_size,
+                cache_model=self.cache_model,
+                store=self.store,
+                deadline=d,
+            ),
+        )
+        return self._stage(
+            "convolve",
+            deadline,
+            lambda d: self._convolve(
+                metric_obj, trace, target_probes, base_probes, base_time, d
+            ),
+        )
+
+    def _stage(self, stage: str, deadline: Deadline, fn: Callable):
+        """Run one backend stage: breaker-gated, budgeted, chaos-injected.
+
+        The stage gets a child deadline capped at ``stage_fraction`` of
+        the remaining request budget (and any absolute per-stage cap);
+        the post-call checkpoint converts a stage that outran its slice —
+        an injected stall, a slow backend — into a breaker failure while
+        the *request* still has budget to serve a cheaper rung.
+        """
+        # A request whose budget is already gone skips the stage before
+        # touching the breaker: the backend is not at fault for a late
+        # request, so it must not absorb a failure for one.
+        deadline.checkpoint(stage)
+        breaker = self.breakers[stage]
+        breaker.allow()
+        budget = deadline.remaining() * self.stage_fraction
+        cap = self.stage_timeouts.get(stage)
+        if cap is not None:
+            budget = min(budget, cap)
+        sub = deadline.sub(budget, stage=stage)
+        try:
+            self._inject_faults(stage)
+            out = fn(sub)
+            sub.checkpoint(stage)
+        except Exception:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+        return out
+
+    def _inject_faults(self, stage: str) -> None:
+        """Apply the chaos plan's scheduled stall/crash for this stage call.
+
+        Keyed per (stage, call number) so a seeded plan misbehaves in
+        exactly the same places on every run; the stall goes through the
+        injectable sleeper, so fake-clock tests advance time instead of
+        waiting.
+        """
+        plan = self.faults
+        if plan is None or stage not in self.fault_stages:
+            return
+        with self._state_lock:
+            self._stage_calls[stage] += 1
+            call = self._stage_calls[stage]
+        label = f"serve:{stage}"
+        if plan.should_stall(label, call):
+            self._sleep(plan.stall_seconds)
+        if plan.should_crash(label, call):
+            raise WorkerCrashError(
+                f"injected crash in service stage {stage!r} (call {call})"
+            )
+
+    # ------------------------------------------------------------------
+    # backends
+    # ------------------------------------------------------------------
+    def _probe_bundle(self, app, cpus: int, target, d: Deadline):
+        target_probes = probe_machine(target, store=self.store, deadline=d)
+        base_probes = probe_machine(self._base_machine, store=self.store, deadline=d)
+        key = (app.label, cpus)
+        base_time = self._base_times.get(key)
+        if base_time is None:
+            d.checkpoint("probe")
+            base_time = self._base_executor.run(app, cpus).total_seconds
+            self._base_times[key] = base_time
+        return target_probes, base_probes, base_time
+
+    def _convolve(
+        self, metric_obj, trace, target_probes, base_probes, base_time, d: Deadline
+    ) -> float:
+        d.checkpoint("convolve")
+        return metric_obj.predict_many(
+            trace, [target_probes], base_probes, base_time, self.mode
+        )[0]
+
+    # ------------------------------------------------------------------
+    # health surfaces
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Liveness + diagnostics: the ``/healthz`` body (always served)."""
+        with self._state_lock:
+            requests = {
+                "total": self.requests_total,
+                "degraded": self.degraded_total,
+                "unserved": self.unserved_total,
+            }
+        return {
+            "status": "degraded" if self.breakers.any_open() else "ok",
+            "uptime_seconds": round(self._clock() - self._started_at, 6),
+            "breakers": self.breakers.snapshot(),
+            "admission": self.admission.depth(),
+            "store": {
+                "enabled": self.store is not None,
+                "invalidated": self.store.invalidated if self.store is not None else 0,
+            },
+            "requests": requests,
+        }
+
+    def ready(self) -> tuple[bool, dict]:
+        """Readiness: False while any breaker is open or the queue is full.
+
+        Load balancers drain a not-ready instance; the body explains why.
+        """
+        depth = self.admission.depth()
+        open_stages = [
+            stage for stage, b in self.breakers.breakers.items() if b.state == "open"
+        ]
+        shedding = depth["waiting"] >= depth["max_queue"]
+        ok = not open_stages and not shedding
+        return ok, {
+            "ready": ok,
+            "open_breakers": open_stages,
+            "shedding": shedding,
+            "admission": depth,
+        }

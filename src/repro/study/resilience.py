@@ -16,9 +16,10 @@ throw the whole campaign away.  This module provides the pieces
 * :class:`CellFailure` — the quarantine record for a chunk that exhausted
   its retries, carrying the failure taxonomy class
   (:mod:`repro.core.errors`) so partial results stay diagnosable.
-* :func:`backoff_seconds` — capped exponential backoff with
-  *deterministic* seeded jitter (:func:`repro.util.rng.stable_rng`), so
-  retry schedules are reproducible run-to-run.
+* :func:`repro.util.retry.backoff_seconds` (re-exported here) — capped
+  exponential backoff with *deterministic* seeded jitter, shared with the
+  prediction service's half-open breaker probes, so retry schedules are
+  reproducible run-to-run.
 * :func:`classify_failure` — maps arbitrary chunk exceptions onto the
   taxonomy (``WorkerCrashError``, ``ChunkTimeoutError``, ...).
 """
@@ -41,7 +42,11 @@ from repro.core.errors import (
     WorkerCrashError,
 )
 from repro.util.io import append_line_durable, write_atomic
-from repro.util.rng import stable_rng
+from repro.util.retry import (
+    BACKOFF_BASE_SECONDS,
+    BACKOFF_CAP_SECONDS,
+    backoff_seconds,
+)
 
 __all__ = [
     "CellFailure",
@@ -71,10 +76,9 @@ _IDENTITY_FIELDS = (
     "cache_model",
 )
 
-#: Backoff schedule: ``min(cap, base * 2**round)`` scaled by jitter in
-#: [0.5, 1.5).  Base is small because chunks are seconds-scale at most.
-BACKOFF_BASE_SECONDS = 0.05
-BACKOFF_CAP_SECONDS = 2.0
+# BACKOFF_BASE_SECONDS / BACKOFF_CAP_SECONDS / backoff_seconds now live in
+# repro.util.retry (shared with the serving layer); re-exported above for
+# existing importers.
 
 
 class CellFailure(NamedTuple):
@@ -106,18 +110,6 @@ def config_digest(config) -> str:
         h.update(repr(getattr(config, name)).encode("utf-8"))
         h.update(b"\x1f")
     return h.hexdigest()
-
-
-def backoff_seconds(round_index: int, *keys: object) -> float:
-    """Capped exponential backoff with deterministic seeded jitter.
-
-    ``keys`` joins the jitter's RNG key so distinct studies desynchronise
-    their retry storms while any given study backs off identically every
-    run.
-    """
-    rng = stable_rng("study-backoff", round_index, *keys)
-    base = min(BACKOFF_CAP_SECONDS, BACKOFF_BASE_SECONDS * (2.0**round_index))
-    return base * (0.5 + rng.random())
 
 
 def classify_failure(exc: BaseException) -> tuple[str, str]:

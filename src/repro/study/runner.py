@@ -41,6 +41,7 @@ from repro.apps.execution import GroundTruthExecutor
 from repro.apps.suite import APPLICATIONS, get_application
 from repro.core.errors import (
     ChunkTimeoutError,
+    DeadlineExceededError,
     ErrorSummary,
     StudyAbortedError,
     WorkerCrashError,
@@ -58,6 +59,7 @@ from repro.study.resilience import (
 )
 from repro.tracing.metasim import CACHE_MODELS, DEFAULT_SAMPLE_SIZE, trace_application
 from repro.tracing.store import TraceStore
+from repro.util.deadline import Deadline
 from repro.util.timing import StageTimer
 
 __all__ = [
@@ -350,6 +352,7 @@ def _run_submatrix(
     systems: tuple[str, ...],
     store: TraceStore | None,
     timer: StageTimer | None = None,
+    deadline: Deadline | None = None,
 ) -> tuple[list[PredictionRecord], dict[tuple[str, str, int], float]]:
     """Compute the (labels x systems) block of the study matrix.
 
@@ -360,14 +363,20 @@ def _run_submatrix(
     (application, system, cpus, metric) order.  Per-system results are
     independent, so any partition of the matrix produces the same records
     cell-for-cell.
+
+    ``deadline`` makes the block cooperative: probe and trace calls
+    checkpoint mid-stage and abandon the submatrix with
+    :class:`~repro.core.errors.DeadlineExceededError` once the budget is
+    spent (the serial resilient engine converts that into the chunk-level
+    timeout taxonomy).
     """
     t = timer if timer is not None else StageTimer()
     base_machine = get_machine(cfg.base_system)
     with t.time("probe"):
-        base_probes = probe_machine(base_machine, store=store)
+        base_probes = probe_machine(base_machine, store=store, deadline=deadline)
         machines = {system: get_machine(system) for system in systems}
         probes = {
-            system: probe_machine(machine, store=store)
+            system: probe_machine(machine, store=store, deadline=deadline)
             for system, machine in machines.items()
         }
     base_executor = GroundTruthExecutor(base_machine, noise=cfg.noise)
@@ -414,6 +423,7 @@ def _run_submatrix(
                 cache_model=cfg.cache_model,
                 store=store,
                 timer=t,
+                deadline=deadline,
             )
             probes_row = [probes[system] for system in eligible]
             with t.time("convolve"):
@@ -793,19 +803,31 @@ def _serial_round(
 ) -> dict[str, object]:
     """Run one attempt of every pending chunk in-process.
 
-    The deadline is necessarily post-hoc here (a single-threaded chunk
-    cannot be pre-empted): a chunk that overran still raises
-    :class:`ChunkTimeoutError` and goes through the same retry path the
-    pool engine uses.
+    The deadline is *cooperative* here (a single-threaded chunk cannot be
+    pre-empted): a per-chunk :class:`~repro.util.deadline.Deadline` is
+    threaded through the probe and trace stages, whose mid-stage
+    checkpoints abandon an overrunning chunk early; a chunk whose
+    cache-hit fast paths never hit a checkpoint is still caught by the
+    post-hoc elapsed check.  Either way the failure surfaces as
+    :class:`ChunkTimeoutError` and takes the same retry path the pool
+    engine uses.
     """
     outcomes: dict[str, object] = {}
     for label, attempt in attempts.items():
         start = time.perf_counter()
+        budget = Deadline(deadline) if deadline is not None else None
         try:
             if faults is not None:
                 faults.inject_chunk_faults(label, attempt, in_worker=False)
             timer = StageTimer()
-            records, observed = _run_submatrix(cfg, (label,), cfg.systems, store_obj, timer)
+            if budget is not None:
+                records, observed = _run_submatrix(
+                    cfg, (label,), cfg.systems, store_obj, timer, deadline=budget
+                )
+            else:
+                records, observed = _run_submatrix(
+                    cfg, (label,), cfg.systems, store_obj, timer
+                )
             elapsed = time.perf_counter() - start
             if deadline is not None and elapsed > deadline:
                 raise ChunkTimeoutError(
@@ -815,6 +837,12 @@ def _serial_round(
             outcomes[label] = (records, observed, timer.breakdown())
         except KeyboardInterrupt:
             raise
+        except DeadlineExceededError as exc:
+            # Keep the study's failure taxonomy: an in-chunk budget expiry
+            # is this engine's chunk timeout.
+            outcomes[label] = ChunkTimeoutError(
+                f"chunk {label!r} abandoned mid-{exc.stage or 'chunk'}: {exc}"
+            )
         except Exception as exc:
             outcomes[label] = exc
     return outcomes

@@ -34,6 +34,7 @@ import hashlib
 import json
 import logging
 import os
+import threading
 from pathlib import Path
 
 from repro.core.errors import TraceCorruptError
@@ -88,7 +89,11 @@ class TraceStore:
     ----------
     invalidated:
         Count of entries this instance deleted because they failed
-        validation (diagnostic; the chaos tests assert it moves).
+        validation (diagnostic; the chaos tests assert it moves and the
+        service's ``/healthz`` reports it).  Guarded by an internal lock:
+        one store instance is shared by every thread of the prediction
+        service, and an unguarded ``+= 1`` under concurrent invalidations
+        loses counts (and could double-unlink a healing entry).
     """
 
     def __init__(self, root: str | os.PathLike, *, faults=None):
@@ -99,6 +104,7 @@ class TraceStore:
         self.probes_dir.mkdir(parents=True, exist_ok=True)
         self.faults = faults
         self.invalidated = 0
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def _trace_path(
@@ -187,17 +193,22 @@ class TraceStore:
             return None
 
     def _invalidate(self, path: Path, kind: str, reason: Exception) -> None:
-        self.invalidated += 1
-        log.warning(
-            "invalidating corrupt %s entry %s (%s); it will be recomputed",
-            kind,
-            path.name,
-            reason,
-        )
-        try:
-            path.unlink()
-        except OSError:  # already gone (concurrent healer) — fine
-            pass
+        # One critical section covers the count *and* the unlink so
+        # concurrent service threads healing the same entry serialise:
+        # the counter never loses an increment and the delete/re-trace
+        # sequence is not interleaved mid-heal.
+        with self._lock:
+            self.invalidated += 1
+            log.warning(
+                "invalidating corrupt %s entry %s (%s); it will be recomputed",
+                kind,
+                path.name,
+                reason,
+            )
+            try:
+                path.unlink()
+            except OSError:  # already gone (concurrent healer) — fine
+                pass
 
     # ------------------------------------------------------------------
     # traces

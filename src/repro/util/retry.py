@@ -1,0 +1,44 @@
+"""Capped exponential backoff with deterministic seeded jitter.
+
+Promoted out of the study engine so every retry loop in the project — the
+study's chunk retries *and* the prediction service's half-open breaker
+probes — backs off on the same schedule: ``min(cap, base * 2**round)``
+scaled by a jitter factor in ``[0.5, 1.5)`` drawn from
+:func:`repro.util.rng.stable_rng`.
+
+The jitter is *seeded by the caller's keys*, not by wall clock: distinct
+callers desynchronise their retry storms while any given caller backs off
+identically on every run — which is what lets chaos tests assert recovery
+timing exactly.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import stable_rng
+
+__all__ = ["backoff_seconds", "BACKOFF_BASE_SECONDS", "BACKOFF_CAP_SECONDS"]
+
+#: Default schedule: chunks and breaker probes are seconds-scale at most,
+#: so the base is small and the cap keeps round N from stalling a study.
+BACKOFF_BASE_SECONDS = 0.05
+BACKOFF_CAP_SECONDS = 2.0
+
+
+def backoff_seconds(
+    round_index: int,
+    *keys: object,
+    base: float = BACKOFF_BASE_SECONDS,
+    cap: float = BACKOFF_CAP_SECONDS,
+) -> float:
+    """Backoff before retry number ``round_index`` (0-based), in seconds.
+
+    ``keys`` join the jitter's RNG key so independent retry loops spread
+    out while each one's schedule is reproducible run-to-run.  ``base``
+    and ``cap`` tailor the curve: the study engine keeps the defaults,
+    the circuit breaker grows its re-open cooldown from its own base.
+    """
+    if round_index < 0:
+        raise ValueError(f"round_index must be >= 0, got {round_index!r}")
+    rng = stable_rng("backoff", round_index, *keys)
+    scale = min(cap, base * (2.0**round_index))
+    return scale * (0.5 + rng.random())

@@ -7,9 +7,16 @@ three layers down the convolution.
 
 from __future__ import annotations
 
-from collections.abc import Container
+import difflib
+from collections.abc import Container, Iterable
 
-__all__ = ["check_positive", "check_fraction", "check_in"]
+__all__ = [
+    "check_positive",
+    "check_fraction",
+    "check_in",
+    "nearest_ids",
+    "check_known",
+]
 
 
 def check_positive(name: str, value: float, *, allow_zero: bool = False) -> float:
@@ -38,3 +45,48 @@ def check_in(name: str, value: object, allowed: Container) -> object:
     if value not in allowed:
         raise ValueError(f"{name} must be one of {allowed!r}, got {value!r}")
     return value
+
+
+def nearest_ids(value: object, known: Iterable[object], n: int = 3) -> tuple[str, ...]:
+    """The ``n`` valid identifiers closest to a mistyped ``value``.
+
+    Strings match fuzzily (:func:`difflib.get_close_matches`, case folded);
+    numbers rank by absolute distance.  Used by the service boundary to turn
+    "unknown application" into an actionable 400 instead of a bare error.
+    """
+    candidates = list(known)
+    if not candidates:
+        return ()
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        numeric = [c for c in candidates if isinstance(c, (int, float))]
+        ranked = sorted(numeric, key=lambda c: (abs(c - value), c))
+        return tuple(str(c) for c in ranked[:n])
+    text = str(value)
+    by_name = {str(c): c for c in candidates}
+    matches = difflib.get_close_matches(text, by_name, n=n, cutoff=0.4)
+    if not matches:  # fall back to case-insensitive prefix matches
+        low = text.lower()
+        matches = [name for name in by_name if name.lower().startswith(low[:3])][:n]
+    return tuple(matches)
+
+
+def check_known(kind: str, value: object, known: Iterable[object]) -> object:
+    """Validate ``value`` against a registry, raising a structured error.
+
+    Unlike :func:`check_in` this raises
+    :class:`~repro.core.errors.UnknownIdError` carrying the full known set
+    *and* the nearest matches, which the HTTP layer renders as a 400 body.
+    """
+    # Imported lazily: util is the bottom of the dependency stack, and a
+    # module-level import of repro.core would be circular.
+    from repro.core.errors import UnknownIdError
+
+    candidates = list(known)
+    if value in candidates:
+        return value
+    raise UnknownIdError(
+        kind,
+        value,
+        tuple(str(c) for c in candidates),
+        nearest_ids(value, candidates),
+    )

@@ -147,3 +147,47 @@ def test_bad_fault_spec_rejected(capsys):
     with pytest.raises(SystemExit):
         main(["table4", "--inject-faults", "bogus=1"])
     assert "bad fault spec" in capsys.readouterr().err
+
+
+def test_serve_boots_answers_and_stops(capsys, monkeypatch):
+    """The serve subcommand binds, answers /predict, and closes cleanly."""
+    import json
+    import threading
+    import urllib.request
+
+    from repro.serve import httpd
+
+    booted = threading.Event()
+    servers = []
+    real_make = httpd.make_server
+
+    def capture(host, port, service):
+        srv = real_make(host, port, service)
+        servers.append(srv)
+        booted.set()
+        return srv
+
+    monkeypatch.setattr(httpd, "make_server", capture)
+    rc = {}
+
+    def run():
+        rc["code"] = main(
+            ["serve", "--port", "0", "--no-noise", "--deadline", "2.0"]
+        )
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    try:
+        assert booted.wait(10)
+        port = servers[0].server_address[1]
+        url = (
+            f"http://127.0.0.1:{port}/predict?application=AVUS-standard"
+            "&cpus=64&machine=ARL_Xeon&metric=3"
+        )
+        with urllib.request.urlopen(url) as resp:
+            body = json.load(resp)
+        assert body["served_metric"] == 3
+    finally:
+        servers[0].shutdown()
+        thread.join(timeout=10)
+    assert rc["code"] == 0

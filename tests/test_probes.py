@@ -96,3 +96,36 @@ def test_simple_rate_lookup():
     assert probes.simple_rate("gups") == probes.gups.random_bandwidth
     with pytest.raises(KeyError):
         probes.simple_rate("linpack")
+
+
+# ----------------------------------------------------------------------
+# cooperative deadlines (the serving path's abandon points)
+# ----------------------------------------------------------------------
+class _SpentClock:
+    """Monotonic clock that jumps past any budget after the first read."""
+
+    def __init__(self):
+        self.reads = 0
+
+    def __call__(self) -> float:
+        self.reads += 1
+        return 0.0 if self.reads == 1 else 1e9
+
+
+def test_probe_abandons_between_benchmarks_on_expired_deadline(test_machine):
+    from repro.core.errors import DeadlineExceededError
+    from repro.util.deadline import Deadline
+
+    deadline = Deadline(1.0, clock=_SpentClock(), stage="probe")
+    with pytest.raises(DeadlineExceededError) as exc_info:
+        probe_machine(test_machine, deadline=deadline)
+    assert exc_info.value.stage == "probe"
+
+
+def test_probe_cache_hit_ignores_expired_deadline(test_machine):
+    from repro.util.deadline import Deadline
+
+    probe_machine(test_machine)  # warm the in-memory cache
+    deadline = Deadline(1.0, clock=_SpentClock(), stage="probe")
+    probes = probe_machine(test_machine, deadline=deadline)
+    assert probes.hpl.rmax_flops > 0

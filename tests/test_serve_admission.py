@@ -1,0 +1,101 @@
+"""Tests for the bounded admission queue (backpressure + load-shedding)."""
+
+import threading
+
+import pytest
+
+from repro.core.errors import OverloadedError
+from repro.serve.admission import AdmissionQueue
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def test_admits_up_to_concurrency():
+    q = AdmissionQueue(max_concurrent=2, max_queue=0)
+    q.acquire()
+    q.acquire()
+    assert q.depth()["active"] == 2
+    with pytest.raises(OverloadedError) as exc_info:
+        q.acquire()
+    assert exc_info.value.retry_after > 0
+    assert q.depth()["shed_total"] == 1
+    q.release(0.1)
+    q.acquire()  # slot freed
+    assert q.depth()["admitted_total"] == 3
+
+
+def test_sheds_instantly_when_queue_full():
+    q = AdmissionQueue(max_concurrent=1, max_queue=0)
+    q.acquire()
+    with pytest.raises(OverloadedError, match="queue full"):
+        q.acquire()
+
+
+def test_wait_times_out_and_sheds():
+    q = AdmissionQueue(max_concurrent=1, max_queue=4)
+    q.acquire()
+    with pytest.raises(OverloadedError, match="timed out"):
+        q.acquire(timeout=0.05)
+    assert q.depth()["waiting"] == 0  # waiter cleaned up
+
+
+def test_waiter_admitted_on_release():
+    q = AdmissionQueue(max_concurrent=1, max_queue=4)
+    q.acquire()
+    admitted = threading.Event()
+
+    def waiter():
+        q.acquire(timeout=5.0)
+        admitted.set()
+
+    t = threading.Thread(target=waiter)
+    t.start()
+    try:
+        assert not admitted.wait(0.05)
+        q.release(0.01)
+        assert admitted.wait(2.0)
+    finally:
+        t.join()
+
+
+def test_retry_after_scales_with_backlog_and_service_time():
+    q = AdmissionQueue(max_concurrent=1, max_queue=8)
+    base = q.retry_after_estimate()
+    # Fold in slow observed service times: the estimate must grow.
+    for _ in range(20):
+        q.acquire()
+        q.release(1.0)
+    assert q.retry_after_estimate() > base
+
+
+def test_ticket_context_manager_measures_service_time():
+    clock = FakeClock()
+    q = AdmissionQueue(max_concurrent=1, max_queue=0, clock=clock)
+    with q.admit():
+        clock.now += 2.0
+        assert q.depth()["active"] == 1
+    assert q.depth()["active"] == 0
+    # EWMA moved toward the observed 2s service time.
+    assert q.retry_after_estimate() > 0.3
+
+
+def test_ticket_releases_on_exception():
+    q = AdmissionQueue(max_concurrent=1, max_queue=0)
+    with pytest.raises(RuntimeError):
+        with q.admit():
+            raise RuntimeError("boom")
+    assert q.depth()["active"] == 0
+    q.acquire()  # slot is free again
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        AdmissionQueue(max_concurrent=0)
+    with pytest.raises(ValueError):
+        AdmissionQueue(max_queue=-1)

