@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""AST import-boundary lint for the repro package layering.
+
+The package is layered (see DESIGN.md section 5f):
+
+    util  <  machines/apps/probes/memory/network  <  tracing  <  core
+          <  engine  <  study / serve  <  cli
+
+Two boundaries carry the architecture and are enforced here:
+
+* ``repro.core`` must import from **neither** ``repro.study`` **nor**
+  ``repro.serve`` — the numeric core (metrics, convolver, registry,
+  predictor facade) cannot depend on any orchestration or serving
+  concern, or the study/serve layers stop being optional clients.
+* ``repro.engine`` must import **neither** ``repro.serve.httpd`` **nor**
+  ``repro.cli`` — the staged engine is a library both the study runner
+  and the service embed; the moment it reaches into a front end, the
+  dependency arrow inverts.  (Engine middleware talks to serve-layer
+  objects like BreakerBoard strictly by duck type, so no import is ever
+  needed.)
+
+Every ``import``/``from`` statement is checked, *including* ones nested
+inside functions — a lazy import is still a dependency edge; laziness
+only changes when the cost is paid.  Allowed exceptions are explicit in
+:data:`ALLOWED`, with the reason inline.
+
+Run from the repository root (CI does)::
+
+    python scripts/check_layering.py
+
+Exits 0 when clean, 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: layer prefix -> module prefixes it must never import.
+FORBIDDEN: dict[str, tuple[str, ...]] = {
+    "repro.core": ("repro.study", "repro.serve"),
+    "repro.engine": ("repro.serve.httpd", "repro.cli"),
+    # The shared bottom layers must not reach up either; cheap to pin.
+    "repro.util": ("repro.study", "repro.serve", "repro.engine", "repro.cli"),
+    "repro.tracing": ("repro.study", "repro.serve", "repro.engine", "repro.cli"),
+}
+
+#: (module, imported) pairs exempted from FORBIDDEN, with cause.
+ALLOWED: frozenset[tuple[str, str]] = frozenset()
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name of a file under ``src/``."""
+    rel = path.relative_to(SRC).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def imports_of(path: Path) -> list[tuple[int, str]]:
+    """Every imported module in ``path`` as (line, dotted-name)."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    found: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                found.append((node.lineno, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: resolve against this package
+                base = module_name(path).split(".")
+                if path.name != "__init__.py":
+                    base.pop()
+                base = base[: len(base) - (node.level - 1)]
+                prefix = ".".join(base)
+                target = f"{prefix}.{node.module}" if node.module else prefix
+            else:
+                target = node.module or ""
+            found.append((node.lineno, target))
+    return found
+
+
+def check() -> list[str]:
+    violations: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        mod = module_name(path)
+        rules = [
+            banned
+            for layer, banned in FORBIDDEN.items()
+            if mod == layer or mod.startswith(layer + ".")
+        ]
+        if not rules:
+            continue
+        for line, imported in imports_of(path):
+            for banned in rules:
+                for ban in banned:
+                    if imported == ban or imported.startswith(ban + "."):
+                        if (mod, imported) in ALLOWED:
+                            continue
+                        violations.append(
+                            f"{path.relative_to(SRC.parent)}:{line}: "
+                            f"{mod} imports {imported} "
+                            f"(forbidden: {ban})"
+                        )
+    return violations
+
+
+def main() -> int:
+    violations = check()
+    for v in violations:
+        print(v, file=sys.stderr)
+    if violations:
+        print(
+            f"check_layering: {len(violations)} layering violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print("check_layering: import boundaries clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,13 +37,18 @@ from repro.apps import (
 )
 from repro.core import (
     ALL_METRICS,
+    REGISTRY,
     BalancedRating,
+    CacheModel,
     Convolver,
     ErrorSummary,
     MemoryModel,
     Metric,
+    MetricSpec,
+    Mode,
     PerformancePredictor,
     PredictionContext,
+    Term,
     absolute_error,
     get_metric,
     rank_agreement,
@@ -94,6 +99,11 @@ __all__ = [
     "Metric",
     "ALL_METRICS",
     "get_metric",
+    "REGISTRY",
+    "MetricSpec",
+    "Term",
+    "Mode",
+    "CacheModel",
     "PredictionContext",
     "Convolver",
     "MemoryModel",

@@ -21,6 +21,8 @@ import sys
 
 from repro.apps.suite import list_applications
 from repro.core.errors import ReproError, StudyAbortedError
+from repro.core.options import CacheModel, Mode
+from repro.core.registry import REGISTRY
 from repro.machines.registry import MACHINES
 from repro.probes.suite import probe_machine
 from repro.reporting.ascii_charts import bar_chart, line_chart
@@ -170,9 +172,24 @@ def _run(argv: list[str] | None) -> int:
     )
     parser.add_argument(
         "--mode",
-        choices=["relative", "absolute"],
+        choices=list(Mode.values()),
         default="relative",
         help="convolver anchoring (default: relative, as the paper)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="LIST",
+        help="comma-separated registry metrics to study — numbers (9), "
+        "names (conv+maps, balanced) or a mix (default: Table 3's 1-9); "
+        "unknown metrics exit with the nearest valid names",
+    )
+    parser.add_argument(
+        "--metric-specs",
+        default=None,
+        metavar="FILE",
+        help="register user metrics (#10+) from a TOML spec file before "
+        "running (see README 'Custom metrics' for the format)",
     )
     parser.add_argument(
         "--workers",
@@ -191,7 +208,7 @@ def _run(argv: list[str] | None) -> int:
     )
     parser.add_argument(
         "--cache-model",
-        choices=["analytic", "exact"],
+        choices=list(CacheModel.values()),
         default="analytic",
         help="cache accounting back-end when tracing: 'analytic' prices all "
         "levels from one reuse-distance profile (default), 'exact' replays "
@@ -259,6 +276,31 @@ def _run(argv: list[str] | None) -> int:
         except ValueError as exc:
             parser.error(str(exc))
 
+    if args.metric_specs is not None:
+        try:
+            loaded = REGISTRY.load_toml(args.metric_specs)
+        except OSError as exc:
+            parser.error(f"--metric-specs: {exc}")
+        except ValueError as exc:
+            parser.error(str(exc))
+        print(
+            "repro-study: registered "
+            + ", ".join(f"#{s.number} {s.name}" for s in loaded),
+            file=sys.stderr,
+        )
+
+    # Resolved here (not in StudyConfig) so an unknown metric exits with
+    # UnknownIdError's code and nearest-match hint, like the HTTP 400.
+    metrics = None
+    if args.metrics is not None:
+        metrics = tuple(
+            REGISTRY.spec(key.strip()).number
+            for key in args.metrics.split(",")
+            if key.strip()
+        )
+        if not metrics:
+            parser.error("--metrics: expected at least one metric")
+
     if args.artifact == "serve":
         return _serve(args, faults)
 
@@ -275,8 +317,12 @@ def _run(argv: list[str] | None) -> int:
     if needs_study:
         from repro.study.runner import StudyConfig
 
+        overrides = {} if metrics is None else {"metrics": metrics}
         config = StudyConfig(
-            mode=args.mode, noise=not args.no_noise, cache_model=args.cache_model
+            mode=args.mode,
+            noise=not args.no_noise,
+            cache_model=args.cache_model,
+            **overrides,
         )
         result = run_study(
             config,

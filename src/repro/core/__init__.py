@@ -4,8 +4,12 @@
 * :mod:`repro.core.convolver` — the MetaSim Convolver: divides traced
   operation counts by probe-measured rates per basic block, handles
   FP/memory overlap and the optional network term.
-* :mod:`repro.core.metrics` — the nine metrics of Table 3 (three simple
-  Equation-1 ratios, six convolver configurations) behind one interface.
+* :mod:`repro.core.registry` — the declarative metric registry: every
+  metric (Table 3's nine, the balanced rating, user metrics #10+) as a
+  :class:`~repro.core.registry.MetricSpec` of ``kind/source`` terms.
+* :mod:`repro.core.metrics` — runtime ``Metric`` objects built from
+  registry specs (three simple Equation-1 ratios, six convolver
+  configurations, the composite balanced rating) behind one interface.
 * :mod:`repro.core.balanced` — the IDC balanced-rating linear combination,
   with equal and regression-optimised weights (paper Section 4).
 * :mod:`repro.core.predictor` — a facade tying machines, probes, traces
@@ -29,12 +33,16 @@ from repro.core.errors import (
 from repro.core.convolver import ConvolvedTime, Convolver, MemoryModel
 from repro.core.metrics import (
     ALL_METRICS,
+    CompositeMetric,
     Metric,
     PredictionContext,
     PredictiveMetric,
     SimpleMetric,
     get_metric,
+    resolve_metrics,
 )
+from repro.core.options import CacheModel, Mode
+from repro.core.registry import REGISTRY, MetricRegistry, MetricSpec, Term
 from repro.core.balanced import BalancedRating, optimise_weights
 from repro.core.predictor import PerformancePredictor
 from repro.core.ranking import rank_agreement, rank_systems
@@ -56,9 +64,17 @@ __all__ = [
     "Metric",
     "SimpleMetric",
     "PredictiveMetric",
+    "CompositeMetric",
     "PredictionContext",
     "ALL_METRICS",
     "get_metric",
+    "resolve_metrics",
+    "MetricSpec",
+    "MetricRegistry",
+    "Term",
+    "REGISTRY",
+    "Mode",
+    "CacheModel",
     "BalancedRating",
     "optimise_weights",
     "PerformancePredictor",

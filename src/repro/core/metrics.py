@@ -1,4 +1,11 @@
-"""The nine synthetic metrics of the paper's Table 3.
+"""Runtime metric objects, built from the declarative registry.
+
+The identity of every metric — number, name, ingredient terms, cost —
+lives as data in :mod:`repro.core.registry` (Table 3's nine, the
+Section 4 balanced rating, and any user-registered metric).  This module
+is the *runtime* half: it turns a :class:`~repro.core.registry.MetricSpec`
+into an executable :class:`Metric` and provides the canonical batch
+evaluation path (:func:`predict_all`) used by the engine.
 
 Simple metrics (#1-#3) apply Equation 1: the application is assumed faster
 or slower exactly as the ratio of one benchmark result between the target
@@ -13,14 +20,19 @@ the base system's measured runtime by the convolver's cross-machine ratio.
 This is the reading under which the paper's Metric #4 is *identical* to
 Metric #1 (both reduce to the Rmax ratio), as Table 4 reports.  The
 ``absolute`` mode returns the convolver's raw time instead.
+
+Composite metrics (the balanced rating, #0) apply Equation 1 with an
+IDC-style weighted category score as the rate; the score normalises
+against the best probed system per category, so these metrics consult the
+whole machine registry rather than just the target/base pair.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.core.convolver import Convolver, MemoryModel, RateTable
+from repro.core.registry import REGISTRY, MetricSpec
 from repro.probes.results import MachineProbes
 from repro.tracing.trace import ApplicationTrace
 from repro.util.validation import check_in
@@ -30,8 +42,11 @@ __all__ = [
     "Metric",
     "SimpleMetric",
     "PredictiveMetric",
+    "CompositeMetric",
     "ALL_METRICS",
     "get_metric",
+    "resolve_metrics",
+    "build_metric",
     "predict_all",
 ]
 
@@ -44,7 +59,9 @@ class PredictionContext:
     ----------
     trace:
         The application's transfer function (traced on the base system).
-        Simple metrics ignore it.
+        Probe-only metrics (simple ratios, composites) ignore it, and a
+        probe-only evaluation may pass ``None`` — the serve degradation
+        path predicts simple metrics without ever tracing.
     target_probes, base_probes:
         Probe suites of the target system X and base system X0.
     base_time:
@@ -55,7 +72,7 @@ class PredictionContext:
         absolute form and always use Equation 1).
     """
 
-    trace: ApplicationTrace
+    trace: ApplicationTrace | None
     target_probes: MachineProbes
     base_probes: MachineProbes
     base_time: float
@@ -68,21 +85,28 @@ class PredictionContext:
 
 
 class Metric:
-    """Common interface of all Table 3 metrics.
+    """Common interface of all registered metrics.
 
     Attributes
     ----------
     number:
-        Metric number (1-9) as in Table 3.
+        Registry number (Table 3 uses 1-9, the balanced rating 0, user
+        metrics 10+).
     name:
         Short composition label (e.g. ``"HPL+MAPS+NET"``).
     kind:
-        ``"simple"`` or ``"predictive"``.
+        ``"simple"``, ``"predictive"`` or ``"composite"``.
+    needs:
+        Pipeline stages the metric must traverse (``("probe",)`` for
+        probe-only metrics, ``("probe", "trace", "convolve")`` for
+        convolver-backed ones) — the serving layer derives its
+        stage/ladder handling from this.
     """
 
     number: int
     name: str
     kind: str
+    needs: tuple[str, ...]
 
     def predict(self, ctx: PredictionContext) -> float:
         """Predicted wall-clock seconds ``T'(X, Y)``."""
@@ -90,7 +114,7 @@ class Metric:
 
     def predict_many(
         self,
-        trace: ApplicationTrace,
+        trace: ApplicationTrace | None,
         target_probes_list: list[MachineProbes],
         base_probes: MachineProbes,
         base_time: float,
@@ -132,12 +156,13 @@ class SimpleMetric(Metric):
     Parameters
     ----------
     number, name:
-        Table 3 identity.
+        Registry identity.
     rate_name:
         Which probe rate to ratio: ``"hpl"``, ``"stream"`` or ``"gups"``.
     """
 
     kind = "simple"
+    needs = ("probe",)
 
     def __init__(self, number: int, name: str, rate_name: str):
         self.number = number
@@ -156,7 +181,7 @@ class PredictiveMetric(Metric):
     Parameters
     ----------
     number, name:
-        Table 3 identity.
+        Registry identity.
     memory_model:
         The convolver's memory rate source.
     network:
@@ -164,6 +189,7 @@ class PredictiveMetric(Metric):
     """
 
     kind = "predictive"
+    needs = ("probe", "trace", "convolve")
 
     def __init__(
         self,
@@ -178,6 +204,8 @@ class PredictiveMetric(Metric):
         self.convolver = Convolver(memory_model, network=network)
 
     def predict(self, ctx: PredictionContext) -> float:
+        if ctx.trace is None:
+            raise ValueError(f"metric #{self.number} ({self.name}) needs a trace")
         c_target = self.convolver.predict(ctx.trace, ctx.target_probes).total_seconds
         if ctx.mode == "absolute":
             return c_target
@@ -186,7 +214,7 @@ class PredictiveMetric(Metric):
 
     def predict_many(
         self,
-        trace: ApplicationTrace,
+        trace: ApplicationTrace | None,
         target_probes_list: list[MachineProbes],
         base_probes: MachineProbes,
         base_time: float,
@@ -198,6 +226,8 @@ class PredictiveMetric(Metric):
         (base as the last column), so the whole row is one matrix pass.
         """
         check_in("mode", mode, ("relative", "absolute"))
+        if trace is None:
+            raise ValueError(f"metric #{self.number} ({self.name}) needs a trace")
         rates = RateTable(trace, list(target_probes_list) + [base_probes])
         return self._predict_from_rates(rates, base_time, mode)
 
@@ -213,9 +243,117 @@ class PredictiveMetric(Metric):
         return [(c_target / c_base) * base_time for c_target in c_targets]
 
 
+class CompositeMetric(Metric):
+    """IDC balanced-rating prediction from weighted category scores (#0).
+
+    Equation 1 with the composite 0-100 score as the rate.  The score
+    normalises each category against the best system in the machine
+    registry, so the metric probes *every* registered machine (cached) —
+    not just the target/base pair — the first time it predicts.
+
+    Parameters
+    ----------
+    number, name:
+        Registry identity.
+    weights:
+        (hpl, stream, allreduce) category weights; categories absent from
+        the spec carry weight 0.
+    """
+
+    kind = "composite"
+    needs = ("probe",)
+
+    def __init__(self, number: int, name: str, weights: tuple[float, float, float]):
+        self.number = number
+        self.name = name
+        self.weights = weights
+        self._rating = None
+
+    def rating(self):
+        """The backing :class:`~repro.core.balanced.BalancedRating`, built
+        lazily over every registered machine's (cached) probe suite."""
+        if self._rating is None:
+            from repro.core.balanced import BalancedRating
+            from repro.machines.registry import MACHINES
+            from repro.probes.suite import probe_machine
+
+            probes = {name: probe_machine(spec) for name, spec in MACHINES.items()}
+            self._rating = BalancedRating(probes, self.weights)
+        return self._rating
+
+    def predict(self, ctx: PredictionContext) -> float:
+        return self.rating().predict(
+            ctx.target_probes.machine, ctx.base_probes.machine, ctx.base_time
+        )
+
+
+def _memory_model_for(spec: MetricSpec) -> MemoryModel:
+    """Map a predictive spec's memory/dep terms to a convolver model."""
+    if spec.dependent:
+        return MemoryModel.MAPS_DEP
+    mem = spec.memory_sources
+    if not mem:
+        return MemoryModel.NONE
+    if mem == {"stream"}:
+        return MemoryModel.STREAM
+    if mem == {"stream", "gups"}:
+        return MemoryModel.STREAM_GUPS
+    return MemoryModel.MAPS
+
+
+def build_metric(spec: MetricSpec) -> Metric:
+    """Construct the runtime :class:`Metric` for a spec (uncached)."""
+    if spec.kind == "simple":
+        return SimpleMetric(spec.number, spec.label, spec.terms[0].source)
+    if spec.kind == "predictive":
+        return PredictiveMetric(
+            spec.number,
+            spec.label,
+            _memory_model_for(spec),
+            network=spec.network,
+        )
+    from repro.core.balanced import CATEGORY_NAMES
+
+    by_category = {t.source: t.weight for t in spec.terms}
+    weights = tuple(by_category.get(name, 0.0) for name in CATEGORY_NAMES)
+    return CompositeMetric(spec.number, spec.label, weights)
+
+
+#: Built metrics, cached per spec (specs are frozen and hashable; a
+#: re-registered number yields a distinct spec, hence a fresh build).
+_BUILT: dict[MetricSpec, Metric] = {}
+
+
+def get_metric(key: "int | str") -> Metric:
+    """Return the metric for a registry number or name.
+
+    Accepts Table 3 numbers (1-9), the balanced rating (0 or
+    ``"balanced"``), user metrics (10+), and any registered name.  Raises
+    :class:`~repro.core.errors.UnknownIdError` — a :class:`KeyError` —
+    with nearest-match suggestions for anything else.
+    """
+    spec = REGISTRY.spec(key)
+    metric = _BUILT.get(spec)
+    if metric is None:
+        metric = _BUILT[spec] = build_metric(spec)
+    return metric
+
+
+def resolve_metrics(keys) -> list[Metric]:
+    """Resolve a mixed number/name sequence to metric objects, in order."""
+    return [get_metric(k) for k in keys]
+
+
+#: The nine metrics of Table 3, keyed by number.  A fixed view: user
+#: registrations (#10+) are reachable via :func:`get_metric`, not here.
+ALL_METRICS: dict[int, Metric] = {
+    spec.number: get_metric(spec.number) for spec in REGISTRY.table3()
+}
+
+
 def predict_all(
     metrics: list[Metric],
-    trace: ApplicationTrace,
+    trace: ApplicationTrace | None,
     target_probes_list: list[MachineProbes],
     base_probes: MachineProbes,
     base_time: float,
@@ -223,11 +361,12 @@ def predict_all(
 ) -> dict[int, list[float]]:
     """Predict one (application, cpus) row for every metric at once.
 
-    The study runner's inner step: all predictive metrics share a single
-    :class:`~repro.core.convolver.RateTable` (one block extraction, one set
-    of MAPS interpolations, one network pricing — per row, not per metric),
-    then each prices its own matrix pass.  Every returned value is
-    bit-identical to the corresponding scalar :meth:`Metric.predict` call.
+    The engine's convolve-stage step: all predictive metrics share a
+    single :class:`~repro.core.convolver.RateTable` (one block extraction,
+    one set of MAPS interpolations, one network pricing — per row, not per
+    metric), then each prices its own matrix pass.  Every returned value
+    is bit-identical to the corresponding scalar :meth:`Metric.predict`
+    call.  ``trace`` may be ``None`` when no predictive metric is present.
     """
     check_in("mode", mode, ("relative", "absolute"))
     rates: RateTable | None = None
@@ -235,6 +374,10 @@ def predict_all(
     for metric in metrics:
         if isinstance(metric, PredictiveMetric):
             if rates is None:
+                if trace is None:
+                    raise ValueError(
+                        f"metric #{metric.number} ({metric.name}) needs a trace"
+                    )
                 rates = RateTable(trace, list(target_probes_list) + [base_probes])
             out[metric.number] = metric._predict_from_rates(rates, base_time, mode)
         else:
@@ -242,29 +385,3 @@ def predict_all(
                 trace, target_probes_list, base_probes, base_time, mode
             )
     return out
-
-
-def _build_metrics() -> dict[int, Metric]:
-    return {
-        1: SimpleMetric(1, "HPL", "hpl"),
-        2: SimpleMetric(2, "STREAM", "stream"),
-        3: SimpleMetric(3, "GUPS", "gups"),
-        4: PredictiveMetric(4, "HPL", MemoryModel.NONE),
-        5: PredictiveMetric(5, "HPL+STREAM", MemoryModel.STREAM),
-        6: PredictiveMetric(6, "HPL+STREAM+GUPS", MemoryModel.STREAM_GUPS),
-        7: PredictiveMetric(7, "HPL+MAPS", MemoryModel.MAPS),
-        8: PredictiveMetric(8, "HPL+MAPS+NET", MemoryModel.MAPS, network=True),
-        9: PredictiveMetric(9, "HPL+MAPS+NET+DEP", MemoryModel.MAPS_DEP, network=True),
-    }
-
-
-#: The nine metrics of Table 3, keyed by number.
-ALL_METRICS: dict[int, Metric] = _build_metrics()
-
-
-def get_metric(number: int) -> Metric:
-    """Return metric ``number`` (1-9)."""
-    try:
-        return ALL_METRICS[number]
-    except KeyError:
-        raise KeyError(f"metric number must be 1-9, got {number!r}") from None

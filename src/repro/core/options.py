@@ -1,0 +1,11 @@
+"""Canonical public home of the validated pipeline option enums.
+
+The definitions live in :mod:`repro.util.options` (the bottom of the
+dependency stack, so the tracer and trace store can share them without an
+import cycle); this module is the import point the upper layers — study
+config, prediction service, CLI — use.
+"""
+
+from repro.util.options import CacheModel, Mode
+
+__all__ = ["Mode", "CacheModel"]

@@ -1,9 +1,11 @@
 """High-level prediction facade — the library's main entry point.
 
-:class:`PerformancePredictor` wires the whole pipeline together: it probes
-machines (cached), traces applications on the base system (cached), runs
-the base system's "real" execution for Equation 1's ``T(X0, Y)``, and
-applies any Table 3 metric.
+:class:`PerformancePredictor` is a thin client of the staged engine
+(:class:`~repro.engine.Engine`): it resolves names to models, builds a
+:class:`~repro.engine.PointPlan` per query, and lets the engine own the
+probe → trace → convolve dataflow.  Metrics resolve through the
+declarative registry, so Table 3 numbers, registry names (``"balanced"``,
+``"conv+maps"``) and user-registered metrics (#10+) all work.
 
     >>> from repro import PerformancePredictor
     >>> predictor = PerformancePredictor()
@@ -12,16 +14,15 @@ applies any Table 3 metric.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
-from repro.apps.execution import GroundTruthExecutor
 from repro.apps.model import ApplicationModel
 from repro.apps.suite import get_application
 from repro.core.metrics import ALL_METRICS, Metric, PredictionContext, get_metric
 from repro.machines.registry import BASE_SYSTEM, get_machine
 from repro.machines.spec import MachineSpec
-from repro.probes.suite import probe_machine
-from repro.tracing.metasim import DEFAULT_SAMPLE_SIZE, trace_application
+from repro.tracing.metasim import DEFAULT_SAMPLE_SIZE
 
 __all__ = ["PerformancePredictor", "Prediction"]
 
@@ -72,11 +73,18 @@ class PerformancePredictor:
         sample_size: int = DEFAULT_SAMPLE_SIZE,
         noise: bool = True,
     ):
-        self.base_machine = get_machine(base_system)
-        self.mode = mode
+        # Imported here, not at module top: core is below engine in the
+        # layering (engine builds on core.metrics), and the facade is the
+        # one core module allowed to reach up to it.
+        from repro.engine import Engine
+
+        self._engine = Engine(
+            base_system, mode=mode, sample_size=sample_size, noise=noise
+        )
+        self.base_machine = self._engine.base_machine
+        self.mode = self._engine.mode
         self.sample_size = sample_size
         self.noise = noise
-        self._base_times: dict[tuple[str, int], float] = {}
 
     # ------------------------------------------------------------------
     def _resolve_app(self, app: ApplicationModel | str) -> ApplicationModel:
@@ -85,14 +93,25 @@ class PerformancePredictor:
     def _resolve_machine(self, machine: MachineSpec | str) -> MachineSpec:
         return get_machine(machine) if isinstance(machine, str) else machine
 
+    def _plan(self, app, machine, cpus: int, metric):
+        from repro.engine import PointPlan
+
+        m = metric if isinstance(metric, Metric) else get_metric(metric)
+        return PointPlan(
+            app=self._resolve_app(app),
+            cpus=cpus,
+            target=self._resolve_machine(machine),
+            metric=m,
+        )
+
+    @property
+    def _base_times(self) -> dict[tuple[str, int], float]:
+        """The engine's base-time cache (kept for API compatibility)."""
+        return self._engine._base_times
+
     def base_time(self, app: ApplicationModel | str, cpus: int) -> float:
         """Measured (simulated) base-system time ``T(X0, Y)``, cached."""
-        model = self._resolve_app(app)
-        key = (model.label, cpus)
-        if key not in self._base_times:
-            executor = GroundTruthExecutor(self.base_machine, noise=self.noise)
-            self._base_times[key] = executor.run(model, cpus).total_seconds
-        return self._base_times[key]
+        return self._engine.base_time(self._resolve_app(app), cpus)
 
     def context(
         self, app: ApplicationModel | str, machine: MachineSpec | str, cpus: int
@@ -100,12 +119,12 @@ class PerformancePredictor:
         """Assemble the full prediction context for one run."""
         model = self._resolve_app(app)
         target = self._resolve_machine(machine)
-        trace = trace_application(model, cpus, self.base_machine, self.sample_size)
+        bundle = self._engine.probe_bundle(model, cpus, target)
         return PredictionContext(
-            trace=trace,
-            target_probes=probe_machine(target),
-            base_probes=probe_machine(self.base_machine),
-            base_time=self.base_time(model, cpus),
+            trace=self._engine.trace(model, cpus),
+            target_probes=bundle.target_probes,
+            base_probes=bundle.base_probes,
+            base_time=bundle.base_time,
             mode=self.mode,
         )
 
@@ -115,39 +134,69 @@ class PerformancePredictor:
         app: ApplicationModel | str,
         machine: MachineSpec | str,
         cpus: int,
-        metric: int | Metric = 9,
+        metric: "int | str | Metric" = 9,
     ) -> float:
         """Predict ``app``'s wall-clock seconds on ``machine`` at ``cpus``.
 
-        ``metric`` is a Table 3 number (1-9) or a :class:`Metric` instance.
+        ``metric`` is a registry number (Table 3's 1-9, 0 for the
+        balanced rating, 10+ for user metrics), a registry name
+        (``"balanced"``, ``"conv+maps+net"``) or a :class:`Metric`.
         """
-        m = get_metric(metric) if isinstance(metric, int) else metric
-        return m.predict(self.context(app, machine, cpus))
+        return self._engine.run_point(self._plan(app, machine, cpus, metric))
 
     def predict_detail(
         self,
         app: ApplicationModel | str,
         machine: MachineSpec | str,
         cpus: int,
-        metric: int | Metric = 9,
+        metric: "int | str | Metric" = 9,
     ) -> Prediction:
         """Like :meth:`predict` but returns provenance alongside the value."""
-        model = self._resolve_app(app)
-        target = self._resolve_machine(machine)
-        m = get_metric(metric) if isinstance(metric, int) else metric
-        value = m.predict(self.context(model, target, cpus))
+        plan = self._plan(app, machine, cpus, metric)
+        value = self._engine.run_point(plan)
         return Prediction(
-            application=model.label,
-            system=target.name,
+            application=plan.app.label,
+            system=plan.target.name,
             cpus=cpus,
-            metric=m.number,
+            metric=plan.metric.number,
             predicted_seconds=value,
-            base_seconds=self.base_time(model, cpus),
+            base_seconds=self._engine.base_time(plan.app, cpus),
         )
+
+    def predict_row(
+        self,
+        app: ApplicationModel | str,
+        machine: MachineSpec | str,
+        cpus: int,
+        metrics=None,
+    ) -> dict[int, float]:
+        """Predictions from several metrics for one run, keyed by number.
+
+        The canonical many-metrics path: probe, trace and the convolver's
+        rate table are shared across all requested metrics
+        (:func:`~repro.core.metrics.predict_all`), and each value is
+        bit-identical to the corresponding scalar :meth:`predict` call.
+        ``metrics`` defaults to Table 3's nine; any mix of registry
+        numbers and names is accepted.
+        """
+        keys = tuple(ALL_METRICS) if metrics is None else tuple(metrics)
+        plan = self._plan(app, machine, cpus, next(iter(ALL_METRICS.values())))
+        return self._engine.run_row(plan, keys)
 
     def predict_all_metrics(
         self, app: ApplicationModel | str, machine: MachineSpec | str, cpus: int
     ) -> dict[int, float]:
-        """Predictions from all nine metrics for one run."""
-        ctx = self.context(app, machine, cpus)
-        return {num: metric.predict(ctx) for num, metric in ALL_METRICS.items()}
+        """Deprecated alias of :meth:`predict_row` (all Table 3 metrics).
+
+        .. deprecated:: 1.0
+            The twin entry points ``core.metrics.predict_all`` and this
+            method drifted apart once each hand-rolled its own pipeline;
+            :meth:`predict_row` is the single registry-driven path.
+        """
+        warnings.warn(
+            "PerformancePredictor.predict_all_metrics is deprecated; "
+            "use predict_row (same values, shared rate-table pipeline)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.predict_row(app, machine, cpus)

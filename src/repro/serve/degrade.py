@@ -1,4 +1,4 @@
-"""The graceful-degradation ladder over the paper's metric hierarchy.
+"""The graceful-degradation ladder, derived from the metric registry.
 
 Table 3's metrics are ordered by cost *and* fidelity: metric 9
 (HPL+MAPS+NET+DEP) needs a trace and the full convolver, metric 1 (an HPL
@@ -10,54 +10,61 @@ error — the same "variability matters, prefer an answer with known
 semantics" argument Cornebize & Legrand make for simulation-based MPI
 prediction.
 
+Since the declarative-registry refactor the chain is no longer hardcoded:
+:meth:`~repro.core.registry.MetricRegistry.ladder` derives it from each
+spec's ingredient costs under a halving rule (every fallback must at
+least halve the evaluation cost), which for the built-in registry yields
+exactly the old 9 → 7 → 5 → 3 → 1 — each rung drops one whole ingredient
+class (dependent-access curves, MAPS cache curves, STREAM term, the
+convolver itself) rather than a half-step, so successive fallbacks have
+visibly distinct semantics.  Registering a user metric with its own cost
+slots it into the chain automatically.
+
 Degraded responses are *marked*, never silent: the service stamps
 ``served_metric`` and ``degraded=True`` so a caller can distinguish "the
 best estimate" from "the best estimate available right now" and re-query
-later.  :data:`LADDER` descends 9 → 7 → 5 → 3 → 1, skipping the
-even-numbered metrics — each rung drops one whole ingredient class
-(dependent-access curves, MAPS cache curves, STREAM term, the convolver
-itself) rather than a half-step, so successive fallbacks have visibly
-distinct semantics.
+later.
 """
 
 from __future__ import annotations
 
 from typing import NamedTuple
 
-from repro.core.metrics import ALL_METRICS, PredictiveMetric
+from repro.core.metrics import get_metric
+from repro.core.registry import REGISTRY
 
 __all__ = ["LADDER", "ladder_for", "stages_for", "RungAttempt"]
 
-#: Fallback rungs in descending fidelity/cost order (Table 3 numbers).
-LADDER: tuple[int, ...] = (9, 7, 5, 3, 1)
-
-#: Stage dependencies per metric kind: simple ratios (#1-#3) need only
-#: cached probe rates; predictive metrics (#4-#9) add trace + convolve.
-_SIMPLE_STAGES = ("probe",)
-_PREDICTIVE_STAGES = ("probe", "trace", "convolve")
+#: The built-in chain in descending fidelity/cost order (Table 3
+#: numbers).  A snapshot of :meth:`MetricRegistry.ladder` at import for
+#: compatibility; :func:`ladder_for` consults the live registry, so
+#: later user registrations are reflected there.
+LADDER: tuple[int, ...] = REGISTRY.ladder()
 
 
-def stages_for(metric: int) -> tuple[str, ...]:
+def stages_for(metric: "int | str") -> tuple[str, ...]:
     """Backend stages metric ``metric`` must traverse.
 
-    The split is what makes the ladder useful: an open *convolve* breaker
-    takes out metrics 4-9 but leaves 1-3 servable from the probe cache.
+    Read off the metric's registry spec (``needs``): probe-only metrics —
+    the simple ratios #1-#3 and the balanced rating — need only cached
+    probe rates, predictive metrics add trace + convolve.  The split is
+    what makes the ladder useful: an open *convolve* breaker takes out
+    metrics 4-9 but leaves the probe-only rungs servable.
     """
-    if isinstance(ALL_METRICS[metric], PredictiveMetric):
-        return _PREDICTIVE_STAGES
-    return _SIMPLE_STAGES
+    return tuple(get_metric(metric).needs)
 
 
-def ladder_for(requested: int) -> tuple[int, ...]:
+def ladder_for(requested: "int | str") -> tuple[int, ...]:
     """Rungs to try for a request, best first.
 
-    The requested metric leads; below it come the strictly-cheaper
-    :data:`LADDER` rungs in order.  Requests for an even metric simply
-    join the ladder at the next rung down (e.g. 8 → 7 → 5 → 3 → 1).
+    The requested metric leads; below it come the registry-derived
+    chain's strictly-cheaper rungs in order.  Requests for an off-chain
+    metric simply join the ladder at the next rung down (e.g.
+    8 → 7 → 5 → 3 → 1).  Raises
+    :class:`~repro.core.errors.UnknownIdError` (a :class:`KeyError`) for
+    a metric the registry does not know.
     """
-    if requested not in ALL_METRICS:
-        raise KeyError(f"metric number must be 1-9, got {requested!r}")
-    return (requested,) + tuple(r for r in LADDER if r < requested)
+    return REGISTRY.ladder_for(requested)
 
 
 class RungAttempt(NamedTuple):

@@ -2,28 +2,35 @@
 
 :class:`PredictionService` answers one question — "how long will
 application Y at N processors take on machine X, by metric K?" — through
-the same probe/trace/convolve pipeline the offline study uses, but
-engineered to keep answering when parts of that pipeline misbehave:
+the same staged engine the offline study uses
+(:class:`~repro.engine.Engine`), but engineered to keep answering when
+parts of that pipeline misbehave.  The service itself owns only the
+*serving* concerns — validation, admission, the degradation ladder loop,
+health surfaces; each rung executes as an engine
+:class:`~repro.engine.PointPlan` under a middleware chain that implements
+the per-stage policy exactly once:
 
-* every request runs under a per-request :class:`~repro.util.deadline.Deadline`
-  threaded through the probe and trace layers, whose mid-stage checkpoints
-  abandon work the moment the budget is spent;
-* each backend stage is wrapped in a
-  :class:`~repro.serve.breaker.CircuitBreaker`; a failing stage trips open
-  and is *not called at all* until its cooldown elapses;
-* on an open breaker, a stage failure or deadline pressure, the request
-  falls down the Table 3 degradation ladder (9 → 7 → 5 → 3 → 1,
-  :mod:`repro.serve.degrade`) and the response is stamped
-  ``served_metric``/``degraded=True`` — a marked coarser answer instead of
-  an error;
-* a bounded :class:`~repro.serve.admission.AdmissionQueue` sheds load
-  beyond its queue with a retry-after hint instead of queueing unboundedly.
+* :class:`~repro.engine.DeadlineGate` — every request runs under a
+  per-request :class:`~repro.util.deadline.Deadline`; a stage is skipped
+  before touching any backend once the budget is spent;
+* :class:`~repro.engine.BreakerMiddleware` — each backend stage is gated
+  by a :class:`~repro.serve.breaker.CircuitBreaker`; a failing stage
+  trips open and is *not called at all* until its cooldown elapses;
+* :class:`~repro.engine.BudgetMiddleware` — a stage gets a bounded slice
+  of the remaining budget, so one stall cannot eat the whole request;
+* :class:`~repro.engine.FaultMiddleware` — chaos is first-class: the
+  constructor takes the same :class:`~repro.util.faults.FaultPlan` the
+  study engine uses, keyed per (stage, call number), plus injectable
+  ``clock``/``sleep`` for fake-clock chaos tests.
 
-Chaos is first-class: the constructor takes the same
-:class:`~repro.util.faults.FaultPlan` the study engine uses, keyed per
-(stage, call number), plus injectable ``clock``/``sleep`` — so the chaos
-suite drives stalls and crashes deterministically on a fake clock and
-asserts exact degradation and recovery timing.
+On an open breaker, a stage failure or deadline pressure, the request
+falls down the registry-derived degradation ladder
+(:mod:`repro.serve.degrade`) and the response is stamped
+``served_metric``/``degraded=True`` — a marked coarser answer instead of
+an error.  A bounded :class:`~repro.serve.admission.AdmissionQueue` sheds
+load beyond its queue with a retry-after hint instead of queueing
+unboundedly.  Metrics resolve through the registry, so requests may name
+them (``metric=balanced``) as well as number them.
 """
 
 from __future__ import annotations
@@ -32,7 +39,7 @@ import math
 import os
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.apps.execution import GroundTruthExecutor
@@ -41,21 +48,29 @@ from repro.core.errors import (
     CircuitOpenError,
     DeadlineExceededError,
     OverloadedError,
-    ReproError,
     ServiceUnavailableError,
     UnknownIdError,
-    WorkerCrashError,
 )
-from repro.core.metrics import ALL_METRICS, PredictiveMetric, get_metric
+from repro.core.metrics import get_metric
+from repro.core.options import CacheModel, Mode
+from repro.core.registry import REGISTRY
+from repro.engine import (
+    BreakerMiddleware,
+    BudgetMiddleware,
+    DeadlineGate,
+    Engine,
+    FaultMiddleware,
+    PointPlan,
+)
 from repro.machines.registry import BASE_SYSTEM, MACHINES, get_machine
 from repro.probes.suite import probe_machine
 from repro.serve.admission import AdmissionQueue
 from repro.serve.breaker import BreakerBoard
 from repro.serve.degrade import RungAttempt, ladder_for, stages_for
-from repro.tracing.metasim import CACHE_MODELS, DEFAULT_SAMPLE_SIZE, trace_application
+from repro.tracing.metasim import DEFAULT_SAMPLE_SIZE
 from repro.tracing.store import TraceStore
 from repro.util.deadline import Deadline
-from repro.util.validation import check_in, nearest_ids
+from repro.util.validation import nearest_ids
 
 __all__ = ["PredictionService", "ServedPrediction", "STAGES"]
 
@@ -116,7 +131,7 @@ class ServedPrediction:
 
 
 class PredictionService:
-    """Thread-safe online prediction front end over the study pipeline.
+    """Thread-safe online prediction front end over the staged engine.
 
     Parameters
     ----------
@@ -124,7 +139,8 @@ class PredictionService:
         System traces and Equation-1 ratios anchor to (the study's X0).
     mode, sample_size, cache_model, noise:
         Pipeline knobs, identical in meaning to
-        :class:`~repro.study.runner.StudyConfig`.
+        :class:`~repro.study.runner.StudyConfig`; ``mode`` and
+        ``cache_model`` are validated through the shared enums.
     store:
         Optional persistent :class:`~repro.tracing.store.TraceStore` (or
         directory path) shared by all request threads; its invalidation
@@ -169,8 +185,8 @@ class PredictionService:
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
     ):
-        check_in("mode", mode, ("relative", "absolute"))
-        check_in("cache_model", cache_model, CACHE_MODELS)
+        mode = str(Mode.coerce(mode))
+        cache_model = str(CacheModel.coerce(cache_model))
         if base_system not in MACHINES:
             raise UnknownIdError(
                 "system", base_system, tuple(MACHINES), nearest_ids(base_system, MACHINES)
@@ -207,11 +223,32 @@ class PredictionService:
         self.faults = faults
         self.fault_stages = tuple(fault_stages)
 
-        self._base_machine = get_machine(base_system)
+        # The rung executor: the engine owns the probe → trace → convolve
+        # dataflow; this middleware tuple is the service's entire
+        # per-stage policy (ordering is contractual — see
+        # repro.engine.middleware for the two invariants it encodes).
+        self._engine = Engine(
+            base_system,
+            mode=mode,
+            sample_size=sample_size,
+            noise=noise,
+            cache_model=cache_model,
+            store=self.store,
+            middleware=(
+                DeadlineGate(),
+                BreakerMiddleware(self.breakers),
+                BudgetMiddleware(self.stage_fraction, self.stage_timeouts),
+                FaultMiddleware(
+                    lambda: self.faults,
+                    self.fault_stages,
+                    sleep=lambda seconds: self._sleep(seconds),
+                ),
+            ),
+        )
+        self._base_machine = self._engine.base_machine
         self._base_executor = GroundTruthExecutor(self._base_machine, noise=noise)
         self._base_times: dict[tuple[str, int], float] = {}
         self._state_lock = threading.Lock()
-        self._stage_calls: dict[str, int] = {stage: 0 for stage in STAGES}
         self.requests_total = 0
         self.degraded_total = 0
         self.unserved_total = 0
@@ -221,7 +258,7 @@ class PredictionService:
     # validation (the service boundary: structured errors, never tracebacks)
     # ------------------------------------------------------------------
     def validate_request(
-        self, application: str, cpus: int, machine: str, metric: int
+        self, application: str, cpus: int, machine: str, metric: "int | str"
     ) -> tuple[object, object, int, int]:
         """Resolve and validate one query's identifiers.
 
@@ -229,7 +266,10 @@ class PredictionService:
         carrying the known set and the nearest matches (the HTTP 400
         body); structural problems (bad cpus, oversized run) raise
         :class:`ValueError`.  Mirrors ``StudyConfig``'s name-the-bad-key
-        convention.
+        convention.  ``metric`` may be a registry number (``9``), a
+        numeric string (``"9"``) or a registry name (``"balanced"``,
+        ``"conv+maps"``) — the registry's nearest-match suggestions cover
+        misspelled names too.
         """
         label = str(application)
         if label.partition("@")[0] not in APPLICATIONS:
@@ -245,18 +285,7 @@ class PredictionService:
                 "machine", machine, tuple(MACHINES), nearest_ids(machine, MACHINES)
             )
         target = get_machine(machine)
-        try:
-            metric_num = int(metric)
-        except (TypeError, ValueError):
-            raise UnknownIdError(
-                "metric", metric, tuple(str(m) for m in ALL_METRICS),
-                nearest_ids(str(metric), (str(m) for m in ALL_METRICS)),
-            ) from None
-        if metric_num not in ALL_METRICS:
-            raise UnknownIdError(
-                "metric", metric_num, tuple(str(m) for m in ALL_METRICS),
-                nearest_ids(metric_num, ALL_METRICS),
-            )
+        metric_num = REGISTRY.spec(metric).number
         cpus_num = int(cpus)
         if cpus_num <= 0:
             raise ValueError(f"cpus must be > 0, got {cpus!r}")
@@ -275,7 +304,7 @@ class PredictionService:
         application: str,
         cpus: int,
         machine: str,
-        metric: int = 9,
+        metric: "int | str" = 9,
         *,
         deadline_seconds: float | None = None,
     ) -> ServedPrediction:
@@ -332,8 +361,17 @@ class PredictionService:
                     )
                 )
                 continue
+            plan = PointPlan(
+                app=app,
+                cpus=cpus,
+                target=target,
+                metric=get_metric(rung),
+                # Late-bound through the service so the request-scoped
+                # base-time cache (and test instrumentation) stays here.
+                probe=lambda d: self._probe_bundle(app, cpus, target, d),
+            )
             try:
-                predicted = self._predict_rung(rung, app, cpus, target, deadline)
+                predicted = self._engine.run_point(plan, deadline)
             except CircuitOpenError as exc:
                 if exc.retry_after is not None:
                     retry_hints.append(exc.retry_after)
@@ -374,95 +412,6 @@ class PredictionService:
         )
 
     # ------------------------------------------------------------------
-    # one rung
-    # ------------------------------------------------------------------
-    def _predict_rung(
-        self, rung: int, app, cpus: int, target, deadline: Deadline
-    ) -> float:
-        metric_obj = get_metric(rung)
-        target_probes, base_probes, base_time = self._stage(
-            "probe",
-            deadline,
-            lambda d: self._probe_bundle(app, cpus, target, d),
-        )
-        if not isinstance(metric_obj, PredictiveMetric):
-            r_target = target_probes.simple_rate(metric_obj.rate_name)
-            r_base = base_probes.simple_rate(metric_obj.rate_name)
-            return (r_base / r_target) * base_time
-        trace = self._stage(
-            "trace",
-            deadline,
-            lambda d: trace_application(
-                app,
-                cpus,
-                self._base_machine,
-                self.sample_size,
-                cache_model=self.cache_model,
-                store=self.store,
-                deadline=d,
-            ),
-        )
-        return self._stage(
-            "convolve",
-            deadline,
-            lambda d: self._convolve(
-                metric_obj, trace, target_probes, base_probes, base_time, d
-            ),
-        )
-
-    def _stage(self, stage: str, deadline: Deadline, fn: Callable):
-        """Run one backend stage: breaker-gated, budgeted, chaos-injected.
-
-        The stage gets a child deadline capped at ``stage_fraction`` of
-        the remaining request budget (and any absolute per-stage cap);
-        the post-call checkpoint converts a stage that outran its slice —
-        an injected stall, a slow backend — into a breaker failure while
-        the *request* still has budget to serve a cheaper rung.
-        """
-        # A request whose budget is already gone skips the stage before
-        # touching the breaker: the backend is not at fault for a late
-        # request, so it must not absorb a failure for one.
-        deadline.checkpoint(stage)
-        breaker = self.breakers[stage]
-        breaker.allow()
-        budget = deadline.remaining() * self.stage_fraction
-        cap = self.stage_timeouts.get(stage)
-        if cap is not None:
-            budget = min(budget, cap)
-        sub = deadline.sub(budget, stage=stage)
-        try:
-            self._inject_faults(stage)
-            out = fn(sub)
-            sub.checkpoint(stage)
-        except Exception:
-            breaker.record_failure()
-            raise
-        breaker.record_success()
-        return out
-
-    def _inject_faults(self, stage: str) -> None:
-        """Apply the chaos plan's scheduled stall/crash for this stage call.
-
-        Keyed per (stage, call number) so a seeded plan misbehaves in
-        exactly the same places on every run; the stall goes through the
-        injectable sleeper, so fake-clock tests advance time instead of
-        waiting.
-        """
-        plan = self.faults
-        if plan is None or stage not in self.fault_stages:
-            return
-        with self._state_lock:
-            self._stage_calls[stage] += 1
-            call = self._stage_calls[stage]
-        label = f"serve:{stage}"
-        if plan.should_stall(label, call):
-            self._sleep(plan.stall_seconds)
-        if plan.should_crash(label, call):
-            raise WorkerCrashError(
-                f"injected crash in service stage {stage!r} (call {call})"
-            )
-
-    # ------------------------------------------------------------------
     # backends
     # ------------------------------------------------------------------
     def _probe_bundle(self, app, cpus: int, target, d: Deadline):
@@ -475,14 +424,6 @@ class PredictionService:
             base_time = self._base_executor.run(app, cpus).total_seconds
             self._base_times[key] = base_time
         return target_probes, base_probes, base_time
-
-    def _convolve(
-        self, metric_obj, trace, target_probes, base_probes, base_time, d: Deadline
-    ) -> float:
-        d.checkpoint("convolve")
-        return metric_obj.predict_many(
-            trace, [target_probes], base_probes, base_time, self.mode
-        )[0]
 
     # ------------------------------------------------------------------
     # health surfaces

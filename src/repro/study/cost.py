@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.apps.execution import GroundTruthExecutor
 from repro.apps.suite import get_application
+from repro.core.registry import REGISTRY
 from repro.machines.registry import get_machine
 from repro.study.runner import StudyResult
 
@@ -26,19 +27,6 @@ __all__ = ["MetricCost", "metric_costs", "TRACING_DILATION", "COUNTER_DILATION"]
 TRACING_DILATION = 30.0
 #: Hardware-counter collection overhead (paper: "more expeditious").
 COUNTER_DILATION = 1.05
-
-#: Which acquisition machinery each Table 3 metric needs.
-_REQUIREMENTS: dict[int, str] = {
-    1: "none",
-    2: "none",
-    3: "none",
-    4: "counters",
-    5: "counters",
-    6: "tracing",
-    7: "tracing",
-    8: "tracing",  # + MPIDTRACE, which rides along at counter-level cost
-    9: "tracing",  # + static analysis, one-off on the binary
-}
 
 
 @dataclass(frozen=True)
@@ -98,7 +86,11 @@ def metric_costs(result: StudyResult) -> list[MetricCost]:
     overall = result.overall_table()
     rows = []
     for metric in result.config.metrics:
-        req = _REQUIREMENTS[metric]
+        # Derived from the metric's registry spec: probe-only metrics need
+        # no application-side machinery, convolver metrics need counters,
+        # and per-block memory signatures (gups/maps/dep terms) need the
+        # full MetaSim tracer.  User-registered metrics price themselves.
+        req = REGISTRY.spec(metric).requirement
         if req == "none":
             hours = 0.0
         elif req == "counters":

@@ -33,11 +33,9 @@ from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import NamedTuple
 
 import numpy as np
 
-from repro.apps.execution import GroundTruthExecutor
 from repro.apps.suite import APPLICATIONS, get_application
 from repro.core.errors import (
     ChunkTimeoutError,
@@ -47,7 +45,9 @@ from repro.core.errors import (
     WorkerCrashError,
     summarise,
 )
-from repro.core.metrics import ALL_METRICS, predict_all
+from repro.core.options import CacheModel, Mode
+from repro.core.registry import REGISTRY
+from repro.engine import Engine, MatrixPlan, PredictionRecord
 from repro.machines.registry import BASE_SYSTEM, MACHINES, TARGET_SYSTEMS, get_machine
 from repro.probes.suite import probe_machine
 from repro.study.resilience import (
@@ -57,7 +57,7 @@ from repro.study.resilience import (
     classify_failure,
     config_digest,
 )
-from repro.tracing.metasim import CACHE_MODELS, DEFAULT_SAMPLE_SIZE, trace_application
+from repro.tracing.metasim import DEFAULT_SAMPLE_SIZE
 from repro.tracing.store import TraceStore
 from repro.util.deadline import Deadline
 from repro.util.timing import StageTimer
@@ -93,7 +93,7 @@ class StudyConfig:
     applications: tuple[str, ...] = tuple(APPLICATIONS)
     systems: tuple[str, ...] = TARGET_SYSTEMS
     base_system: str = BASE_SYSTEM
-    metrics: tuple[int, ...] = tuple(ALL_METRICS)
+    metrics: tuple = tuple(spec.number for spec in REGISTRY.table3())
     mode: str = "relative"
     sample_size: int = DEFAULT_SAMPLE_SIZE
     noise: bool = True
@@ -124,21 +124,22 @@ class StudyConfig:
             raise ValueError(
                 f"unknown base system {self.base_system!r}; known: {known}"
             )
-        for number in self.metrics:
-            if number not in ALL_METRICS:
-                known = ", ".join(str(m) for m in ALL_METRICS)
+        resolved = []
+        for key in self.metrics:
+            try:
+                resolved.append(REGISTRY.spec(key).number)
+            except KeyError:
+                known = ", ".join(
+                    str(n) for n in REGISTRY.numbers()
+                ) + ", " + ", ".join(REGISTRY.names())
                 raise ValueError(
-                    f"unknown metric {number!r} in StudyConfig.metrics; known: {known}"
-                )
-        if self.mode not in ("relative", "absolute"):
-            raise ValueError(
-                f"unknown mode {self.mode!r}; known: relative, absolute"
-            )
-        if self.cache_model not in CACHE_MODELS:
-            known = ", ".join(CACHE_MODELS)
-            raise ValueError(
-                f"unknown cache model {self.cache_model!r}; known: {known}"
-            )
+                    f"unknown metric {key!r} in StudyConfig.metrics; known: {known}"
+                ) from None
+        # Normalised to registry numbers so records, checkpoints and the
+        # config digest are name/number agnostic.
+        object.__setattr__(self, "metrics", tuple(resolved))
+        object.__setattr__(self, "mode", Mode.coerce(self.mode))
+        object.__setattr__(self, "cache_model", CacheModel.coerce(self.cache_model))
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries!r}")
         if self.chunk_timeout is not None and self.chunk_timeout <= 0:
@@ -151,35 +152,8 @@ class StudyConfig:
         return replace(self, **changes)
 
 
-class PredictionRecord(NamedTuple):
-    """One (run, metric) outcome.
-
-    A ``NamedTuple`` rather than a frozen dataclass: a full study emits
-    1350 of these and tuple construction skips per-field
-    ``object.__setattr__`` calls.
-
-    Attributes
-    ----------
-    application, cpus, system, metric:
-        Cell identity.
-    actual_seconds, predicted_seconds:
-        Ground truth and the metric's estimate.
-    error_percent:
-        Signed Equation 2 error.
-    """
-
-    application: str
-    cpus: int
-    system: str
-    metric: int
-    actual_seconds: float
-    predicted_seconds: float
-    error_percent: float
-
-    @property
-    def abs_error_percent(self) -> float:
-        """Magnitude of the signed error."""
-        return abs(self.error_percent)
+# PredictionRecord is defined beside the engine that emits it
+# (repro.engine.plan) and re-exported here for its historical home.
 
 
 @dataclass
@@ -369,103 +343,24 @@ def _run_submatrix(
     :class:`~repro.core.errors.DeadlineExceededError` once the budget is
     spent (the serial resilient engine converts that into the chunk-level
     timeout taxonomy).
+
+    A thin engine client since the staged-engine refactor: the runner
+    owns dispatch (chunking, pools, retries, checkpoints) and the
+    :class:`~repro.engine.Engine` owns the dataflow.
     """
-    t = timer if timer is not None else StageTimer()
-    base_machine = get_machine(cfg.base_system)
-    with t.time("probe"):
-        base_probes = probe_machine(base_machine, store=store, deadline=deadline)
-        machines = {system: get_machine(system) for system in systems}
-        probes = {
-            system: probe_machine(machine, store=store, deadline=deadline)
-            for system, machine in machines.items()
-        }
-    base_executor = GroundTruthExecutor(base_machine, noise=cfg.noise)
-    executors = {
-        system: GroundTruthExecutor(machine, noise=cfg.noise)
-        for system, machine in machines.items()
-    }
-    metrics = [ALL_METRICS[m] for m in cfg.metrics]
-
-    actuals: dict[tuple[str, str, int], float] = {}
-    #: (label, system, cpus) -> predicted seconds per metric, in cfg.metrics
-    #: order.
-    predictions: dict[tuple[str, str, int], list[float]] = {}
-    for label in labels:
-        app = get_application(label)
-        eligible_rows = [
-            (cpus, [s for s in systems if cpus <= machines[s].cpus])
-            for cpus in app.cpu_counts
-        ]
-        # Paper leaves cells blank where no system is large enough.
-        eligible_rows = [(cpus, eligible) for cpus, eligible in eligible_rows if eligible]
-        if not eligible_rows:
-            continue
-        with t.time("execute"):
-            # One batched executor pass per system covers the whole
-            # appendix-table column for this application.
-            for system in systems:
-                counts = [c for c, eligible in eligible_rows if system in eligible]
-                for res in executors[system].run_many(app, counts, detail=False):
-                    actuals[(label, system, res.cpus)] = res.total_seconds
-            base_times = {
-                res.cpus: res.total_seconds
-                for res in base_executor.run_many(
-                    app, [cpus for cpus, _ in eligible_rows], detail=False
-                )
-            }
-        for cpus, eligible in eligible_rows:
-            base_time = base_times[cpus]
-            trace = trace_application(
-                app,
-                cpus,
-                base_machine,
-                cfg.sample_size,
-                cache_model=cfg.cache_model,
-                store=store,
-                timer=t,
-                deadline=deadline,
-            )
-            probes_row = [probes[system] for system in eligible]
-            with t.time("convolve"):
-                rows = predict_all(
-                    metrics, trace, probes_row, base_probes, base_time, cfg.mode
-                )
-            per_system: dict[str, list[float]] = {s: [] for s in eligible}
-            for metric in metrics:
-                for system, predicted in zip(eligible, rows[metric.number]):
-                    per_system[system].append(predicted)
-            for system, values in per_system.items():
-                predictions[(label, system, cpus)] = values
-
-    records: list[PredictionRecord] = []
-    observed: dict[tuple[str, str, int], float] = {}
-    metric_numbers = [metric.number for metric in metrics]
-    for label in labels:
-        app = get_application(label)
-        for system in systems:
-            machine = machines[system]
-            for cpus in app.cpu_counts:
-                if cpus > machine.cpus:
-                    continue
-                key = (label, system, cpus)
-                actual = actuals[key]
-                observed[key] = actual
-                # Inlined signed_error: executors guarantee actual > 0 and
-                # the metrics non-negative predictions, so the guard-free
-                # expression is exactly its value.
-                records.extend(
-                    PredictionRecord(
-                        label,
-                        cpus,
-                        system,
-                        number,
-                        actual,
-                        predicted,
-                        (predicted - actual) / actual * 100.0,
-                    )
-                    for number, predicted in zip(metric_numbers, predictions[key])
-                )
-    return records, observed
+    engine = Engine(
+        cfg.base_system,
+        mode=cfg.mode,
+        sample_size=cfg.sample_size,
+        noise=cfg.noise,
+        cache_model=cfg.cache_model,
+        store=store,
+    )
+    return engine.run_matrix(
+        MatrixPlan(labels=labels, systems=systems, metrics=cfg.metrics),
+        timer=timer,
+        deadline=deadline,
+    )
 
 
 def _run_chunk(

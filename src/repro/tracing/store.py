@@ -49,6 +49,7 @@ from repro.tracing.serialize import (
 )
 from repro.tracing.trace import ApplicationTrace
 from repro.util.io import write_atomic
+from repro.util.options import CacheModel
 
 __all__ = ["TraceStore", "STORE_SCHEMA_VERSION"]
 
@@ -116,8 +117,10 @@ class TraceStore:
         cache_sim: bool,
         cache_model: str | None,
     ) -> Path:
-        # cache_model only shapes the artifact when cache accounting ran.
-        model = cache_model if cache_sim else None
+        # cache_model only shapes the artifact when cache accounting ran;
+        # coercing through the shared enum rejects a typo before it mints
+        # a digest no reader would ever look up.
+        model = str(CacheModel.coerce(cache_model)) if cache_sim else None
         name = _digest(
             "trace",
             SCHEMA_VERSION,

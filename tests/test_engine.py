@@ -1,0 +1,240 @@
+"""The staged engine and its middleware chain.
+
+The scalar/row/matrix entry points must agree with each other (they share
+one dataflow), and each middleware must enforce its single concern in
+isolation — the serve chaos suite covers the composed chain end to end.
+"""
+
+import pytest
+
+from repro.apps.suite import get_application
+from repro.core.errors import DeadlineExceededError, WorkerCrashError
+from repro.core.metrics import get_metric
+from repro.engine import (
+    BreakerMiddleware,
+    BudgetMiddleware,
+    DeadlineGate,
+    Engine,
+    FaultMiddleware,
+    MatrixPlan,
+    PointPlan,
+    RetryMiddleware,
+    StageRunner,
+)
+from repro.machines.registry import get_machine
+from repro.util.deadline import Deadline
+from repro.util.faults import FaultPlan
+
+
+# ---------------------------------------------------------------------------
+# StageRunner composition
+# ---------------------------------------------------------------------------
+
+
+class Recorder:
+    def __init__(self, name, log):
+        self.name = name
+        self.log = log
+
+    def __call__(self, stage, deadline, call_next):
+        self.log.append(f"enter:{self.name}")
+        out = call_next(deadline)
+        self.log.append(f"exit:{self.name}")
+        return out
+
+
+def test_stage_runner_composes_outermost_first():
+    log = []
+    runner = StageRunner((Recorder("a", log), Recorder("b", log)))
+    result = runner.run("probe", None, lambda d: "value")
+    assert result == "value"
+    assert log == ["enter:a", "enter:b", "exit:b", "exit:a"]
+
+
+def test_stage_runner_replacement_deadline_reaches_stage():
+    marker = object()
+
+    def swapper(stage, deadline, call_next):
+        return call_next(marker)
+
+    seen = []
+    StageRunner((swapper,)).run("probe", None, lambda d: seen.append(d))
+    assert seen == [marker]
+
+
+# ---------------------------------------------------------------------------
+# middleware in isolation
+# ---------------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class FakeBreaker:
+    def __init__(self):
+        self.events = []
+
+    def allow(self):
+        self.events.append("allow")
+
+    def record_failure(self):
+        self.events.append("failure")
+
+    def record_success(self):
+        self.events.append("success")
+
+
+def test_breaker_middleware_records_outcomes():
+    breaker = FakeBreaker()
+    mw = BreakerMiddleware({"probe": breaker})
+    assert mw("probe", None, lambda d: 42) == 42
+    with pytest.raises(RuntimeError):
+        mw("probe", None, lambda d: (_ for _ in ()).throw(RuntimeError("x")))
+    assert breaker.events == ["allow", "success", "allow", "failure"]
+
+
+def test_deadline_gate_skips_spent_request_before_breaker():
+    clock = FakeClock()
+    deadline = Deadline(1.0, clock=clock, stage="request")
+    clock.now = 2.0  # budget gone before the stage starts
+    breaker = FakeBreaker()
+    chain = StageRunner((DeadlineGate(), BreakerMiddleware({"probe": breaker})))
+    with pytest.raises(DeadlineExceededError):
+        chain.run("probe", deadline, lambda d: "never")
+    assert breaker.events == []  # a late request must not poison the breaker
+
+
+def test_budget_middleware_converts_overrun_to_stage_failure():
+    clock = FakeClock()
+    deadline = Deadline(1.0, clock=clock, stage="request")
+    mw = BudgetMiddleware(0.5)
+
+    def stall(sub):
+        clock.now += 0.9  # outruns the 0.5 s slice, not the 1 s request
+        return "late"
+
+    with pytest.raises(DeadlineExceededError):
+        mw("trace", deadline, stall)
+    assert deadline.remaining() > 0  # the request survives to try a cheaper rung
+
+
+def test_budget_middleware_shares_live_timeout_mapping():
+    caps = {}
+    clock = FakeClock()
+    mw = BudgetMiddleware(1.0, caps)
+    seen = []
+    mw("trace", Deadline(100.0, clock=clock), lambda sub: seen.append(sub.remaining()))
+    caps["trace"] = 0.25  # re-tuned after construction
+    mw("trace", Deadline(100.0, clock=clock), lambda sub: seen.append(sub.remaining()))
+    assert seen[0] == pytest.approx(100.0)
+    assert seen[1] == pytest.approx(0.25)
+
+
+def test_budget_middleware_passes_none_through():
+    mw = BudgetMiddleware(0.5, {"trace": 0.1})
+    assert mw("trace", None, lambda d: d) is None
+
+
+def test_fault_middleware_injects_per_stage_call():
+    plan = FaultPlan(crash_rate=1.0, seed=1)
+    mw = FaultMiddleware(lambda: plan, ("trace",), sleep=lambda s: None)
+    with pytest.raises(WorkerCrashError, match="service stage 'trace'"):
+        mw("trace", None, lambda d: "x")
+    assert mw("probe", None, lambda d: "x") == "x"  # untargeted stage unharmed
+
+
+def test_fault_middleware_reads_live_plan():
+    plans = {"current": FaultPlan(crash_rate=1.0, seed=1)}
+    mw = FaultMiddleware(lambda: plans["current"], ("probe",), sleep=lambda s: None)
+    with pytest.raises(WorkerCrashError):
+        mw("probe", None, lambda d: "x")
+    plans["current"] = None  # chaos switched off mid-test
+    assert mw("probe", None, lambda d: "x") == "x"
+
+
+def test_retry_middleware_retries_then_raises():
+    slept = []
+    mw = RetryMiddleware(2, sleep=slept.append)
+    calls = []
+
+    def flaky(d):
+        calls.append(1)
+        raise IOError("flaky")
+
+    with pytest.raises(IOError):
+        mw("probe", None, flaky)
+    assert len(calls) == 3  # first try + 2 retries
+    assert len(slept) == 2
+
+
+# ---------------------------------------------------------------------------
+# Engine entry points agree
+# ---------------------------------------------------------------------------
+
+
+APP = "AVUS-standard"
+TARGET = "ARL_Opteron"
+CPUS = 32
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return Engine(mode="relative", noise=False)
+
+
+def test_run_point_matches_run_row(engine):
+    app = get_application(APP)
+    target = get_machine(TARGET)
+    row = engine.run_row(
+        PointPlan(app=app, cpus=CPUS, target=target, metric=get_metric(9)),
+        (1, 5, 9, "balanced"),
+    )
+    assert set(row) == {1, 5, 9, 0}
+    for number, value in row.items():
+        point = engine.run_point(
+            PointPlan(app=app, cpus=CPUS, target=target, metric=get_metric(number))
+        )
+        assert point == value  # bit-identical, not approx
+
+
+def test_probe_only_metric_skips_tracing(engine, monkeypatch):
+    monkeypatch.setattr(
+        type(engine), "trace",
+        lambda self, *a, **k: pytest.fail("simple metric must not trace"),
+    )
+    app = get_application(APP)
+    target = get_machine(TARGET)
+    for metric in (1, "balanced"):
+        plan = PointPlan(app=app, cpus=CPUS, target=target, metric=get_metric(metric))
+        assert engine.run_point(plan) > 0
+
+
+def test_point_plan_probe_override_is_used(engine):
+    app = get_application(APP)
+    target = get_machine(TARGET)
+    base_plan = PointPlan(app=app, cpus=CPUS, target=target, metric=get_metric(1))
+    bundle = engine.probe_bundle(app, CPUS, target)
+    doubled = bundle._replace(base_time=bundle.base_time * 2)
+    override = PointPlan(
+        app=app, cpus=CPUS, target=target, metric=get_metric(1),
+        probe=lambda d: doubled,
+    )
+    assert engine.run_point(override) == engine.run_point(base_plan) * 2
+
+
+def test_matrix_plan_coerces_sequences():
+    plan = MatrixPlan(labels=[APP], systems=[TARGET], metrics=[1, 9])
+    assert plan.labels == (APP,)
+    assert plan.metrics == (1, 9)
+
+
+def test_engine_validates_knobs():
+    with pytest.raises(ValueError, match="mode"):
+        Engine(mode="sideways")
+    with pytest.raises(ValueError, match="cache_model"):
+        Engine(cache_model="psychic")

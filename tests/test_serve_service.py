@@ -127,7 +127,7 @@ def test_predictions_match_offline_pipeline():
     """The service answers with the same numbers the study computes."""
     svc = make_service()
     served = svc.predict("AVUS-standard", 64, "ARL_Xeon", 9)
-    offline = PerformancePredictor(noise=False).predict_all_metrics(
+    offline = PerformancePredictor(noise=False).predict_row(
         "AVUS-standard", "ARL_Xeon", 64
     )
     assert served.predicted_seconds == pytest.approx(offline[9], rel=1e-12)
