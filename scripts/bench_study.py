@@ -28,6 +28,13 @@ Gates (any failure exits 1):
   because shared hardware shows multi-x scheduling noise; the gate exists
   to catch order-of-magnitude regressions such as a return to scalar
   kernels, which is a ~20x drop);
+* ``--gate-pps FLOOR`` — absolute throughput gate: fails when the
+  ``--gate-pps-config`` configuration (default ``serial_warm``) delivers
+  fewer than FLOOR predictions/sec;
+* ``--gate-store-overhead FRACTION`` — fails when ``store_cold`` costs more
+  than FRACTION extra wall-clock over a storeless cold run timed in the
+  same paired loop (the serialization tax of persisting every trace/probe
+  bundle to the binary store; pairing cancels runner drift);
 * ``--require-parallel-win`` — fails when the parallel run is slower than
   serial cold at the same scale (25% noise margin — generous because
   on a capped single-core host both measurements are the same serial
@@ -40,8 +47,9 @@ Usage::
 
     PYTHONPATH=src python scripts/bench_study.py [--repeats 3] [--workers 4]
         [--scale N] [--budget SECONDS] [--gate-reference FILE]
-        [--gate-tolerance FRACTION] [--require-parallel-win]
-        [--output BENCH_study.json]
+        [--gate-tolerance FRACTION] [--gate-pps FLOOR]
+        [--gate-pps-config NAME] [--gate-store-overhead FRACTION]
+        [--require-parallel-win] [--output BENCH_study.json]
 """
 
 from __future__ import annotations
@@ -55,9 +63,7 @@ import time
 from pathlib import Path
 
 from repro.apps.suite import APPLICATIONS
-from repro.probes.suite import clear_probe_cache
-from repro.study.runner import StudyConfig, run_study
-from repro.tracing.metasim import clear_trace_cache
+from repro.study.runner import StudyConfig, clear_study_caches, run_study
 from repro.util.io import write_atomic
 
 #: Serial cold wall-clock of the seed implementation (scalar kernels,
@@ -70,8 +76,9 @@ STAGES = ("probe", "execute", "trace", "cache_model", "convolve")
 
 
 def _clear_caches() -> None:
-    clear_trace_cache()
-    clear_probe_cache()
+    # All four memo layers (trace, probe, execution, engine rows) must drop,
+    # or a "cold" measurement silently reuses warm state and lies.
+    clear_study_caches()
 
 
 def scaled_config(scale: int) -> StudyConfig:
@@ -135,6 +142,29 @@ def main(argv: list[str] | None = None) -> int:
         "gate reference before failing (default: 0.75)",
     )
     parser.add_argument(
+        "--gate-pps",
+        type=float,
+        default=None,
+        metavar="FLOOR",
+        help="fail if the --gate-pps-config predictions/sec falls below FLOOR "
+        "(absolute throughput gate, e.g. the issue's 10x-over-seed floor)",
+    )
+    parser.add_argument(
+        "--gate-pps-config",
+        default="serial_warm",
+        metavar="NAME",
+        help="which benched configuration --gate-pps applies to "
+        "(default: serial_warm, the precompiled warm path)",
+    )
+    parser.add_argument(
+        "--gate-store-overhead",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fail if store_cold costs more than FRACTION extra wall-clock "
+        "over a paired storeless run (e.g. 0.10 caps the tax at 10%%)",
+    )
+    parser.add_argument(
         "--require-parallel-win",
         action="store_true",
         help="fail if the parallel run is slower than serial cold "
@@ -190,14 +220,45 @@ def main(argv: list[str] | None = None) -> int:
 
     bench("serial_warm", lambda: run_study(config), clear=False)
 
-    def store_cold_run():
+    # Serialization tax: the extra wall-clock a cold run pays to persist every
+    # trace and probe bundle, as a fraction of a storeless cold run.  Shared
+    # runners drift by more than the effect over a bench's lifetime, so each
+    # repeat times the two runs back-to-back (one machine-speed window per
+    # pair) and the reported overhead is the *median* of the per-pair ratios
+    # — never a comparison against the serial_cold measured minutes earlier,
+    # and never a ratio of bests that may come from different windows.
+    store_cold = float("inf")
+    store_times: list[float] = []
+    pair_ratios: list[float] = []
+    for _ in range(args.repeats):
+        _clear_caches()
+        t0 = time.perf_counter()
+        run_study(config)
+        serial_seconds = time.perf_counter() - t0
+        _clear_caches()
         with tempfile.TemporaryDirectory() as fresh_dir:
-            return run_study(config, store=fresh_dir)
+            t0 = time.perf_counter()
+            run_study(config, store=fresh_dir)
+            store_times.append(time.perf_counter() - t0)
+        store_cold = min(store_cold, store_times[-1])
+        pair_ratios.append(store_times[-1] / serial_seconds)
+    pair_ratios.sort()
+    median_ratio = pair_ratios[len(pair_ratios) // 2]
+    n = reference.n_predictions
+    results["store_cold"] = {
+        "best_seconds": round(store_cold, 4),
+        "all_seconds": [round(t, 4) for t in store_times],
+        "predictions_per_second": round(n / store_cold, 1),
+        "pair_ratios": [round(r, 4) for r in pair_ratios],
+    }
+    print(f"store_cold    {store_cold:7.4f}s  ({n / store_cold:,.0f} predictions/s)")
 
-    bench("store_cold", store_cold_run, clear=True)
     with tempfile.TemporaryDirectory() as store_dir:
         run_study(config, store=store_dir)  # populate once
         bench("store_warm", lambda: run_study(config, store=store_dir), clear=True)
+
+    store_overhead_ratio = median_ratio - 1.0
+    print(f"store_cold overhead vs paired serial: {store_overhead_ratio:+.1%} (median of pairs)")
 
     report = {
         "matrix": {
@@ -207,6 +268,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "seed_baseline_seconds": SEED_BASELINE_SECONDS,
         "speedup_vs_seed": round(SEED_BASELINE_SECONDS / serial_cold, 2),
+        "store_overhead_ratio": round(store_overhead_ratio, 4),
         "parallel_byte_identical": True,
         "results": results,
         "python": platform.python_version(),
@@ -242,6 +304,42 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"gate ok: {got_pps:,.0f} predictions/s >= {floor:,.0f} "
                 f"(reference {ref_pps:,.0f})"
+            )
+    if args.gate_pps is not None:
+        cfg = args.gate_pps_config
+        if cfg not in results:
+            print(
+                f"FAIL: --gate-pps-config {cfg!r} is not a benched "
+                f"configuration (have: {', '.join(sorted(results))})",
+                file=sys.stderr,
+            )
+            failed = True
+        else:
+            got_pps = results[cfg]["predictions_per_second"]
+            if got_pps < args.gate_pps:
+                print(
+                    f"FAIL: {cfg} {got_pps:,.0f} predictions/s is below the "
+                    f"{args.gate_pps:,.0f} floor",
+                    file=sys.stderr,
+                )
+                failed = True
+            else:
+                print(
+                    f"gate ok: {cfg} {got_pps:,.0f} predictions/s >= "
+                    f"{args.gate_pps:,.0f} floor"
+                )
+    if args.gate_store_overhead is not None:
+        if store_overhead_ratio > args.gate_store_overhead:
+            print(
+                f"FAIL: store_cold overhead {store_overhead_ratio:+.1%} exceeds "
+                f"the {args.gate_store_overhead:.0%} ceiling",
+                file=sys.stderr,
+            )
+            failed = True
+        else:
+            print(
+                f"gate ok: store_cold overhead {store_overhead_ratio:+.1%} <= "
+                f"{args.gate_store_overhead:.0%} ceiling"
             )
     if args.require_parallel_win and parallel_best > serial_cold * 1.25:
         print(

@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Cross-process equivalence check for the optional numba JIT kernels.
+
+Runs the paper's default study matrix in two child processes — one with
+``REPRO_JIT=""`` (pure-numpy kernels) and one with ``REPRO_JIT=numba`` —
+and asserts:
+
+* **byte identity**: both legs produce bit-for-bit identical prediction
+  records and observed times (SHA-256 over the canonical row dump).  The
+  numba twins perform the same IEEE operations in the same order as the
+  numpy kernels, so any divergence is a kernel bug;
+* **not slower** (only when numba is importable): the JIT leg's warm
+  study wall-clock must not exceed the numpy leg's by more than
+  ``--margin`` (default 0.25 — generous, because on shared hardware the
+  two measurements differ mostly by scheduler noise).
+
+When numba is absent (the default container), the ``REPRO_JIT=numba``
+leg exercises the warn-and-fall-back path and the timing assertion is
+skipped; byte identity is still enforced.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_jit.py [--repeats 3] [--margin 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+
+#: Emitted by the child on its last stdout line so the parent can parse
+#: past any fallback warnings the kernels print on import.
+_SENTINEL = "CHECK_JIT_RESULT "
+
+
+def _child(repeats: int) -> int:
+    from repro.study.runner import StudyConfig, run_study
+
+    config = StudyConfig()
+    result = run_study(config)  # cold run: traces, probes, JIT compile
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = run_study(config)
+        best = min(best, time.perf_counter() - t0)
+    rows = [
+        [r.application, r.cpus, r.system, r.metric,
+         r.actual_seconds, r.predicted_seconds, r.error_percent]
+        for r in result.records
+    ]
+    observed = [
+        [app, system, cpus, seconds]
+        for (app, system, cpus), seconds in sorted(result.observed.items())
+    ]
+    digest = hashlib.sha256(
+        json.dumps({"records": rows, "observed": observed}).encode()
+    ).hexdigest()
+    try:
+        import numba  # noqa: F401
+
+        have_numba = True
+    except ImportError:
+        have_numba = False
+    print(_SENTINEL + json.dumps(
+        {
+            "jit": os.environ.get("REPRO_JIT", ""),
+            "digest": digest,
+            "n_records": len(result.records),
+            "warm_seconds": round(best, 4),
+            "numba_available": have_numba,
+        }
+    ))
+    return 0
+
+
+def _run_leg(jit: str, repeats: int) -> dict:
+    env = dict(os.environ, REPRO_JIT=jit)
+    env.setdefault("PYTHONPATH", "src")
+    proc = subprocess.run(
+        [sys.executable, __file__, "--as-child", "--repeats", str(repeats)],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        print(proc.stdout, file=sys.stderr)
+        print(proc.stderr, file=sys.stderr)
+        raise SystemExit(f"check_jit: REPRO_JIT={jit!r} leg failed")
+    for line in proc.stdout.splitlines():
+        if line.startswith(_SENTINEL):
+            leg = json.loads(line[len(_SENTINEL):])
+            leg["stderr"] = proc.stderr
+            return leg
+    raise SystemExit(f"check_jit: REPRO_JIT={jit!r} leg printed no result")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="warm timing repeats per leg (best-of)")
+    parser.add_argument("--margin", type=float, default=0.25,
+                        help="allowed fractional slowdown of the JIT leg")
+    parser.add_argument("--as-child", action="store_true",
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.as_child:
+        return _child(args.repeats)
+
+    numpy_leg = _run_leg("", args.repeats)
+    jit_leg = _run_leg("numba", args.repeats)
+    print(f"numpy leg: {numpy_leg['n_records']} records, "
+          f"digest {numpy_leg['digest'][:16]}…, "
+          f"warm {numpy_leg['warm_seconds']}s")
+    print(f"jit leg:   {jit_leg['n_records']} records, "
+          f"digest {jit_leg['digest'][:16]}…, "
+          f"warm {jit_leg['warm_seconds']}s")
+
+    if numpy_leg["digest"] != jit_leg["digest"]:
+        print("FAIL: REPRO_JIT=numba records diverge from the numpy kernels",
+              file=sys.stderr)
+        return 1
+    print("byte identity ok: both legs produce identical records")
+
+    if not jit_leg["numba_available"]:
+        if "using the NumPy kernels" not in jit_leg["stderr"]:
+            # the fallback warning is part of the contract: a silent
+            # no-op would hide a misconfigured REPRO_JIT in CI logs
+            print("FAIL: numba unavailable but no fallback warning was "
+                  "emitted by the REPRO_JIT=numba leg", file=sys.stderr)
+            return 1
+        print("numba not importable: fallback warning seen, timing gate skipped")
+        return 0
+
+    ceiling = numpy_leg["warm_seconds"] * (1.0 + args.margin)
+    if jit_leg["warm_seconds"] > ceiling:
+        print(
+            f"FAIL: JIT leg {jit_leg['warm_seconds']}s exceeds "
+            f"{ceiling:.4f}s (numpy {numpy_leg['warm_seconds']}s "
+            f"+ {args.margin:.0%} margin)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"timing ok: JIT leg {jit_leg['warm_seconds']}s <= {ceiling:.4f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,9 @@ Subcommands regenerate the paper's artifacts on the terminal:
 * ``cost`` — the Section 3 effort-vs-accuracy table;
 * ``all`` — everything above;
 * ``csv`` — raw prediction records as CSV on stdout;
-* ``serve`` — the resilient online prediction service (HTTP).
+* ``serve`` — the resilient online prediction service (HTTP);
+* ``store migrate`` / ``store info`` — cache-directory maintenance
+  (rewrite legacy JSON entries as binary; print format/entry counts).
 """
 
 from __future__ import annotations
@@ -123,6 +125,34 @@ def _serve(args, faults) -> int:
     return 0
 
 
+def _store_action(action: str, cache_dir: str) -> int:
+    """Cache-directory maintenance: ``store migrate`` / ``store info``."""
+    from repro.tracing.store import TraceStore
+
+    store = TraceStore(cache_dir)
+    if action == "migrate":
+        report = store.migrate()
+        print(
+            f"repro-study: store migrate {cache_dir}: "
+            f"{report['migrated']} entr{'y' if report['migrated'] == 1 else 'ies'} "
+            f"converted to binary, {report['cleaned']} stale legacy file(s) "
+            f"removed, {report['invalidated']} corrupt entr"
+            f"{'y' if report['invalidated'] == 1 else 'ies'} invalidated"
+        )
+        return 0
+    stats = store.stats()
+    print(f"cache directory : {stats['root']}")
+    print(f"binary format   : v{stats['binary_format_version']}")
+    print(f"payload schema  : v{stats['payload_schema_version']}")
+    for kind in ("traces", "probes"):
+        row = stats[kind]
+        print(
+            f"{kind:15s} : {row['binary']} binary, "
+            f"{row['legacy_json']} legacy JSON, {row['bytes']} bytes"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``repro-study``.
 
@@ -160,10 +190,21 @@ def _run(argv: list[str] | None) -> int:
             "csv",
             "all",
             "serve",
+            "store",
         ],
         nargs="?",
         default="table4",
-        help="which paper artifact to regenerate (default: table4)",
+        help="which paper artifact to regenerate (default: table4), or "
+        "'store' for cache maintenance",
+    )
+    parser.add_argument(
+        "store_action",
+        choices=["migrate", "info"],
+        nargs="?",
+        default=None,
+        help="with 'store': 'migrate' rewrites a JSON-era cache dir to the "
+        "binary format in place (atomic, resumable); 'info' prints format "
+        "version, entry counts and bytes (requires --cache-dir)",
     )
     parser.add_argument(
         "--no-noise",
@@ -300,6 +341,17 @@ def _run(argv: list[str] | None) -> int:
         )
         if not metrics:
             parser.error("--metrics: expected at least one metric")
+
+    if args.artifact == "store":
+        if args.store_action is None:
+            parser.error("store: expected an action ('migrate' or 'info')")
+        if args.cache_dir is None:
+            parser.error("store: --cache-dir is required")
+        return _store_action(args.store_action, args.cache_dir)
+    if args.store_action is not None:
+        parser.error(
+            f"{args.store_action!r} only applies to the 'store' artifact"
+        )
 
     if args.artifact == "serve":
         return _serve(args, faults)

@@ -33,9 +33,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.kernels import combine_overlap
 from repro.network.model import CollectiveKind
 from repro.probes.results import MachineProbes
-from repro.tracing.trace import ApplicationTrace, BlockTrace, CommRecord
+from repro.tracing.trace import ApplicationTrace, BlockArrays, BlockTrace, CommRecord
 from repro.util.validation import check_fraction
 
 __all__ = [
@@ -134,15 +135,24 @@ class _TraceArrays:
 
     @classmethod
     def of(cls, trace: ApplicationTrace) -> "_TraceArrays":
-        blocks = trace.blocks
-        total_bytes = np.array([b.bytes for b in blocks])
+        # Fast path: both ApplicationTrace and the store's MappedTrace
+        # expose cached block-axis arrays (for a mapped trace these are
+        # zero-copy memmap views), so no per-block Python objects are
+        # touched here.  ``b.bytes = (loads + stores) * 8.0`` and
+        # ``strided = unit + short`` performed array-wise are the same
+        # IEEE-754 operations per element as the old scalar loop, so no
+        # prediction moves a bit.
+        ba = getattr(trace, "block_arrays", None)
+        if ba is None:  # duck-typed stand-in without the cache
+            ba = BlockArrays.of_blocks(trace.blocks)
+        total_bytes = (ba.loads + ba.stores) * 8.0
         return cls(
-            fp_ops=np.array([b.fp_ops for b in blocks]),
+            fp_ops=ba.fp_ops,
             total_bytes=total_bytes,
-            strided_bytes=total_bytes * np.array([b.stride.strided for b in blocks]),
-            random_bytes=total_bytes * np.array([b.stride.random for b in blocks]),
-            working_set=np.array([b.working_set for b in blocks]),
-            dependency=np.array([b.dependency_weight for b in blocks]),
+            strided_bytes=total_bytes * (ba.unit + ba.short),
+            random_bytes=total_bytes * ba.random,
+            working_set=ba.working_set,
+            dependency=ba.dependency_weight,
         )
 
 
@@ -370,8 +380,7 @@ class Convolver:
         for probes in probes_list:
             t_fp = arrays.fp_ops / probes.hpl.rmax_flops
             t_mem = self._mem_seconds_arrays(arrays, probes)
-            hidden = self.overlap * np.minimum(t_fp, t_mem)
-            seconds = t_fp + t_mem - hidden
+            seconds = combine_overlap(t_fp, t_mem, self.overlap)
             # Left-fold accumulation: np.sum is sequential below NumPy's
             # pairwise block size (128), matching the scalar sum() order.
             compute = float(np.sum(seconds)) * trace.timesteps
@@ -390,7 +399,8 @@ class Convolver:
         re-looping scalar block math.  Results are bit-identical to calling
         :meth:`predict` per machine.
         """
-        names = [b.name for b in trace.blocks]
+        # block_names avoids materialising a mapped trace's block objects
+        names = getattr(trace, "block_names", None) or [b.name for b in trace.blocks]
         out: list[ConvolvedTime] = []
         for probes, t_fp, t_mem, seconds, compute, comm in self._batch_core(
             trace, probes_list
@@ -462,8 +472,7 @@ class Convolver:
         arrays = rates.arrays
         t_fp = arrays.fp_ops[None, :] / rates.rmax[:, None]
         t_mem = self._mem_seconds_matrix(rates)
-        hidden = self.overlap * np.minimum(t_fp, t_mem)
-        seconds = t_fp + t_mem - hidden
+        seconds = combine_overlap(t_fp, t_mem, self.overlap)
         compute = np.sum(seconds, axis=1) * rates.trace.timesteps
         if not self.network:
             return compute + 0.0

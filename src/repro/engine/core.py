@@ -27,7 +27,10 @@ baselines written before the refactor replay bit-for-bit.
 
 from __future__ import annotations
 
-from repro.apps.execution import GroundTruthExecutor
+import threading
+from collections import OrderedDict
+
+from repro.apps.execution import executor_for
 from repro.apps.suite import get_application
 from repro.core.metrics import PredictionContext, predict_all, resolve_metrics
 from repro.engine.middleware import StageRunner, TimingMiddleware
@@ -39,7 +42,50 @@ from repro.tracing.store import TraceStore
 from repro.util.options import CacheModel, Mode
 from repro.util.timing import StageTimer
 
-__all__ = ["Engine"]
+__all__ = ["Engine", "clear_row_cache"]
+
+#: Row-level convolve memo: predict_all output keyed by the *identities* of
+#: its inputs.  On the warm study path every input object recurs — metrics
+#: are registry singletons, traces come from the in-memory trace cache,
+#: probe bundles from the probe cache — so a repeat study row costs one
+#: dict lookup instead of a full rate-table rebuild.  Each entry anchors
+#: strong references to the keyed objects, which keeps their ids live for
+#: exactly as long as the entry exists (an id can only be recycled after
+#: the object is garbage collected), so identity keys can never alias.
+_ROW_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_ROW_CACHE_MAX = 4096
+_ROW_LOCK = threading.Lock()
+
+
+def _predict_all_cached(metrics, trace, probes_row, base_probes, base_time, mode):
+    key = (
+        tuple(id(m) for m in metrics),
+        id(trace),
+        tuple(id(p) for p in probes_row),
+        id(base_probes),
+        base_time,
+        mode,
+    )
+    with _ROW_LOCK:
+        hit = _ROW_CACHE.get(key)
+        if hit is not None:
+            _ROW_CACHE.move_to_end(key)
+            return hit[0]
+    rows = predict_all(metrics, trace, probes_row, base_probes, base_time, mode)
+    with _ROW_LOCK:
+        _ROW_CACHE[key] = (
+            rows,
+            (tuple(metrics), trace, tuple(probes_row), base_probes),
+        )
+        while len(_ROW_CACHE) > _ROW_CACHE_MAX:
+            _ROW_CACHE.popitem(last=False)
+    return rows
+
+
+def clear_row_cache() -> None:
+    """Drop the row-level convolve memo (bench/test hook)."""
+    with _ROW_LOCK:
+        _ROW_CACHE.clear()
 
 #: Stages the study path books wall-clock for via middleware; the trace
 #: stage books itself (net of cache-model time) through the engine's
@@ -84,7 +130,7 @@ class Engine:
         self.store = store
         self.middleware = tuple(middleware)
         self._stages = StageRunner(self.middleware)
-        self._base_executor = GroundTruthExecutor(self.base_machine, noise=noise)
+        self._base_executor = executor_for(self.base_machine, noise=noise)
         self._base_times: dict[tuple[str, int], float] = {}
 
     # ------------------------------------------------------------------
@@ -235,9 +281,11 @@ class Engine:
             return base_probes, machines, probes
 
         base_probes, machines, probes = stages.run("probe", deadline, probe_all)
-        base_executor = GroundTruthExecutor(base_machine, noise=self.noise)
+        # Shared per-machine executors: their app-tensor and run_many memos
+        # survive across every matrix this process runs.
+        base_executor = executor_for(base_machine, noise=self.noise)
         executors = {
-            system: GroundTruthExecutor(machine, noise=self.noise)
+            system: executor_for(machine, noise=self.noise)
             for system, machine in machines.items()
         }
         metrics = resolve_metrics(plan.metrics)
@@ -286,7 +334,7 @@ class Engine:
                     "convolve",
                     deadline,
                     lambda d, trace=trace, probes_row=probes_row, base_time=base_time: (
-                        predict_all(
+                        _predict_all_cached(
                             metrics, trace, probes_row, base_probes, base_time, self.mode
                         )
                     ),

@@ -39,6 +39,7 @@ import math
 import os
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
 
@@ -67,7 +68,7 @@ from repro.probes.suite import probe_machine
 from repro.serve.admission import AdmissionQueue
 from repro.serve.breaker import BreakerBoard
 from repro.serve.degrade import RungAttempt, ladder_for, stages_for
-from repro.tracing.metasim import DEFAULT_SAMPLE_SIZE
+from repro.tracing.metasim import DEFAULT_SAMPLE_SIZE, trace_application
 from repro.tracing.store import TraceStore
 from repro.util.deadline import Deadline
 from repro.util.validation import nearest_ids
@@ -130,6 +131,52 @@ class ServedPrediction:
         }
 
 
+class _TraceLRU:
+    """Bounded, thread-safe LRU of traces keyed by (application, cpus).
+
+    Holds the store's memmap-backed :class:`~repro.tracing.binfmt.MappedTrace`
+    objects so repeat queries skip the disk entirely.  Counters feed the
+    ``/healthz`` body; all state shares one lock (the service's request
+    threads hit this concurrently).
+    """
+
+    def __init__(self, size: int):
+        self.size = size
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key):
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.size:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def counters(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "max_size": self.size,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
 class PredictionService:
     """Thread-safe online prediction front end over the staged engine.
 
@@ -175,6 +222,7 @@ class PredictionService:
         cache_model: str = "analytic",
         noise: bool = True,
         store: "TraceStore | str | os.PathLike | None" = None,
+        trace_cache_size: int = 32,
         default_deadline: float = DEFAULT_DEADLINE_SECONDS,
         stage_fraction: float = DEFAULT_STAGE_FRACTION,
         stage_timeouts: dict[str, float] | None = None,
@@ -218,6 +266,15 @@ class PredictionService:
             self.store = store
         else:
             self.store = TraceStore(store)
+        if trace_cache_size < 1:
+            raise ValueError(
+                f"trace_cache_size must be >= 1, got {trace_cache_size!r}"
+            )
+        # Bounded LRU of memmap-backed traces: a repeat /predict query for a
+        # cached (application, cpus) never touches the disk — the store is
+        # only read on an LRU miss.  Only wired when a store exists (without
+        # one, the tracer's own in-memory cache is already disk-free).
+        self._trace_cache = _TraceLRU(trace_cache_size)
         self.breakers = breakers if breakers is not None else BreakerBoard(STAGES, clock=clock)
         self.admission = admission if admission is not None else AdmissionQueue(clock=clock)
         self.faults = faults
@@ -369,6 +426,15 @@ class PredictionService:
                 # Late-bound through the service so the request-scoped
                 # base-time cache (and test instrumentation) stays here.
                 probe=lambda d: self._probe_bundle(app, cpus, target, d),
+                # With a store, traces route through the service's bounded
+                # LRU of memmap-backed entries; without one the engine's
+                # default (the tracer's in-memory cache) is already
+                # disk-free.
+                trace=(
+                    (lambda d: self._trace_cached(app, cpus, d))
+                    if self.store is not None
+                    else None
+                ),
             )
             try:
                 predicted = self._engine.run_point(plan, deadline)
@@ -414,6 +480,30 @@ class PredictionService:
     # ------------------------------------------------------------------
     # backends
     # ------------------------------------------------------------------
+    def _trace_cached(self, app, cpus: int, d: Deadline):
+        """Trace backend: bounded LRU over the store's memmap entries.
+
+        A hit costs one dict lookup; a miss reads (or creates) the store
+        entry — ``use_cache=False`` bypasses the tracer's unbounded global
+        cache, so the mapped trace object enters *this* LRU and the disk
+        is only touched again after an eviction.
+        """
+        key = (app.label, cpus)
+        trace = self._trace_cache.get(key)
+        if trace is None:
+            trace = trace_application(
+                app,
+                cpus,
+                self._base_machine,
+                self.sample_size,
+                cache_model=self.cache_model,
+                use_cache=False,
+                store=self.store,
+                deadline=d,
+            )
+            self._trace_cache.put(key, trace)
+        return trace
+
     def _probe_bundle(self, app, cpus: int, target, d: Deadline):
         target_probes = probe_machine(target, store=self.store, deadline=d)
         base_probes = probe_machine(self._base_machine, store=self.store, deadline=d)
@@ -445,6 +535,7 @@ class PredictionService:
                 "enabled": self.store is not None,
                 "invalidated": self.store.invalidated if self.store is not None else 0,
             },
+            "trace_cache": self._trace_cache.counters(),
             "requests": requests,
         }
 

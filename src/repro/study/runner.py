@@ -69,8 +69,28 @@ __all__ = [
     "CellFailure",
     "run_study",
     "shutdown_pool",
+    "clear_study_caches",
     "PARALLEL_MIN_CELLS",
 ]
+
+
+def clear_study_caches() -> None:
+    """Drop every in-process memo the study path reads through.
+
+    Traces, probe bundles, shared executors (with their run_many memos)
+    and the engine's row-level convolve memo — the full warm state.  The
+    bench harness calls this to measure genuinely cold passes; anything
+    less leaves one of the layered caches warm and under-reports cost.
+    """
+    from repro.apps.execution import clear_execution_cache
+    from repro.engine.core import clear_row_cache
+    from repro.probes.suite import clear_probe_cache
+    from repro.tracing.metasim import clear_trace_cache
+
+    clear_trace_cache()
+    clear_probe_cache()
+    clear_execution_cache()
+    clear_row_cache()
 
 #: Below this many (application, cpus, system) cells a study runs serially
 #: even when ``workers > 1``: fan-out overhead (chunk pickling, result
@@ -387,6 +407,8 @@ def _run_chunk(
     store = TraceStore(store_root, faults=faults) if store_root else None
     timer = StageTimer()
     records, observed = _run_submatrix(cfg, labels, cfg.systems, store, timer)
+    if store is not None:
+        store.flush()  # a checkpointed chunk implies its entries are on disk
     return records, observed, timer.breakdown()
 
 
@@ -566,6 +588,8 @@ def run_study(
         records, observed = _run_submatrix(
             cfg, cfg.applications, cfg.systems, store_obj, timer
         )
+        if store_obj is not None:
+            store_obj.flush()  # deferred entry writes land before we return
         return StudyResult(
             config=cfg,
             records=records,
@@ -678,6 +702,8 @@ def _run_resilient(
         timer.merge(stages)
     order = {label: i for i, label in enumerate(cfg.applications)}
     failures.sort(key=lambda f: order[f.application])
+    if store_obj is not None:
+        store_obj.flush()
     return StudyResult(
         config=cfg,
         records=records,

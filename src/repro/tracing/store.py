@@ -8,24 +8,40 @@ makes the caches durable: repeated studies, ablation sweeps and CLI
 invocations skip re-tracing and re-probing entirely, and parallel study
 workers share one warm store instead of each re-deriving the same traces.
 
-Artifacts are the JSON documents of :mod:`repro.tracing.serialize` wrapped
-in a checksummed envelope::
+Entries are the binary records of :mod:`repro.tracing.binfmt` —
+``<digest>.rpb`` files whose NumPy sections load zero-copy via
+``np.memmap`` straight into the tensorised execute/convolve pipeline (no
+per-block Python object reconstruction), with a BLAKE2b checksum and a
+format version in the prelude.  Writes are atomic (temp file + rename) so
+concurrent workers can race on the same entry without corrupting it, and
+*deferred*: a save just records the entry (even the encode is lazy) and a
+background writer drains the backlog in batches on its own poll cadence,
+overlapping the study's compute — batching matters because waking the
+writer once per save costs more in GIL convoys than the writes
+themselves.  Reads of an entry whose write is still in flight
+synchronise first, and :meth:`TraceStore.flush` blocks until the backlog
+is written (the study runner flushes before returning), so the deferral
+is observable only as lower wall-clock.
+Entries are keyed by a BLAKE2b digest of their full identity — for probes
+that includes the machine spec's content
+:meth:`~repro.machines.spec.MachineSpec.fingerprint`, so editing a spec
+invalidates its cached probes automatically.
 
-    {"kind": "store-entry", "store_schema": 1,
-     "checksum": "<blake2b of payload>", "payload": "<serialized JSON>"}
-
-written atomically (temp file + rename) so concurrent workers can race on
-the same entry without corrupting it.  Entries are keyed by a BLAKE2b
-digest of their full identity — for probes that includes the machine
-spec's content :meth:`~repro.machines.spec.MachineSpec.fingerprint`, so
-editing a spec invalidates its cached probes automatically.
+**Legacy format:** stores written by earlier builds hold ``<digest>.json``
+entries (the :mod:`repro.tracing.serialize` documents inside a checksummed
+JSON envelope).  These stay readable: a load that only finds the legacy
+file decodes it, rewrites the entry in binary form and removes the JSON
+original — migration on first touch.  ``repro-study store migrate``
+converts a whole cache directory eagerly; mixed directories are fine at
+every point in between.
 
 **Self-healing:** a load that fails *any* validation step — unreadable
-file, non-envelope bytes, checksum mismatch (truncation, bit rot, torn
-concurrent write), stale schema version, malformed payload — logs a
-warning, deletes the entry, counts it in :attr:`TraceStore.invalidated`
-and returns ``None``, so the caller transparently re-traces and re-saves.
-A corrupt cache can therefore never fail a study, only slow it down.
+file, bad magic, foreign format version, length mismatch (truncation,
+torn write), checksum mismatch (bit rot), malformed header, stale payload
+schema — logs a warning, deletes the entry, counts it in
+:attr:`TraceStore.invalidated` and returns ``None``, so the caller
+transparently re-traces and re-saves.  A corrupt cache can therefore
+never fail a study, only slow it down.
 """
 
 from __future__ import annotations
@@ -35,29 +51,37 @@ import json
 import logging
 import os
 import threading
+import time
+from collections.abc import Callable
 from pathlib import Path
 
 from repro.core.errors import TraceCorruptError
 from repro.machines.spec import MachineSpec
 from repro.probes.results import MachineProbes
+from repro.tracing import binfmt
 from repro.tracing.serialize import (
     SCHEMA_VERSION,
     probes_from_json,
-    probes_to_json,
+    probes_to_json,  # noqa: F401  (legacy writer, kept importable for tests)
     trace_from_json,
-    trace_to_json,
+    trace_to_json,  # noqa: F401
 )
 from repro.tracing.trace import ApplicationTrace
-from repro.util.io import write_atomic
+from repro.util.io import write_atomic_bytes
 from repro.util.options import CacheModel
 
 __all__ = ["TraceStore", "STORE_SCHEMA_VERSION"]
 
 log = logging.getLogger(__name__)
 
-#: Version of the envelope layout (independent of the payload's
-#: :data:`~repro.tracing.serialize.SCHEMA_VERSION`).
+#: Version of the *legacy* JSON envelope layout (independent of the
+#: payload's :data:`~repro.tracing.serialize.SCHEMA_VERSION`).  New
+#: entries carry :data:`repro.tracing.binfmt.FORMAT_VERSION` instead.
 STORE_SCHEMA_VERSION = 1
+
+#: Suffix of current (binary) and legacy (JSON envelope) entries.
+BINARY_SUFFIX = ".rpb"
+LEGACY_SUFFIX = ".json"
 
 
 def _digest(*keys: object) -> str:
@@ -97,6 +121,18 @@ class TraceStore:
         loses counts (and could double-unlink a healing entry).
     """
 
+    #: Idle seconds after which a store's background writer thread exits
+    #: (it restarts on the next save, so short-lived stores — one per
+    #: study chunk in pool workers — never accumulate threads).
+    WRITER_IDLE_SECONDS = 1.0
+
+    #: Seconds the writer sleeps between drain rounds.  Saves do *not*
+    #: wake it (only :meth:`flush` does): letting entries accumulate and
+    #: draining them in batches keeps the thread to a handful of wakeups
+    #: per study instead of one GIL convoy per save — on a single core
+    #: the per-item wakeups cost several times the writes themselves.
+    WRITER_POLL_SECONDS = 0.02
+
     def __init__(self, root: str | os.PathLike, *, faults=None):
         self.root = Path(root)
         self.traces_dir = self.root / "traces"
@@ -106,9 +142,27 @@ class TraceStore:
         self.faults = faults
         self.invalidated = 0
         self._lock = threading.Lock()
+        # Write-behind state: saves enqueue encoded bytes (or zero-arg
+        # encoders) here and a daemon thread drains them to disk in
+        # batches while the study computes on.  The condition (sharing
+        # the store lock) lets flush() wait for "pending empty and no
+        # batch in flight"; the kick event lets flush skip the writer's
+        # batching sleep.
+        self._pending: dict[Path, "bytes | Callable[[], bytes]"] = {}
+        self._cond = threading.Condition(self._lock)
+        self._kick = threading.Event()
+        self._in_flight = False
+        self._writer: threading.Thread | None = None
+        # Identity -> (binary, legacy) path memo.  A cold study resolves
+        # every cell's identity twice (miss-check, then save); hashing the
+        # key tuple is ~10x cheaper than re-deriving the blake2b stem and
+        # two suffixed Paths each time.  Bounded by the number of distinct
+        # identities a process touches (apps x cpu counts x machines).
+        self._trace_paths_memo: dict[tuple, tuple[Path, Path]] = {}
+        self._probes_paths_memo: dict[tuple, tuple[Path, Path]] = {}
 
     # ------------------------------------------------------------------
-    def _trace_path(
+    def _trace_stem(
         self,
         application: str,
         cpus: int,
@@ -131,45 +185,181 @@ class TraceStore:
             cache_sim,
             model,
         )
-        return self.traces_dir / f"{name}.json"
+        return self.traces_dir / name
 
-    def _probes_path(self, machine: MachineSpec) -> Path:
+    def _probes_stem(self, machine: MachineSpec) -> Path:
         name = _digest("probes", SCHEMA_VERSION, machine.name, machine.fingerprint())
-        return self.probes_dir / f"{name}.json"
+        return self.probes_dir / name
 
-    @staticmethod
-    def _write_atomic(path: Path, text: str) -> None:
-        write_atomic(path, text)
+    def _trace_paths(
+        self,
+        application: str,
+        cpus: int,
+        base_machine: str,
+        sample_size: int,
+        cache_sim: bool,
+        cache_model: str | None,
+    ) -> tuple[Path, Path]:
+        """Memoized ``(binary, legacy)`` entry paths for one trace identity."""
+        key = (application, cpus, base_machine, sample_size, cache_sim, cache_model)
+        paths = self._trace_paths_memo.get(key)
+        if paths is None:
+            stem = self._trace_stem(
+                application, cpus, base_machine, sample_size, cache_sim, cache_model
+            )
+            paths = (stem.with_suffix(BINARY_SUFFIX), stem.with_suffix(LEGACY_SUFFIX))
+            self._trace_paths_memo[key] = paths
+        return paths
 
-    @staticmethod
-    def _read(path: Path) -> str | None:
-        try:
-            return path.read_text()
-        except OSError:
-            return None
+    def _probes_paths(self, machine: MachineSpec) -> tuple[Path, Path]:
+        """Memoized ``(binary, legacy)`` entry paths for one probe identity."""
+        key = (machine.name, machine.fingerprint())
+        paths = self._probes_paths_memo.get(key)
+        if paths is None:
+            stem = self._probes_stem(machine)
+            paths = (stem.with_suffix(BINARY_SUFFIX), stem.with_suffix(LEGACY_SUFFIX))
+            self._probes_paths_memo[key] = paths
+        return paths
 
     # ------------------------------------------------------------------
-    # envelope
+    # binary entries
     # ------------------------------------------------------------------
-    def _save_entry(self, path: Path, payload: str) -> None:
+    def _save_entry(self, path: Path, data: bytes) -> None:
         if self.faults is not None and self.faults.should_corrupt(path.name):
-            payload = self.faults.corrupt_text(payload, path.name)
-        envelope = {
-            "kind": "store-entry",
-            "store_schema": STORE_SCHEMA_VERSION,
-            "checksum": _checksum(payload),
-            "payload": payload,
-        }
-        write_atomic(path, json.dumps(envelope))
+            data = self.faults.corrupt_bytes(data, path.name)
+        # durable=False: entries are checksummed and self-healing, so a
+        # machine crash that tears one costs a re-trace, not correctness;
+        # skipping the per-file fsync keeps the store tax on a cold study
+        # to a few percent instead of ~40%.
+        write_atomic_bytes(path, data, durable=False)
 
-    def _load_entry(self, path: Path, kind: str) -> str | None:
-        """Validated payload text of the entry at ``path``, or None.
+    def _enqueue_entry(self, path: Path, data) -> None:
+        """Queue one entry for the background writer (write-behind).
+
+        ``data`` is either the encoded bytes or a zero-argument callable
+        producing them: deferring the encode keeps even the serialisation
+        cost off the compute path (the writer thread encodes on another
+        core).  Fault corruption is applied by the writer, keyed on the
+        entry name, so the bytes on disk match what a synchronous save
+        would have produced.  Loads of a pending path flush first (see
+        :meth:`_sync_pending`), so deferral is invisible to every reader.
+
+        A save deliberately does *not* wake the writer: it drains on its
+        own poll cadence so a burst of saves costs one thread wakeup, not
+        one per entry.
+        """
+        with self._lock:
+            self._pending[path] = data
+            if self._writer is None:
+                self._writer = threading.Thread(
+                    target=self._drain_writes,
+                    name="trace-store-writer",
+                    daemon=True,
+                )
+                self._writer.start()
+
+    def _write_one(self, path: Path, data) -> None:
+        """Encode (if deferred), fault-corrupt and write one entry."""
+        try:
+            payload = data() if callable(data) else data
+            if self.faults is not None and self.faults.should_corrupt(path.name):
+                payload = self.faults.corrupt_bytes(payload, path.name)
+            write_atomic_bytes(path, payload, durable=False)
+        except (OSError, ValueError) as exc:
+            log.warning(
+                "deferred write of store entry %s failed (%s); "
+                "it will be recomputed next time",
+                path.name,
+                exc,
+            )
+
+    def _drain_writes(self) -> None:
+        try:
+            last_work = time.monotonic()
+            while True:
+                self._kick.wait(timeout=self.WRITER_POLL_SECONDS)
+                self._kick.clear()
+                with self._cond:
+                    batch = list(self._pending.items())
+                    if not batch:
+                        if time.monotonic() - last_work >= self.WRITER_IDLE_SECONDS:
+                            return
+                        continue
+                    self._in_flight = True
+                try:
+                    for path, data in batch:
+                        self._write_one(path, data)
+                finally:
+                    last_work = time.monotonic()
+                    with self._cond:
+                        for path, data in batch:
+                            # A newer save of the same path may have
+                            # replaced the bytes we just wrote; the next
+                            # batch picks it up.
+                            if self._pending.get(path) is data:
+                                del self._pending[path]
+                        self._in_flight = False
+                        self._cond.notify_all()
+        finally:
+            # Normal idle exit and a crashed thread look the same to
+            # flush(): the slot is free, a later save (or flush itself)
+            # starts a fresh writer rather than waiting forever.
+            with self._cond:
+                if self._writer is threading.current_thread():
+                    self._writer = None
+                self._cond.notify_all()
+
+    def flush(self) -> None:
+        """Block until every pending write has reached the filesystem."""
+        with self._cond:
+            while self._pending or self._in_flight:
+                if self._writer is None:
+                    # Defensive: a writer can only be absent here if it
+                    # crashed mid-batch; restart rather than wait forever.
+                    self._writer = threading.Thread(
+                        target=self._drain_writes,
+                        name="trace-store-writer",
+                        daemon=True,
+                    )
+                    self._writer.start()
+                self._kick.set()
+                self._cond.wait(timeout=1.0)
+
+    def _sync_pending(self, *paths: Path) -> None:
+        """Complete any in-flight write of ``paths`` before a read."""
+        if self._pending and any(p in self._pending for p in paths):
+            self.flush()
+
+    def _invalidate(self, path: Path, kind: str, reason: Exception) -> None:
+        # One critical section covers the count *and* the unlink so
+        # concurrent service threads healing the same entry serialise:
+        # the counter never loses an increment and the delete/re-trace
+        # sequence is not interleaved mid-heal.
+        with self._lock:
+            self.invalidated += 1
+            log.warning(
+                "invalidating corrupt %s entry %s (%s); it will be recomputed",
+                kind,
+                path.name,
+                reason,
+            )
+            try:
+                path.unlink()
+            except OSError:  # already gone (concurrent healer) — fine
+                pass
+
+    # ------------------------------------------------------------------
+    # legacy JSON envelope
+    # ------------------------------------------------------------------
+    def _load_legacy_payload(self, path: Path, kind: str) -> str | None:
+        """Validated payload text of the legacy entry at ``path``, or None.
 
         Every failure mode self-heals: the entry is logged, deleted and
         reported absent so the caller recomputes it.
         """
-        text = self._read(path)
-        if text is None:
+        try:
+            text = path.read_text()
+        except OSError:
             return None
         try:
             try:
@@ -195,23 +385,28 @@ class TraceStore:
             self._invalidate(path, kind, exc)
             return None
 
-    def _invalidate(self, path: Path, kind: str, reason: Exception) -> None:
-        # One critical section covers the count *and* the unlink so
-        # concurrent service threads healing the same entry serialise:
-        # the counter never loses an increment and the delete/re-trace
-        # sequence is not interleaved mid-heal.
-        with self._lock:
-            self.invalidated += 1
-            log.warning(
-                "invalidating corrupt %s entry %s (%s); it will be recomputed",
-                kind,
-                path.name,
-                reason,
-            )
-            try:
-                path.unlink()
-            except OSError:  # already gone (concurrent healer) — fine
-                pass
+    def _load_legacy(self, path: Path, kind: str, from_json):
+        payload = self._load_legacy_payload(path, kind)
+        if payload is None:
+            return None
+        try:
+            return from_json(payload)
+        except (ValueError, KeyError, TypeError) as exc:
+            self._invalidate(path, kind, exc)
+            return None
+
+    def _migrate_entry(self, legacy: Path, binary: Path, data: bytes) -> None:
+        """Rewrite one validated legacy entry in binary form, atomically.
+
+        The binary file lands first (atomic rename), then the legacy file
+        goes; a crash in between leaves both, and every reader prefers
+        the binary one — migration is idempotent and resumable.
+        """
+        self._save_entry(binary, data)
+        try:
+            legacy.unlink()
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------
     # traces
@@ -226,9 +421,11 @@ class TraceStore:
         cache_model: str = "analytic",
     ) -> bool:
         """Whether an entry exists for this identity (it may still be corrupt)."""
-        return self._trace_path(
+        binary, legacy = self._trace_paths(
             application, cpus, base_machine, sample_size, cache_sim, cache_model
-        ).exists()
+        )
+        self._sync_pending(binary)
+        return binary.exists() or legacy.exists()
 
     def load_trace(
         self,
@@ -238,29 +435,41 @@ class TraceStore:
         sample_size: int,
         cache_sim: bool = False,
         cache_model: str = "analytic",
-    ) -> ApplicationTrace | None:
-        """The cached trace for this identity, or None if absent/invalid."""
-        path = self._trace_path(
+    ) -> ApplicationTrace | binfmt.MappedTrace | None:
+        """The cached trace for this identity, or None if absent/invalid.
+
+        Binary entries come back as zero-copy
+        :class:`~repro.tracing.binfmt.MappedTrace` views of the mapped
+        file; a legacy JSON entry decodes to a full
+        :class:`ApplicationTrace` and is migrated to binary in passing.
+        """
+        binary, legacy = self._trace_paths(
             application, cpus, base_machine, sample_size, cache_sim, cache_model
         )
-        payload = self._load_entry(path, "trace")
-        if payload is None:
-            return None
-        try:
-            return trace_from_json(payload)
-        except (ValueError, KeyError, TypeError) as exc:
-            self._invalidate(path, "trace", exc)
-            return None
+        self._sync_pending(binary)
+        if binary.exists():
+            try:
+                return binfmt.load_trace(binary)
+            except TraceCorruptError as exc:
+                self._invalidate(binary, "trace", exc)
+                return None
+        if legacy.exists():
+            trace = self._load_legacy(legacy, "trace", trace_from_json)
+            if trace is None:
+                return None
+            self._migrate_entry(legacy, binary, binfmt.trace_to_bytes(trace))
+            return trace
+        return None
 
     def save_trace(
         self,
-        trace: ApplicationTrace,
+        trace,
         *,
         cache_sim: bool = False,
         cache_model: str = "analytic",
     ) -> None:
-        """Persist ``trace`` under its identity key."""
-        path = self._trace_path(
+        """Persist ``trace`` under its identity key (binary format)."""
+        binary, _ = self._trace_paths(
             trace.application,
             trace.cpus,
             trace.base_machine,
@@ -268,27 +477,109 @@ class TraceStore:
             cache_sim,
             cache_model,
         )
-        self._save_entry(path, trace_to_json(trace))
+        # The callable defers the encode to the writer thread: a cold
+        # study's foreground cost per save is one dict insert + queue put.
+        self._enqueue_entry(binary, lambda: binfmt.trace_to_bytes(trace))
 
     # ------------------------------------------------------------------
     # probes
     # ------------------------------------------------------------------
     def has_probes(self, machine: MachineSpec) -> bool:
         """Whether an entry exists for this exact spec."""
-        return self._probes_path(machine).exists()
+        binary, legacy = self._probes_paths(machine)
+        self._sync_pending(binary)
+        return binary.exists() or legacy.exists()
 
     def load_probes(self, machine: MachineSpec) -> MachineProbes | None:
-        """Cached probe bundle for this exact spec, or None."""
-        path = self._probes_path(machine)
-        payload = self._load_entry(path, "probes")
-        if payload is None:
-            return None
-        try:
-            return probes_from_json(payload)
-        except (ValueError, KeyError, TypeError) as exc:
-            self._invalidate(path, "probes", exc)
-            return None
+        """Cached probe bundle for this exact spec, or None.
+
+        Binary entries keep their curve arrays as zero-copy views of the
+        mapped file; legacy JSON entries migrate to binary in passing.
+        """
+        binary, legacy = self._probes_paths(machine)
+        self._sync_pending(binary)
+        if binary.exists():
+            try:
+                return binfmt.load_probes(binary)
+            except TraceCorruptError as exc:
+                self._invalidate(binary, "probes", exc)
+                return None
+        if legacy.exists():
+            probes = self._load_legacy(legacy, "probes", probes_from_json)
+            if probes is None:
+                return None
+            self._migrate_entry(legacy, binary, binfmt.probes_to_bytes(probes))
+            return probes
+        return None
 
     def save_probes(self, machine: MachineSpec, probes: MachineProbes) -> None:
         """Persist ``probes`` keyed by the spec's content fingerprint."""
-        self._save_entry(self._probes_path(machine), probes_to_json(probes))
+        binary, _ = self._probes_paths(machine)
+        self._enqueue_entry(binary, lambda: binfmt.probes_to_bytes(probes))
+
+    # ------------------------------------------------------------------
+    # maintenance (``repro-study store ...``)
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Format versions, entry counts and byte totals, per kind."""
+        self.flush()
+
+        def scan(directory: Path) -> dict:
+            counts = {"binary": 0, "legacy_json": 0, "bytes": 0}
+            for path in sorted(directory.iterdir()):
+                if path.suffix == BINARY_SUFFIX:
+                    counts["binary"] += 1
+                elif path.suffix == LEGACY_SUFFIX:
+                    counts["legacy_json"] += 1
+                else:
+                    continue
+                try:
+                    counts["bytes"] += path.stat().st_size
+                except OSError:
+                    pass
+            return counts
+
+        return {
+            "root": str(self.root),
+            "binary_format_version": binfmt.FORMAT_VERSION,
+            "payload_schema_version": SCHEMA_VERSION,
+            "legacy_store_schema": STORE_SCHEMA_VERSION,
+            "traces": scan(self.traces_dir),
+            "probes": scan(self.probes_dir),
+            "invalidated": self.invalidated,
+        }
+
+    def migrate(self) -> dict:
+        """Rewrite every legacy JSON entry in binary form, in place.
+
+        Each entry converts independently and atomically (binary written,
+        then legacy removed), so an interrupted migration resumes where
+        it stopped: already-converted entries are skipped, leftover
+        legacy twins of existing binaries are just cleaned up, and
+        corrupt legacy entries are invalidated exactly as a load would.
+        Returns counts per outcome.
+        """
+        self.flush()
+        report = {"migrated": 0, "cleaned": 0, "invalidated": 0}
+        plans = (
+            (self.traces_dir, "trace", trace_from_json, binfmt.trace_to_bytes),
+            (self.probes_dir, "probes", probes_from_json, binfmt.probes_to_bytes),
+        )
+        for directory, kind, from_json, to_bytes in plans:
+            for legacy in sorted(directory.glob(f"*{LEGACY_SUFFIX}")):
+                binary = legacy.with_suffix(BINARY_SUFFIX)
+                if binary.exists():
+                    try:
+                        legacy.unlink()
+                    except OSError:
+                        pass
+                    report["cleaned"] += 1
+                    continue
+                before = self.invalidated
+                obj = self._load_legacy(legacy, kind, from_json)
+                if obj is None:
+                    report["invalidated"] += self.invalidated - before
+                    continue
+                self._migrate_entry(legacy, binary, to_bytes(obj))
+                report["migrated"] += 1
+        return report

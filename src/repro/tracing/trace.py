@@ -10,11 +10,60 @@ target — the paper's machine-independent "transfer function".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
+
+import numpy as np
 
 from repro.memory.patterns import StrideHistogram
 from repro.network.model import CollectiveKind
 
-__all__ = ["ReuseHistogram", "BlockTrace", "CommRecord", "ApplicationTrace"]
+__all__ = [
+    "ReuseHistogram",
+    "BlockTrace",
+    "CommRecord",
+    "ApplicationTrace",
+    "BlockArrays",
+]
+
+
+class BlockArrays(NamedTuple):
+    """Block-axis float64 views of a trace — the convolver's operands.
+
+    One array per :class:`BlockTrace` field the tensorised pipeline
+    consumes, each of shape ``(n_blocks,)``.  For a trace loaded from the
+    binary store these are zero-copy ``np.memmap`` views; for an
+    in-memory trace they are built once and cached on the trace object.
+    Values are bit-identical either way (float64 storage is exact), so
+    the convolver's fast path never moves a prediction.
+    """
+
+    fp_ops: np.ndarray
+    loads: np.ndarray
+    stores: np.ndarray
+    unit: np.ndarray
+    short: np.ndarray
+    random: np.ndarray
+    stride_elems: np.ndarray
+    working_set: np.ndarray
+    dependency_weight: np.ndarray
+
+    @classmethod
+    def of_blocks(cls, blocks: "tuple[BlockTrace, ...]") -> "BlockArrays":
+        """Extract the arrays from materialised block objects."""
+        as_f8 = lambda values: np.array(values, dtype=np.float64)  # noqa: E731
+        return cls(
+            fp_ops=as_f8([b.fp_ops for b in blocks]),
+            loads=as_f8([b.loads for b in blocks]),
+            stores=as_f8([b.stores for b in blocks]),
+            unit=as_f8([b.stride.unit for b in blocks]),
+            short=as_f8([b.stride.short for b in blocks]),
+            random=as_f8([b.stride.random for b in blocks]),
+            stride_elems=np.array(
+                [b.stride.short_stride_elems for b in blocks], dtype=np.int64
+            ),
+            working_set=as_f8([b.working_set for b in blocks]),
+            dependency_weight=as_f8([b.dependency_weight for b in blocks]),
+        )
 
 
 @dataclass(frozen=True)
@@ -178,6 +227,26 @@ class ApplicationTrace:
     blocks: tuple[BlockTrace, ...]
     comm: tuple[CommRecord, ...]
     sample_size: int
+
+    @property
+    def block_arrays(self) -> BlockArrays:
+        """Block-axis float64 views (built lazily, cached on the trace).
+
+        The convolver's rate table reads these instead of looping block
+        objects; a trace that recurs across study rows (the in-memory
+        cache guarantees it does) pays the extraction exactly once.
+        """
+        cached = getattr(self, "_block_arrays", None)
+        if cached is None:
+            cached = BlockArrays.of_blocks(self.blocks)
+            # Frozen dataclass: the cache slot bypasses the field guard.
+            object.__setattr__(self, "_block_arrays", cached)
+        return cached
+
+    @property
+    def block_names(self) -> tuple[str, ...]:
+        """Block identifiers, in trace order."""
+        return tuple(b.name for b in self.blocks)
 
     @property
     def total_fp(self) -> float:

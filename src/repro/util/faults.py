@@ -125,6 +125,20 @@ class FaultPlan:
         flipped = chr(ord(text[i]) ^ 0x01)
         return text[:i] + flipped + text[i + 1 :]
 
+    def corrupt_bytes(self, data: bytes, *key: object) -> bytes:
+        """Binary twin of :meth:`corrupt_text` (same decision stream).
+
+        The seeded draws use the same key derivation, so a plan corrupts
+        a given store entry identically whether it is JSON or binary.
+        """
+        rng = stable_rng("faults", self.seed, "corrupt-bytes", *key)
+        if not data:
+            return b"\x00"
+        if rng.random() < 0.5:  # truncation: the torn-write shape
+            return data[: int(rng.integers(0, len(data)))]
+        i = int(rng.integers(0, len(data)))
+        return data[:i] + bytes((data[i] ^ 0x01,)) + data[i + 1 :]
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------

@@ -9,11 +9,16 @@ path.
 
 from __future__ import annotations
 
+import itertools
 import os
 import tempfile
 from pathlib import Path
 
-__all__ = ["write_atomic", "append_line_durable"]
+__all__ = ["write_atomic", "write_atomic_bytes", "append_line_durable"]
+
+#: Per-process sequence for fast-path temp names; combined with the pid
+#: it never collides between live writers racing on one entry.
+_tmp_counter = itertools.count()
 
 
 def write_atomic(path: str | os.PathLike, text: str) -> None:
@@ -23,11 +28,50 @@ def write_atomic(path: str | os.PathLike, text: str) -> None:
     on one filesystem and is atomic; a crash at any point leaves either
     the old content or the new, and the temp file is removed on failure.
     """
+    write_atomic_bytes(path, text.encode("utf-8"))
+
+
+def write_atomic_bytes(
+    path: str | os.PathLike, data: bytes, *, durable: bool = True
+) -> None:
+    """Binary twin of :func:`write_atomic` (same temp + rename discipline).
+
+    The binary trace store writes its memory-mappable entries through
+    this, so concurrent study workers racing on one entry see either the
+    old complete file or the new one, never a torn write.
+
+    ``durable=False`` skips the pre-rename ``fsync`` and uses a minimal
+    open/write/close/rename sequence (``tempfile.mkstemp`` plus buffered
+    ``fdopen`` cost more than the four syscalls themselves for a small
+    cache entry).  That keeps the rename atomic for every *live* reader
+    but allows a machine crash to leave a renamed entry with missing tail
+    pages.  Only callers whose readers detect and recover from torn
+    content (the checksummed, self-healing trace store) may opt out;
+    anything that must survive power loss intact (checkpoint journals)
+    keeps the default.
+    """
+    if not durable:
+        target = os.fspath(path)
+        tmp = f"{target}.{os.getpid()}.{next(_tmp_counter)}.tmp"
+        try:
+            fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            try:
+                view = memoryview(data)
+                while view:
+                    view = view[os.write(fd, view):]
+            finally:
+                os.close(fd)
+            os.replace(tmp, target)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return
     target = Path(path)
     fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
     try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(text)
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, target)

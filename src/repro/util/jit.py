@@ -1,0 +1,97 @@
+"""Optional compiled-kernel backend, selected by the ``REPRO_JIT`` knob.
+
+The hot numeric kernels (the executor's per-level bandwidth accumulation,
+the overlap combine shared by executor and convolver) exist in two
+byte-identical forms: a NumPy ufunc chain (always available) and an
+explicit-loop twin suitable for numba's ``njit``.  ``REPRO_JIT=numba``
+selects the compiled twins; any other value — or a missing/broken numba
+install — falls back to the NumPy chains with a one-line warning, never
+an error.  Both twins perform the same IEEE-754 operations in the same
+order (``fastmath`` stays off), so the selection can never move a bit of
+any prediction; ``scripts/check_jit.py`` asserts exactly that in CI.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Callable
+
+__all__ = ["active_backend", "compile_kernel", "refresh"]
+
+log = logging.getLogger(__name__)
+
+#: Environment variable naming the kernel backend ("" / "numba").
+ENV_VAR = "REPRO_JIT"
+
+_OFF_VALUES = {"", "0", "off", "none", "numpy"}
+
+_state: dict = {"checked": False, "backend": ""}
+
+
+def requested_backend() -> str:
+    """The raw ``REPRO_JIT`` request (lowercased, unvalidated)."""
+    return os.environ.get(ENV_VAR, "").strip().lower()
+
+
+def active_backend() -> str:
+    """``"numba"`` when requested *and* importable, else ``""`` (NumPy).
+
+    The check runs once per process (import attempts are not free) and is
+    cached; :func:`refresh` re-evaluates it for tests that toggle the
+    environment.
+    """
+    if not _state["checked"]:
+        name = requested_backend()
+        backend = ""
+        if name in _OFF_VALUES:
+            backend = ""
+        elif name == "numba":
+            try:
+                import numba  # noqa: F401
+
+                backend = "numba"
+            except Exception as exc:  # ImportError or a broken install
+                log.warning(
+                    "REPRO_JIT=numba requested but numba is unavailable "
+                    "(%s); using the NumPy kernels (identical results)",
+                    exc,
+                )
+        else:
+            log.warning(
+                "unknown REPRO_JIT backend %r (expected 'numba'); "
+                "using the NumPy kernels",
+                name,
+            )
+        _state["backend"] = backend
+        _state["checked"] = True
+    return _state["backend"]
+
+
+def refresh() -> None:
+    """Drop the cached backend decision (test hook for env toggling)."""
+    _state["checked"] = False
+    _state["backend"] = ""
+
+
+def compile_kernel(loops_impl: Callable, numpy_impl: Callable) -> Callable:
+    """Return the kernel to call: jitted loops under numba, else NumPy.
+
+    ``loops_impl`` must be numba-``njit``-compatible and perform the same
+    float operations in the same order as ``numpy_impl`` (the contract CI
+    verifies).  Compilation failure degrades to the NumPy twin with a
+    warning — a broken numba can slow the pipeline down but never break
+    or change it.
+    """
+    if active_backend() == "numba":
+        try:
+            from numba import njit
+
+            return njit(cache=True, fastmath=False)(loops_impl)
+        except Exception as exc:  # pragma: no cover - needs a broken numba
+            log.warning(
+                "numba compilation of %s failed (%s); using the NumPy twin",
+                getattr(loops_impl, "__name__", loops_impl),
+                exc,
+            )
+    return numpy_impl

@@ -18,7 +18,7 @@ import pytest
 
 from repro.core.errors import StudyAbortedError
 from repro.core.predictor import PerformancePredictor
-from repro.study.runner import StudyConfig, run_study
+from repro.study.runner import StudyConfig, clear_study_caches, run_study
 from repro.util.faults import FaultPlan
 
 GOLDEN = Path(__file__).parent / "golden" / "study_records.json"
@@ -73,6 +73,46 @@ def test_killed_and_resumed_study_matches_golden(golden, tmp_path):
 
 def test_parallel_study_matches_golden(golden):
     result = run_study(StudyConfig(), workers=2)
+    assert as_rows(result) == golden["records"]
+
+
+# ---------------------------------------------------------------------------
+# the binary on-disk store must not move a bit either
+# ---------------------------------------------------------------------------
+
+
+def test_store_cold_and_warm_match_golden(golden, tmp_path):
+    """Predictions through the binary store — populating it and then
+    serving zero-copy memory-mapped traces from it — are bit-identical."""
+    store = tmp_path / "cache"
+    cold = run_study(StudyConfig(), store=store)
+    assert as_rows(cold) == golden["records"]
+    assert list(store.rglob("*.rpb"))  # the cold run persisted binary entries
+    assert not list(store.rglob("*.json"))
+    # warm: every trace/probe bundle now comes off the memmapped store
+    clear_study_caches()
+    warm = run_study(StudyConfig(), store=store)
+    assert as_rows(warm) == golden["records"]
+    assert observed_rows(warm) == golden["observed"]
+
+
+def test_store_killed_and_resumed_matches_golden(golden, tmp_path):
+    store = tmp_path / "cache"
+    ck = tmp_path / "study.ckpt"
+    with pytest.raises(StudyAbortedError):
+        run_study(StudyConfig(), store=store, checkpoint=ck,
+                  faults=FaultPlan(abort_after=2))
+    clear_study_caches()
+    resumed = run_study(StudyConfig(), store=store, checkpoint=ck)
+    assert resumed.failures == []
+    assert as_rows(resumed) == golden["records"]
+
+
+def test_store_parallel_study_matches_golden(golden, tmp_path):
+    store = tmp_path / "cache"
+    run_study(StudyConfig(), store=store)  # populate
+    clear_study_caches()
+    result = run_study(StudyConfig(), store=store, workers=2)
     assert as_rows(result) == golden["records"]
 
 

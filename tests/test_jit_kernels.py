@@ -1,0 +1,115 @@
+"""The REPRO_JIT knob and the numpy/loops kernel twins.
+
+The hot kernels exist in two forms — a NumPy ufunc chain and an
+explicit-loop twin suitable for numba's ``njit`` — that must perform the
+same IEEE-754 operations in the same order.  These tests pin the twins
+bit-for-bit, and pin the knob's degradation contract: ``REPRO_JIT=numba``
+without a numba install warns once and runs the NumPy chains, never
+erroring and never moving a bit.  ``scripts/check_jit.py`` repeats the
+identity check cross-process in CI.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.util import jit
+from repro.util.rng import stable_rng
+
+
+@pytest.fixture(autouse=True)
+def _pristine_backend():
+    """Every test leaves the process-wide backend decision as it found it."""
+    yield
+    jit.refresh()
+    kernels.refresh()
+
+
+def _operands(combos=6, runs=3, blocks=5, levels=4):
+    rng = stable_rng("jit-twins", combos, runs, blocks, levels)
+    residency = rng.random((runs, blocks, levels))
+    level_bw = rng.random((combos, blocks, levels)) + 0.25
+    return residency, level_bw
+
+
+def test_accumulate_twins_are_bitwise_identical():
+    residency, level_bw = _operands()
+    a = kernels._accumulate_time_per_byte_numpy(residency, level_bw)
+    b = kernels._accumulate_time_per_byte_loops(residency, level_bw)
+    assert a.shape == b.shape == (6, 3, 5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_combine_twins_are_bitwise_identical():
+    rng = stable_rng("combine-twins")
+    t_fp = rng.random((4, 7))
+    t_mem = rng.random((4, 7))
+    for overlap in (0.0, 0.5, 1.0):
+        a = kernels._combine_overlap_numpy(t_fp, t_mem, overlap)
+        b = kernels._combine_overlap_loops(t_fp, t_mem, overlap)
+        np.testing.assert_array_equal(a, b)
+
+
+def test_jit_off_values_select_numpy(monkeypatch):
+    for value in ("", "0", "off", "none", "numpy"):
+        monkeypatch.setenv(jit.ENV_VAR, value)
+        jit.refresh()
+        assert jit.active_backend() == ""
+
+
+def test_numba_request_without_numba_warns_and_falls_back(monkeypatch, caplog):
+    try:
+        import numba  # noqa: F401
+
+        pytest.skip("numba installed: the fallback path is unreachable")
+    except ImportError:
+        pass
+    monkeypatch.setenv(jit.ENV_VAR, "numba")
+    jit.refresh()
+    kernels.refresh()
+    with caplog.at_level(logging.WARNING, logger="repro.util.jit"):
+        assert jit.active_backend() == ""
+    assert "numba is unavailable" in caplog.text
+    # the warning fires once per process, not per kernel call
+    caplog.clear()
+    residency, level_bw = _operands()
+    got = kernels.accumulate_time_per_byte(residency, level_bw)
+    expected = kernels._accumulate_time_per_byte_numpy(residency, level_bw)
+    np.testing.assert_array_equal(got, expected)
+    assert caplog.text == ""
+
+
+def test_unknown_backend_warns_and_falls_back(monkeypatch, caplog):
+    monkeypatch.setenv(jit.ENV_VAR, "cuda")
+    jit.refresh()
+    with caplog.at_level(logging.WARNING, logger="repro.util.jit"):
+        assert jit.active_backend() == ""
+    assert "unknown REPRO_JIT backend" in caplog.text
+
+
+def test_public_kernels_match_numpy_twins_under_default_backend():
+    residency, level_bw = _operands()
+    np.testing.assert_array_equal(
+        kernels.accumulate_time_per_byte(residency, level_bw),
+        kernels._accumulate_time_per_byte_numpy(residency, level_bw),
+    )
+    t_fp = residency.sum(axis=2)[None].repeat(2, axis=0).reshape(2 * 3, 5)
+    t_mem = t_fp[::-1].copy()
+    np.testing.assert_array_equal(
+        kernels.combine_overlap(t_fp, t_mem, 0.75),
+        kernels._combine_overlap_numpy(t_fp, t_mem, 0.75),
+    )
+
+
+def test_refresh_drops_compiled_kernels(monkeypatch):
+    residency, level_bw = _operands()
+    kernels.accumulate_time_per_byte(residency, level_bw)  # populate memo
+    assert kernels._compiled
+    kernels.refresh()
+    assert not kernels._compiled
+    # and the backend decision is re-evaluated after a refresh
+    monkeypatch.setenv(jit.ENV_VAR, "numpy")
+    jit.refresh()
+    assert jit.active_backend() == ""

@@ -164,6 +164,8 @@ def test_convolved_compute_linear_in_counts(base_machine, opteron_probes):
 
     app = get_application("HYCOM-standard")
     trace = trace_application(app, 59, base_machine)
+    if not dataclasses.is_dataclass(trace):
+        trace = trace.materialize()  # a cached MappedTrace; replace() needs the dataclass
     doubled_blocks = tuple(
         dataclasses.replace(b, fp_ops=2 * b.fp_ops, loads=2 * b.loads, stores=2 * b.stores)
         for b in trace.blocks

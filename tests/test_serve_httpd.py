@@ -94,6 +94,7 @@ def test_healthz_shape(server):
     assert body["admission"]["active"] == 0
     assert body["store"] == {"enabled": False, "invalidated": 0}
     assert body["requests"]["total"] >= 0
+    assert set(body["trace_cache"]) == {"size", "max_size", "hits", "misses", "evictions"}
 
 
 def test_readyz_tracks_breaker_state(server):

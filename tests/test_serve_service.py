@@ -330,6 +330,47 @@ def test_health_reports_store_invalidations(tmp_path):
     assert health["store"]["invalidated"] == 0
 
 
+def test_trace_lru_hits_and_misses(tmp_path):
+    svc = make_service(store=str(tmp_path), trace_cache_size=4)
+    svc.predict("AVUS-standard", 64, "ARL_Xeon", 9)
+    first = svc.health()["trace_cache"]
+    assert first["misses"] == 1 and first["hits"] == 0 and first["size"] == 1
+    # same (application, cpus) again: served from the LRU, disk untouched
+    svc.predict("AVUS-standard", 64, "ARL_Opteron", 9)
+    second = svc.health()["trace_cache"]
+    assert second["hits"] == 1 and second["misses"] == 1
+
+
+def test_trace_lru_repeat_query_skips_disk(tmp_path, monkeypatch):
+    svc = make_service(store=str(tmp_path), trace_cache_size=4)
+    svc.predict("AVUS-standard", 64, "ARL_Xeon", 9)
+
+    def no_disk(*args, **kwargs):  # any store read after warm-up is a bug
+        raise AssertionError("store was touched on a warm query")
+
+    monkeypatch.setattr(svc.store, "load_trace", no_disk)
+    monkeypatch.setattr(svc.store, "save_trace", no_disk)
+    resp = svc.predict("AVUS-standard", 64, "ARL_Xeon", 9)
+    assert resp.served_metric == 9
+
+
+def test_trace_lru_bounded_with_evictions(tmp_path):
+    svc = make_service(store=str(tmp_path), trace_cache_size=1)
+    svc.predict("AVUS-standard", 32, "ARL_Xeon", 9)
+    svc.predict("AVUS-standard", 64, "ARL_Xeon", 9)  # evicts cpus=32
+    counters = svc.health()["trace_cache"]
+    assert counters["size"] == 1 and counters["max_size"] == 1
+    assert counters["evictions"] == 1
+    # the evicted entry re-reads from the store: a miss, not a hit
+    svc.predict("AVUS-standard", 32, "ARL_Xeon", 9)
+    assert svc.health()["trace_cache"]["misses"] == 3
+
+
+def test_trace_cache_size_validated():
+    with pytest.raises(ValueError):
+        PredictionService(trace_cache_size=0)
+
+
 def test_service_constructor_validation():
     with pytest.raises(ValueError):
         PredictionService(mode="sideways")

@@ -97,6 +97,7 @@ def test_store_probes_round_trip_is_exact(tmp_path, base_machine):
 def test_store_tolerates_corrupt_files(tmp_path, base_machine, avus):
     store = TraceStore(tmp_path)
     trace_application(avus, 64, base_machine, use_cache=False, store=store)
+    store.flush()  # writes are deferred; land them before damaging the files
     for f in tmp_path.joinpath("traces").iterdir():
         f.write_text("{not json")
     assert store.load_trace(avus.label, 64, base_machine.name, 4096, False) is None

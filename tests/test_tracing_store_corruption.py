@@ -1,19 +1,28 @@
 """Self-healing TraceStore: corrupt entries invalidate and re-trace, never raise.
 
-Every damage shape a shared cache directory can exhibit — truncated JSON,
-flipped bytes (checksum mismatch), stale payload schema versions, stale
-envelope versions, pre-envelope files, outright garbage — must be detected
-on load, logged, deleted, and reported as a miss so the caller recomputes.
+Every damage shape a shared cache directory can exhibit — truncated
+binary entries (length mismatch), flipped payload bytes (checksum
+mismatch), foreign format versions, bare-JSON files at the binary path,
+outright garbage, and every legacy-JSON failure mode (stale payload
+schema, stale envelope, pre-envelope payloads) — must be detected on
+load, logged, deleted, and reported as a miss so the caller recomputes.
 """
 
 import json
+import struct
+import time
 
 import pytest
 
 from repro.probes.suite import probe_machine
+from repro.tracing import binfmt
 from repro.tracing.metasim import trace_application
 from repro.tracing.serialize import trace_to_json
-from repro.tracing.store import STORE_SCHEMA_VERSION, TraceStore
+from repro.tracing.store import (
+    STORE_SCHEMA_VERSION,
+    TraceStore,
+    _checksum,
+)
 from repro.util.faults import FaultPlan
 
 
@@ -23,6 +32,7 @@ def stored(tmp_path, base_machine, avus):
     store = TraceStore(tmp_path)
     trace = trace_application(avus, 64, base_machine, use_cache=False, store=store)
     probe_machine(base_machine, use_cache=False, store=store)
+    store.flush()  # the tests damage files directly, so writes must land
     return store, trace
 
 
@@ -37,50 +47,116 @@ def _load(store, trace):
     )
 
 
+def _legacy_envelope(payload: str) -> str:
+    return json.dumps(
+        {
+            "kind": "store-entry",
+            "store_schema": STORE_SCHEMA_VERSION,
+            "checksum": _checksum(payload),
+            "payload": payload,
+        }
+    )
+
+
 # ---------------------------------------------------------------------------
-# damage shapes
+# binary damage shapes
 # ---------------------------------------------------------------------------
+
+
+def test_entries_are_binary(stored):
+    store, _ = stored
+    path = _trace_file(store)
+    assert path.suffix == ".rpb"
+    assert path.read_bytes()[:4] == binfmt.MAGIC
 
 
 def test_truncated_entry_invalidates_and_deletes(stored):
     store, trace = stored
     path = _trace_file(store)
-    path.write_text(path.read_text()[: len(path.read_text()) // 2])
+    path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
     assert _load(store, trace) is None
     assert not path.exists()
     assert store.invalidated == 1
 
 
-def test_flipped_byte_fails_checksum_and_invalidates(stored):
+def test_flipped_payload_byte_fails_checksum_and_invalidates(stored):
     store, trace = stored
     path = _trace_file(store)
-    doc = json.loads(path.read_text())
-    payload = doc["payload"]
-    i = len(payload) // 2
-    doc["payload"] = payload[:i] + chr(ord(payload[i]) ^ 0x01) + payload[i + 1 :]
-    path.write_text(json.dumps(doc))  # envelope still valid JSON, checksum stale
+    data = path.read_bytes()
+    i = (len(data) + 36) // 2  # inside the checksummed body, past the prelude
+    path.write_bytes(data[:i] + bytes((data[i] ^ 0x01,)) + data[i + 1 :])
     assert _load(store, trace) is None
     assert not path.exists()
     assert store.invalidated == 1
+
+
+def test_foreign_format_version_invalidates(stored):
+    store, trace = stored
+    path = _trace_file(store)
+    data = bytearray(path.read_bytes())
+    # The format version lives in the prelude, outside the checksummed
+    # region: a future build's entry is rejected structurally, not as rot.
+    struct.pack_into("<H", data, 4, binfmt.FORMAT_VERSION + 1)
+    path.write_bytes(bytes(data))
+    assert _load(store, trace) is None
+    assert store.invalidated == 1
+
+
+def test_bare_json_at_binary_path_invalidates(stored, base_machine, avus):
+    # A pre-binary payload dropped at the binary path: bad magic.
+    store, trace = stored
+    path = _trace_file(store)
+    path.write_bytes(trace_to_json(trace).encode())
+    assert _load(store, trace) is None
+    assert store.invalidated == 1
+
+
+def test_garbage_entry_invalidates(stored):
+    store, trace = stored
+    path = _trace_file(store)
+    path.write_bytes(b"\x00" * 512)
+    assert _load(store, trace) is None
+    assert store.invalidated == 1
+
+
+def test_corrupt_probe_entry_invalidates(stored, base_machine):
+    store, _ = stored
+    (path,) = list(store.probes_dir.iterdir())
+    path.write_bytes(path.read_bytes()[:40])
+    assert store.load_probes(base_machine) is None
+    assert not path.exists()
+
+
+# ---------------------------------------------------------------------------
+# legacy-JSON damage shapes (mixed-format directories keep healing)
+# ---------------------------------------------------------------------------
+
+
+def _as_legacy(store, trace, payload: str):
+    """Replace the binary entry with a legacy JSON entry holding payload."""
+    path = _trace_file(store)
+    legacy = path.with_suffix(".json")
+    legacy.write_text(_legacy_envelope(payload))
+    path.unlink()
+    return legacy
 
 
 def test_stale_payload_schema_version_invalidates(stored, base_machine, avus):
     store, trace = stored
-    path = _trace_file(store)
-    payload = json.loads(json.loads(path.read_text())["payload"])
-    payload["schema_version"] = 1  # an old build's artifact
-    store._save_entry(path, json.dumps(payload))  # checksum is fresh: only schema stale
+    doc = json.loads(trace_to_json(trace))
+    doc["schema_version"] = 1  # an old build's artifact
+    legacy = _as_legacy(store, trace, json.dumps(doc))  # checksum fresh: only schema stale
     assert _load(store, trace) is None
-    assert not path.exists()
+    assert not legacy.exists()
     assert store.invalidated == 1
 
 
 def test_stale_envelope_schema_invalidates(stored):
     store, trace = stored
-    path = _trace_file(store)
-    doc = json.loads(path.read_text())
+    legacy = _as_legacy(store, trace, trace_to_json(trace))
+    doc = json.loads(legacy.read_text())
     doc["store_schema"] = STORE_SCHEMA_VERSION + 1
-    path.write_text(json.dumps(doc))
+    legacy.write_text(json.dumps(doc))
     assert _load(store, trace) is None
     assert store.invalidated == 1
 
@@ -89,25 +165,25 @@ def test_pre_envelope_entry_invalidates(stored, base_machine, avus):
     # An entry from before the checksummed envelope existed: bare payload.
     store, trace = stored
     path = _trace_file(store)
-    path.write_text(trace_to_json(trace))
+    path.with_suffix(".json").write_text(trace_to_json(trace))
+    path.unlink()
     assert _load(store, trace) is None
     assert store.invalidated == 1
 
 
-def test_garbage_entry_invalidates(stored):
+def test_valid_legacy_entry_loads_and_migrates(stored):
     store, trace = stored
-    path = _trace_file(store)
-    path.write_text("{not json")
-    assert _load(store, trace) is None
-    assert store.invalidated == 1
-
-
-def test_corrupt_probe_entry_invalidates(stored, base_machine):
-    store, _ = stored
-    (path,) = list(store.probes_dir.iterdir())
-    path.write_text(path.read_text()[:40])
-    assert store.load_probes(base_machine) is None
-    assert not path.exists()
+    legacy = _as_legacy(store, trace, trace_to_json(trace))
+    loaded = _load(store, trace)
+    assert loaded == trace
+    assert store.invalidated == 0
+    # migrate-on-first-touch: the legacy file is gone, a binary twin exists
+    assert not legacy.exists()
+    binary = legacy.with_suffix(".rpb")
+    assert binary.exists()
+    assert store.load_trace(
+        trace.application, trace.cpus, trace.base_machine, trace.sample_size
+    ) == trace
 
 
 # ---------------------------------------------------------------------------
@@ -117,7 +193,7 @@ def test_corrupt_probe_entry_invalidates(stored, base_machine):
 
 def test_invalidation_falls_through_to_retrace(stored, base_machine, avus):
     store, trace = stored
-    _trace_file(store).write_text("garbage")
+    _trace_file(store).write_bytes(b"garbage" * 64)
     retraced = trace_application(avus, 64, base_machine, use_cache=False, store=store)
     assert retraced == trace  # recomputed, not loaded — and byte-equal
     assert store.invalidated == 1
@@ -130,6 +206,7 @@ def test_fault_injected_store_corruption_heals(tmp_path, base_machine, avus):
     plan = FaultPlan(seed=11, corrupt_rate=1.0)
     dirty = TraceStore(tmp_path, faults=plan)
     trace = trace_application(avus, 64, base_machine, use_cache=False, store=dirty)
+    dirty.flush()  # a second instance has no view of this one's write queue
 
     clean = TraceStore(tmp_path)
     assert _load(clean, trace) is None  # corrupted on disk -> invalidated
@@ -141,7 +218,74 @@ def test_fault_injected_store_corruption_heals(tmp_path, base_machine, avus):
 
 def test_healing_logs_a_warning(stored, caplog):
     store, trace = stored
-    _trace_file(store).write_text("garbage")
+    _trace_file(store).write_bytes(b"garbage" * 64)
     with caplog.at_level("WARNING", logger="repro.tracing.store"):
         assert _load(store, trace) is None
     assert any("invalidating corrupt trace entry" in m for m in caplog.messages)
+
+
+# ---------------------------------------------------------------------------
+# write-behind: deferred writes are invisible to readers
+# ---------------------------------------------------------------------------
+
+
+def test_read_after_write_synchronises(tmp_path, base_machine, avus):
+    """A load issued right after a save sees the entry, queue or not."""
+    store = TraceStore(tmp_path)
+    trace = trace_application(avus, 64, base_machine, use_cache=False)
+    store.save_trace(trace)
+    # no explicit flush: load_trace must complete the in-flight write itself
+    assert _load(store, trace) == trace
+    assert store.has_trace(
+        trace.application, trace.cpus, trace.base_machine, trace.sample_size
+    )
+    assert _trace_file(store).suffix == ".rpb"
+
+
+def test_flush_drains_the_writer_queue(tmp_path, base_machine, avus):
+    store = TraceStore(tmp_path)
+    trace = trace_application(avus, 64, base_machine, use_cache=False)
+    store.save_trace(trace)
+    probe_machine(base_machine, use_cache=False, store=store)
+    store.flush()
+    assert not store._pending
+    assert len(list(store.traces_dir.iterdir())) == 1
+    assert len(list(store.probes_dir.iterdir())) == 1
+
+
+def test_rapid_resaves_of_one_path_never_wedge_flush(tmp_path, base_machine, avus):
+    """Many saves of one identity racing the writer must drain cleanly.
+
+    Regression: a drain round whose pending bytes a *previous* round
+    already wrote (and cleared) used to KeyError the writer thread
+    mid-drain, deadlocking every later flush().
+    """
+    import threading
+
+    store = TraceStore(tmp_path)
+    trace = trace_application(avus, 64, base_machine, use_cache=False)
+    for _ in range(500):
+        store.save_trace(trace)
+    flusher = threading.Thread(target=store.flush, daemon=True)
+    flusher.start()
+    flusher.join(timeout=30.0)
+    assert not flusher.is_alive(), "flush() wedged: writer thread died mid-drain"
+    assert not store._pending
+    assert _load(store, trace) == trace
+
+
+def test_writer_thread_exits_when_idle(tmp_path, base_machine, avus):
+    """Short-lived stores (one per worker chunk) must not leak threads."""
+    store = TraceStore(tmp_path)
+    store.WRITER_IDLE_SECONDS = 0.05
+    trace = trace_application(avus, 64, base_machine, use_cache=False)
+    store.save_trace(trace)
+    store.flush()
+    deadline = time.monotonic() + 5.0
+    while store._writer is not None and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert store._writer is None
+    # and a later save restarts it transparently
+    store.save_trace(trace)
+    store.flush()
+    assert _load(store, trace) == trace
