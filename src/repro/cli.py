@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.apps.suite import list_applications
 from repro.core.errors import ReproError, StudyAbortedError
@@ -96,10 +97,17 @@ def _print_probes() -> None:
 
 
 def _serve(args, faults) -> int:
-    """Boot the resilient prediction service and block until interrupted."""
+    """Boot the resilient prediction service and block until interrupted.
+
+    ``--workers 1`` (the default) runs the proven single-process
+    threading server; ``--workers N`` for N >= 2 boots the sharded
+    multi-process fleet behind the asyncio front end.
+    """
     from repro.serve.httpd import make_server
     from repro.serve.service import DEFAULT_DEADLINE_SECONDS, PredictionService
 
+    if args.workers >= 2:
+        return _serve_fleet(args, faults)
     service = PredictionService(
         mode=args.mode,
         noise=not args.no_noise,
@@ -122,6 +130,44 @@ def _serve(args, faults) -> int:
         server.serve_forever()
     finally:
         server.server_close()
+    return 0
+
+
+def _serve_fleet(args, faults) -> int:
+    """Boot the sharded worker fleet and block until interrupted."""
+    from repro.serve.frontend import FleetServer
+    from repro.serve.service import DEFAULT_DEADLINE_SECONDS
+
+    deadline = DEFAULT_DEADLINE_SECONDS if args.deadline is None else args.deadline
+    server = FleetServer(
+        args.workers,
+        host=args.host,
+        port=args.port,
+        default_deadline=deadline,
+        service_config={
+            "mode": args.mode,
+            "noise": not args.no_noise,
+            "cache_model": args.cache_model,
+            "store": args.cache_dir,
+            "default_deadline": deadline,
+            # FaultPlan crosses the fork/spawn boundary as its spec string.
+            "faults": args.inject_faults,
+        },
+    )
+    host, port = server.start()
+    print(
+        f"repro-study: serving predictions on http://{host}:{port} "
+        f"({args.workers} workers; deadline {deadline:g}s; routes: /predict, "
+        f"/predict/batch, /healthz, /readyz; Ctrl-C stops)",
+        file=sys.stderr,
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
     return 0
 
 
@@ -238,7 +284,8 @@ def _run(argv: list[str] | None) -> int:
         default=1,
         metavar="N",
         help="processes to fan the study matrix over (default: 1, serial; "
-        "output is byte-identical either way)",
+        "output is byte-identical either way); with 'serve', N >= 2 boots "
+        "the sharded multi-process fleet front end",
     )
     parser.add_argument(
         "--cache-dir",

@@ -298,7 +298,7 @@ class Engine:
             app = get_application(label)
             eligible_rows = [
                 (cpus, [s for s in systems if cpus <= machines[s].cpus])
-                for cpus in app.cpu_counts
+                for cpus in plan.cpus_for(label, app.cpu_counts)
             ]
             # Paper leaves cells blank where no system is large enough.
             eligible_rows = [
@@ -353,7 +353,7 @@ class Engine:
             app = get_application(label)
             for system in systems:
                 machine = machines[system]
-                for cpus in app.cpu_counts:
+                for cpus in plan.cpus_for(label, app.cpu_counts):
                     if cpus > machine.cpus:
                         continue
                     key = (label, system, cpus)

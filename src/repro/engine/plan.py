@@ -83,16 +83,41 @@ class MatrixPlan:
         size are skipped, as the paper's blank appendix cells are.
     metrics:
         Registry metric keys (numbers or names), in output order.
+    rows:
+        Optional explicit ``(label, cpus)`` rows.  ``None`` (the study
+        default) expands every label over its application's full
+        ``cpu_counts``; a tuple restricts the block to exactly those
+        rows, in the given per-label order — this is how the serve
+        layer's batch endpoint compiles a heterogeneous cell list into
+        per-shard sub-matrices without pricing rows nobody asked for.
+        Per-system, per-row results are independent, so any ``rows``
+        partition of a matrix produces cell-for-cell identical records.
     """
 
     labels: tuple[str, ...]
     systems: tuple[str, ...]
     metrics: tuple
+    rows: "tuple[tuple[str, int], ...] | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "labels", tuple(self.labels))
         object.__setattr__(self, "systems", tuple(self.systems))
         object.__setattr__(self, "metrics", tuple(self.metrics))
+        if self.rows is not None:
+            rows = tuple((str(label), int(cpus)) for label, cpus in self.rows)
+            row_labels = {label for label, _ in rows}
+            missing = row_labels - set(self.labels)
+            if missing:
+                raise ValueError(
+                    f"rows name labels absent from plan.labels: {sorted(missing)}"
+                )
+            object.__setattr__(self, "rows", rows)
+
+    def cpus_for(self, label: str, default: tuple[int, ...]) -> tuple[int, ...]:
+        """The cpu rows of ``label``: explicit ``rows`` or the default."""
+        if self.rows is None:
+            return tuple(default)
+        return tuple(cpus for row_label, cpus in self.rows if row_label == label)
 
 
 @dataclass(frozen=True)

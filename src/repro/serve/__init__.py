@@ -9,12 +9,22 @@ backend stages, bounded admission with load-shedding
 (:mod:`~repro.serve.admission`), and a dependency-free HTTP front end
 (:mod:`~repro.serve.httpd`).  :class:`~repro.serve.service.PredictionService`
 ties them together.
+
+For multi-core serving, :mod:`~repro.serve.fleet` runs N worker
+processes (each owning a full service) behind the asyncio front end in
+:mod:`~repro.serve.frontend`, with trace identities consistent-hashed
+across workers (:mod:`~repro.serve.shard`) and duplicate in-flight
+requests collapsed to one engine call (:mod:`~repro.serve.coalesce`).
+The fleet modules are imported lazily — ``import repro.serve`` must stay
+cheap for the single-process path.
 """
 
-from repro.serve.admission import AdmissionQueue
+from repro.serve.admission import AdmissionQueue, ServiceTimeEwma
 from repro.serve.breaker import BreakerBoard, CircuitBreaker
+from repro.serve.coalesce import SingleFlight
 from repro.serve.degrade import LADDER, ladder_for, stages_for
 from repro.serve.service import PredictionService, ServedPrediction
+from repro.serve.shard import ShardRing
 
 __all__ = [
     "AdmissionQueue",
@@ -23,6 +33,9 @@ __all__ = [
     "LADDER",
     "PredictionService",
     "ServedPrediction",
+    "ServiceTimeEwma",
+    "ShardRing",
+    "SingleFlight",
     "ladder_for",
     "stages_for",
 ]

@@ -21,10 +21,34 @@ from typing import Callable
 
 from repro.core.errors import OverloadedError
 
-__all__ = ["AdmissionQueue"]
+__all__ = ["AdmissionQueue", "ServiceTimeEwma"]
 
 #: Smoothing factor of the service-time EWMA (higher = more reactive).
 _EWMA_ALPHA = 0.2
+
+
+class ServiceTimeEwma:
+    """EWMA of observed service times with a backlog-scaled retry hint.
+
+    The estimator is its own small object so both admission layers share
+    one definition: the in-process :class:`AdmissionQueue` (thread
+    contention) and the fleet front end's per-worker gate (asyncio
+    pending-queue backpressure).  Not thread-safe by itself — callers
+    hold their own lock (the queue) or run on one event loop (the fleet).
+    """
+
+    def __init__(self, initial_seconds: float = 0.05, alpha: float = _EWMA_ALPHA):
+        self.seconds = initial_seconds  # optimistic prior; converges fast
+        self.alpha = alpha
+
+    def observe(self, service_seconds: float) -> None:
+        """Fold one observed service time into the estimate."""
+        if service_seconds >= 0:
+            self.seconds += self.alpha * (service_seconds - self.seconds)
+
+    def retry_after(self, backlog: int, concurrency: int) -> float:
+        """Suggested client back-off: backlog ahead × EWMA service time."""
+        return max(0.01, self.seconds * backlog / max(1, concurrency))
 
 
 class AdmissionQueue:
@@ -66,18 +90,20 @@ class AdmissionQueue:
         self._slot_free = threading.Condition(self._lock)
         self._active = 0
         self._waiting = 0
-        self._ewma_seconds = 0.05  # optimistic prior; converges fast
+        self._ewma = ServiceTimeEwma()
         self.admitted_total = 0
         self.shed_total = 0
+
+    @property
+    def _ewma_seconds(self) -> float:
+        """Back-compat view of the shared estimator's current value."""
+        return self._ewma.seconds
 
     # ------------------------------------------------------------------
     def retry_after_estimate(self) -> float:
         """Suggested client back-off: backlog ahead x EWMA service time."""
         with self._lock:
-            backlog = self._waiting + 1
-            return max(
-                0.01, self._ewma_seconds * backlog / self.max_concurrent
-            )
+            return self._ewma.retry_after(self._waiting + 1, self.max_concurrent)
 
     def depth(self) -> dict[str, int]:
         """Queue observability for ``/healthz``."""
@@ -131,16 +157,13 @@ class AdmissionQueue:
     def release(self, service_seconds: float | None = None) -> None:
         """Free a slot; fold the observed service time into the EWMA."""
         with self._slot_free:
-            if service_seconds is not None and service_seconds >= 0:
-                self._ewma_seconds += _EWMA_ALPHA * (
-                    service_seconds - self._ewma_seconds
-                )
+            if service_seconds is not None:
+                self._ewma.observe(service_seconds)
             self._active = max(0, self._active - 1)
             self._slot_free.notify()
 
     def _retry_after_locked(self) -> float:
-        backlog = self._waiting + 1
-        return max(0.01, self._ewma_seconds * backlog / self.max_concurrent)
+        return self._ewma.retry_after(self._waiting + 1, self.max_concurrent)
 
     # ------------------------------------------------------------------
     def admit(self, timeout: float | None = None) -> "_Ticket":

@@ -281,13 +281,23 @@ class BreakerBoard:
         clock: Callable[[], float] = time.monotonic,
         **defaults,
     ):
+        self._clock = clock
+        self._defaults = dict(defaults)
         self.breakers = {
             stage: CircuitBreaker(stage, clock=clock, **defaults)
             for stage in stages
         }
 
     def __getitem__(self, stage: str) -> CircuitBreaker:
-        return self.breakers[stage]
+        breaker = self.breakers.get(stage)
+        if breaker is None:
+            # Stages appear lazily: the batch path runs an "execute"
+            # stage the point path never does.  setdefault keeps a racing
+            # pair of threads on one shared breaker.
+            breaker = self.breakers.setdefault(
+                stage, CircuitBreaker(stage, clock=self._clock, **self._defaults)
+            )
+        return breaker
 
     def any_open(self) -> bool:
         """Whether any stage is currently refusing calls outright."""

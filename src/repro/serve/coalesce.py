@@ -1,0 +1,91 @@
+"""Single-flight request coalescing for the fleet front end.
+
+Procurement traffic is massively duplicated: a sweep UI, a dashboard
+refresh and a retrying client all ask for the same
+``(application, cpus, machine, metric)`` cell within milliseconds of each
+other (Cornebize & Legrand's variability study makes the same point about
+repeated identical simulation cells).  Computing each copy is pure waste —
+the answer is deterministic for a given engine configuration.
+
+:class:`SingleFlight` collapses the duplicates: the first request for a
+key becomes the **leader** and actually calls the engine; every request
+for the same key that arrives while the leader is in flight becomes a
+**follower** and awaits the leader's future.  Exactly one engine call is
+made per flight; followers are stamped ``coalesced=true`` so callers can
+see they received a shared answer.  A leader failure propagates the same
+exception to every follower of that flight, then the key clears — the
+*next* request starts a fresh flight rather than inheriting a poisoned
+future.
+
+Single event loop only (the fleet front end is one asyncio loop); no
+locks needed because flight bookkeeping never crosses an ``await``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+__all__ = ["SingleFlight"]
+
+
+class SingleFlight:
+    """Coalesce concurrent calls with one key into one in-flight call."""
+
+    def __init__(self):
+        self._flights: dict = {}
+        self.leaders_total = 0
+        self.followers_total = 0
+        self.failed_flights_total = 0
+
+    # ------------------------------------------------------------------
+    def in_flight(self) -> int:
+        """Number of distinct keys currently being computed."""
+        return len(self._flights)
+
+    def counters(self) -> dict:
+        """Coalescing observability for ``/healthz``."""
+        return {
+            "in_flight": self.in_flight(),
+            "leaders_total": self.leaders_total,
+            "followers_total": self.followers_total,
+            "failed_flights_total": self.failed_flights_total,
+        }
+
+    # ------------------------------------------------------------------
+    async def run(self, key, factory: Callable[[], Awaitable]) -> tuple:
+        """Return ``(result, coalesced)`` for ``key``.
+
+        The first caller for a key runs ``factory()`` and returns
+        ``coalesced=False``; concurrent callers for the same key await
+        the leader's outcome and return ``coalesced=True``.  The leader's
+        exception (including cancellation) propagates to every follower,
+        and the key is cleared *before* any follower wakes, so a retry
+        immediately becomes a new leader.
+        """
+        flight = self._flights.get(key)
+        if flight is not None:
+            self.followers_total += 1
+            # shield: cancelling one follower must not cancel the shared
+            # flight the leader and other followers still depend on.
+            return await asyncio.shield(flight), True
+        future = asyncio.get_running_loop().create_future()
+        self._flights[key] = future
+        self.leaders_total += 1
+        try:
+            result = await factory()
+        except BaseException as exc:
+            del self._flights[key]
+            self.failed_flights_total += 1
+            if not future.cancelled():
+                future.set_exception(exc)
+                # A flight with zero followers would log "exception was
+                # never retrieved" at GC time; consuming it here is safe —
+                # followers still receive the exception when they await.
+                future.exception()
+            raise
+        else:
+            del self._flights[key]
+            if not future.cancelled():
+                future.set_result(result)
+            return result, False

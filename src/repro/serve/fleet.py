@@ -1,0 +1,589 @@
+"""The multi-process engine worker fleet behind the asyncio front end.
+
+One process cannot be the "millions of users" serving tier: the engine is
+CPU-bound Python, so a single ``ThreadingHTTPServer`` serializes on the
+GIL no matter how many threads it spawns.  The fleet runs **N worker
+processes**, each owning a full :class:`~repro.serve.service.PredictionService`
+— its own :class:`~repro.engine.Engine`, mapped-trace LRU, probe caches,
+circuit breakers, degradation ladder and admission queue — so the
+resilience semantics of PR 4 hold *per worker* while predictions scale
+across cores.
+
+Transport is deliberately primitive: each worker talks to the front end
+over one pre-opened ``socketpair`` carrying length-prefixed JSON frames
+(4-byte little-endian length + UTF-8 body).  Requests carry an ``id``;
+workers answer out of order (a small thread pool serves frames
+concurrently so a slow batch does not starve point queries), and the
+front end matches responses to futures by id.
+
+Supervision is kernel-grade, not protocol-grade: the front end watches
+each worker's ``Process.sentinel`` through ``loop.add_reader``, so a
+``SIGKILL``-ed worker is detected the moment the process dies even if
+its socket lingers in some forked sibling.  Death removes the worker
+from the shard ring (its key range re-routes to the survivors — and
+*only* its range moves, the ring's minimal-movement property), fails the
+worker's in-flight requests with retry-able
+:class:`~repro.core.errors.OverloadedError` (HTTP 429, never a 500), and
+schedules a respawn; the replacement re-joins the ring under the same
+name and reclaims exactly its old key range.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import logging
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.errors import (
+    OverloadedError,
+    ReproError,
+    ServiceUnavailableError,
+    UnknownIdError,
+)
+from repro.machines.registry import BASE_SYSTEM
+from repro.serve.admission import AdmissionQueue, ServiceTimeEwma
+from repro.serve.shard import DEFAULT_VNODES, ShardRing
+from repro.tracing.metasim import DEFAULT_SAMPLE_SIZE
+from repro.tracing.store import trace_key
+
+__all__ = ["Fleet", "WorkerHandle", "error_payload"]
+
+log = logging.getLogger(__name__)
+
+#: Per-worker request threads: enough that point queries overtake an
+#: in-flight batch, small enough that the GIL stays the real limit.
+DEFAULT_WORKER_THREADS = 4
+
+#: Per-worker pending-frame bound at the front end; beyond it the worker
+#: is considered backlogged and new arrivals shed with 429.
+DEFAULT_MAX_PENDING = 64
+
+
+# ---------------------------------------------------------------------------
+# framing (both sides)
+# ---------------------------------------------------------------------------
+def _send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(len(payload).to_bytes(4, "little") + payload)
+
+
+def _recv_exact(rfile, n: int) -> bytes | None:
+    data = rfile.read(n)
+    if data is None or len(data) < n:
+        return None  # EOF: the peer is gone
+    return data
+
+
+# ---------------------------------------------------------------------------
+# error mapping (shared by worker replies and the front end's own rejects)
+# ---------------------------------------------------------------------------
+def error_payload(exc: BaseException) -> dict:
+    """One exception → the HTTP-shaped ``{status, body, retry_after}``.
+
+    The same taxonomy mapping the single-process HTTP layer applies,
+    expressed as data so it can cross the worker/front-end boundary in a
+    frame: invalid ids 400, shed 429, every-rung-failed 503, any other
+    taxonomy error a structured 500 — never a traceback page.
+    """
+    if isinstance(exc, UnknownIdError):
+        return {
+            "status": 400,
+            "body": {
+                "error": "UnknownId",
+                "message": str(exc),
+                "kind": exc.kind,
+                "value": str(exc.value),
+                "known": list(exc.known),
+                "nearest": list(exc.nearest),
+            },
+        }
+    if isinstance(exc, (ValueError, TypeError)):
+        return {"status": 400, "body": {"error": "BadParameter", "message": str(exc)}}
+    if isinstance(exc, OverloadedError):
+        return {
+            "status": 429,
+            "body": {
+                "error": "Overloaded",
+                "message": str(exc),
+                "retry_after_seconds": exc.retry_after,
+            },
+            "retry_after": exc.retry_after,
+        }
+    if isinstance(exc, ServiceUnavailableError):
+        return {
+            "status": 503,
+            "body": {
+                "error": "ServiceUnavailable",
+                "message": str(exc),
+                "retry_after_seconds": exc.retry_after,
+            },
+            "retry_after": exc.retry_after,
+        }
+    if isinstance(exc, ReproError):
+        return {
+            "status": 500,
+            "body": {"error": type(exc).__name__, "message": str(exc)},
+        }
+    return {"status": 500, "body": {"error": type(exc).__name__, "message": str(exc)}}
+
+
+# ---------------------------------------------------------------------------
+# the worker process
+# ---------------------------------------------------------------------------
+def _build_service(config: dict):
+    """Construct the worker's PredictionService from the plain-dict config.
+
+    Plain dict (not a dataclass) because it crosses the process boundary
+    under both fork and spawn start methods.
+    """
+    from repro.serve.breaker import BreakerBoard
+    from repro.serve.service import STAGES, PredictionService
+    from repro.util.faults import FaultPlan
+
+    faults = config.get("faults")
+    if isinstance(faults, str):
+        faults = FaultPlan.parse(faults)
+    breakers = None
+    if config.get("breaker") is not None:
+        breakers = BreakerBoard(STAGES, **config["breaker"])
+    admission = AdmissionQueue(
+        max_concurrent=config.get("max_concurrent", 4),
+        max_queue=config.get("max_queue", 16),
+    )
+    return PredictionService(
+        base_system=config.get("base_system", BASE_SYSTEM),
+        mode=config.get("mode", "relative"),
+        sample_size=config.get("sample_size", DEFAULT_SAMPLE_SIZE),
+        cache_model=config.get("cache_model", "analytic"),
+        noise=config.get("noise", True),
+        store=config.get("store"),
+        trace_cache_size=config.get("trace_cache_size", 32),
+        default_deadline=config.get("default_deadline", 1.0),
+        stage_fraction=config.get("stage_fraction", 0.5),
+        stage_timeouts=config.get("stage_timeouts"),
+        breakers=breakers,
+        admission=admission,
+        faults=faults,
+        fault_stages=tuple(config.get("fault_stages", STAGES)),
+    )
+
+
+def _handle_frame(service, worker_id: str, msg: dict, reply) -> None:
+    """Serve one request frame inside a worker pool thread."""
+    rid = msg.get("id")
+    op = msg.get("op")
+    try:
+        if op == "predict":
+            deadline_ms = msg.get("deadline_ms")
+            served = service.predict(
+                msg["application"],
+                int(msg["cpus"]),
+                msg["machine"],
+                msg.get("metric", 9),
+                deadline_seconds=(
+                    None if deadline_ms is None else float(deadline_ms) / 1000.0
+                ),
+            )
+            body = served.to_dict()
+            body["worker"] = worker_id
+            reply({"id": rid, "ok": True, "result": body})
+        elif op == "batch":
+            deadline_ms = msg.get("deadline_ms")
+            records = service.predict_cells(
+                [(label, cpus) for label, cpus in msg["rows"]],
+                msg["systems"],
+                msg["metrics"],
+                deadline_seconds=(
+                    None if deadline_ms is None else float(deadline_ms) / 1000.0
+                ),
+            )
+            reply(
+                {
+                    "id": rid,
+                    "ok": True,
+                    "result": {
+                        "worker": worker_id,
+                        "records": [list(record) for record in records],
+                    },
+                }
+            )
+        elif op == "health":
+            body = service.health()
+            body["worker"] = worker_id
+            body["pid"] = os.getpid()
+            reply({"id": rid, "ok": True, "result": body})
+        elif op == "ready":
+            ok, body = service.ready()
+            reply({"id": rid, "ok": True, "result": {"ready_ok": ok, **body}})
+        elif op == "ping":
+            reply({"id": rid, "ok": True, "result": {"worker": worker_id}})
+        else:
+            reply(
+                {
+                    "id": rid,
+                    "ok": False,
+                    "status": 400,
+                    "body": {"error": "BadParameter", "message": f"unknown op {op!r}"},
+                }
+            )
+    except BaseException as exc:  # noqa: BLE001 — every error becomes a frame
+        reply({"id": rid, "ok": False, **error_payload(exc)})
+
+
+def _worker_main(sock: socket.socket, worker_id: str, config: dict) -> None:
+    """Entry point of one engine worker process."""
+    # The front end owns Ctrl-C; a worker must only exit on socket EOF
+    # (orderly shutdown) or a kill (chaos / supervisor restart).
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    service = _build_service(config)
+    pool = ThreadPoolExecutor(
+        max_workers=config.get("threads", DEFAULT_WORKER_THREADS),
+        thread_name_prefix=f"fleet-{worker_id}",
+    )
+    write_lock = threading.Lock()
+
+    def reply(payload: dict) -> None:
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        with write_lock:
+            try:
+                _send_frame(sock, data)
+            except OSError:  # front end went away mid-reply; exit quietly
+                pass
+
+    rfile = sock.makefile("rb")
+    try:
+        while True:
+            header = _recv_exact(rfile, 4)
+            if header is None:
+                break  # front end closed our pipe: orderly shutdown
+            length = int.from_bytes(header, "little")
+            payload = _recv_exact(rfile, length)
+            if payload is None:
+                break
+            try:
+                msg = json.loads(payload)
+            except ValueError:
+                continue  # torn frame; the front end will time out the id
+            pool.submit(_handle_frame, service, worker_id, msg, reply)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# the front-end side
+# ---------------------------------------------------------------------------
+class WorkerHandle:
+    """Front-end view of one worker: socket, pending futures, EWMA gate."""
+
+    def __init__(
+        self,
+        name: str,
+        proc,
+        sock: socket.socket,
+        *,
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ):
+        self.name = name
+        self.proc = proc
+        self.alive = False
+        self.max_pending = max_pending
+        self.pending: dict[int, asyncio.Future] = {}
+        self.ewma = ServiceTimeEwma()
+        self.calls_total = 0
+        self.shed_total = 0
+        self._sock = sock
+        self._seq = 0
+        self._writer = None
+        self._reader_task = None
+
+    # ------------------------------------------------------------------
+    async def connect(self) -> None:
+        reader, writer = await asyncio.open_connection(sock=self._sock)
+        self._writer = writer
+        self.alive = True
+        self._reader_task = asyncio.create_task(
+            self._read_loop(reader), name=f"fleet-read-{self.name}"
+        )
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                header = await reader.readexactly(4)
+                length = int.from_bytes(header, "little")
+                payload = await reader.readexactly(length)
+                msg = json.loads(payload)
+                future = self.pending.get(msg.get("id"))
+                if future is not None and not future.done():
+                    future.set_result(msg)
+        except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
+            pass  # death is handled authoritatively by the sentinel watch
+        except asyncio.CancelledError:
+            raise
+
+    # ------------------------------------------------------------------
+    def retry_after(self) -> float:
+        return self.ewma.retry_after(len(self.pending) + 1, 1)
+
+    async def call(self, op: str, params: dict, *, timeout: float | None = None) -> dict:
+        """One framed request/response; sheds beyond the pending bound."""
+        if not self.alive:
+            raise OverloadedError(
+                f"worker {self.name} is restarting", retry_after=self.retry_after()
+            )
+        if len(self.pending) >= self.max_pending:
+            self.shed_total += 1
+            raise OverloadedError(
+                f"worker {self.name} backlog full "
+                f"({len(self.pending)} frames pending)",
+                retry_after=self.retry_after(),
+            )
+        loop = asyncio.get_running_loop()
+        self._seq += 1
+        rid = self._seq
+        future = loop.create_future()
+        self.pending[rid] = future
+        self.calls_total += 1
+        frame = json.dumps({"id": rid, "op": op, **params}).encode("utf-8")
+        start = loop.time()
+        try:
+            self._writer.write(len(frame).to_bytes(4, "little") + frame)
+            await self._writer.drain()
+            if timeout is None:
+                response = await future
+            else:
+                response = await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            raise ServiceUnavailableError(
+                f"worker {self.name} did not answer within {timeout:.3f}s"
+            ) from None
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            raise OverloadedError(
+                f"worker {self.name} connection lost", retry_after=self.retry_after()
+            ) from None
+        finally:
+            self.pending.pop(rid, None)
+        self.ewma.observe(loop.time() - start)
+        return response
+
+    # ------------------------------------------------------------------
+    def fail_pending(self, exc: BaseException) -> None:
+        """Resolve every in-flight future with ``exc`` (worker died)."""
+        for future in list(self.pending.values()):
+            if not future.done():
+                future.set_exception(exc)
+        self.pending.clear()
+
+    def close(self) -> None:
+        self.alive = False
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except (OSError, RuntimeError):
+                pass
+
+
+class Fleet:
+    """Spawn, route to, supervise and respawn the engine workers.
+
+    Parameters
+    ----------
+    workers:
+        Number of engine worker processes.
+    service_config:
+        Plain-dict :class:`~repro.serve.service.PredictionService`
+        configuration shipped to every worker (see ``_build_service``).
+    vnodes:
+        Virtual nodes per worker on the shard ring.
+    worker_threads, max_pending:
+        Per-worker request threads and front-end pending bound.
+    respawn, respawn_delay:
+        Whether (and how soon) a dead worker is replaced.  The chaos
+        harness disables respawn to hold the degraded topology still.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        service_config: dict | None = None,
+        vnodes: int = DEFAULT_VNODES,
+        worker_threads: int = DEFAULT_WORKER_THREADS,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        respawn: bool = True,
+        respawn_delay: float = 0.2,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        self.n_workers = workers
+        self.config = dict(service_config or {})
+        self.config.setdefault("threads", worker_threads)
+        self.ring = ShardRing(vnodes=vnodes)
+        self.workers: dict[str, WorkerHandle] = {}
+        self.max_pending = max_pending
+        self.respawn = respawn
+        self.respawn_delay = respawn_delay
+        self.deaths_total = 0
+        self.respawns_total = 0
+        self._closing = False
+        self._tasks: set[asyncio.Task] = set()
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        for i in range(self.n_workers):
+            await self._launch(f"w{i}")
+
+    async def _launch(self, name: str) -> None:
+        parent_sock, child_sock = socket.socketpair()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_sock, name, self.config),
+            name=f"repro-fleet-{name}",
+            daemon=True,
+        )
+        proc.start()
+        child_sock.close()  # the parent's copy; the child holds its own
+        handle = WorkerHandle(name, proc, parent_sock, max_pending=self.max_pending)
+        await handle.connect()
+        self.workers[name] = handle
+        self.ring.add(name)
+        loop = asyncio.get_running_loop()
+        # Kernel-grade liveness: the sentinel fd becomes readable the
+        # moment the process dies, socket state notwithstanding.
+        loop.add_reader(
+            proc.sentinel, functools.partial(self._on_sentinel, name, proc)
+        )
+
+    def _on_sentinel(self, name: str, proc) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            loop.remove_reader(proc.sentinel)
+        except (OSError, ValueError):
+            pass
+        handle = self.workers.get(name)
+        if handle is None or handle.proc is not proc:
+            return  # stale callback for an already-replaced incarnation
+        self._on_death(name, handle)
+
+    def _on_death(self, name: str, handle: WorkerHandle) -> None:
+        if not handle.alive:
+            return
+        self.deaths_total += 1
+        log.warning("fleet worker %s (pid %s) died", name, handle.proc.pid)
+        self.ring.remove(name)
+        handle.close()
+        # In-flight work on the dead worker is shed, not erred: clients
+        # get 429 + Retry-After and re-route to the survivors on retry.
+        handle.fail_pending(
+            OverloadedError(
+                f"worker {name} died mid-request",
+                retry_after=max(0.05, self.respawn_delay),
+            )
+        )
+        if self.respawn and not self._closing:
+            task = asyncio.get_running_loop().create_task(self._respawn(name))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    async def _respawn(self, name: str) -> None:
+        await asyncio.sleep(self.respawn_delay)
+        if self._closing:
+            return
+        try:
+            await self._launch(name)
+            self.respawns_total += 1
+            log.info("fleet worker %s respawned", name)
+        except Exception:  # pragma: no cover - spawn failure is environmental
+            log.exception("fleet worker %s respawn failed", name)
+
+    async def stop(self) -> None:
+        self._closing = True
+        for task in list(self._tasks):
+            task.cancel()
+        loop = asyncio.get_running_loop()
+        for handle in self.workers.values():
+            try:
+                loop.remove_reader(handle.proc.sentinel)
+            except (OSError, ValueError):
+                pass
+            handle.close()  # EOF on the socket is the shutdown signal
+        for handle in self.workers.values():
+            handle.proc.join(timeout=2.0)
+            if handle.proc.is_alive():
+                handle.proc.terminate()
+                handle.proc.join(timeout=2.0)
+        self.workers.clear()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_key(self, application: str, cpus: int) -> str:
+        """The store's content digest for this trace identity."""
+        return trace_key(
+            application,
+            cpus,
+            self.config.get("base_system", BASE_SYSTEM),
+            self.config.get("sample_size", DEFAULT_SAMPLE_SIZE),
+            False,
+            self.config.get("cache_model", "analytic"),
+        )
+
+    def owner_of(self, application: str, cpus: int) -> WorkerHandle:
+        """The live worker owning this (application, cpus) shard."""
+        try:
+            name = self.ring.node_for(self.shard_key(application, cpus))
+        except LookupError:
+            raise OverloadedError(
+                "no live fleet workers",
+                retry_after=max(0.05, self.respawn_delay),
+            ) from None
+        return self.workers[name]
+
+    def alive_count(self) -> int:
+        return sum(1 for handle in self.workers.values() if handle.alive)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    async def worker_health(self, timeout: float = 2.0) -> dict:
+        """Per-worker health frames, gathered concurrently."""
+
+        async def one(handle: WorkerHandle) -> tuple[str, dict]:
+            base = {
+                "alive": handle.alive,
+                "pid": handle.proc.pid,
+                "pending": len(handle.pending),
+                "calls_total": handle.calls_total,
+                "shed_total": handle.shed_total,
+                "ewma_seconds": round(handle.ewma.seconds, 6),
+            }
+            if not handle.alive:
+                return handle.name, base
+            try:
+                response = await handle.call("health", {}, timeout=timeout)
+                base["health"] = response.get("result", {})
+            except Exception as exc:
+                base["health_error"] = type(exc).__name__
+            return handle.name, base
+
+        rows = await asyncio.gather(
+            *(one(handle) for handle in list(self.workers.values()))
+        )
+        return dict(rows)

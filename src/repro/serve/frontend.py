@@ -1,0 +1,642 @@
+"""Asyncio HTTP front end over the sharded engine worker fleet.
+
+One event loop accepts every connection (no thread-per-connection, no
+framework, zero new dependencies — plain ``asyncio.start_server`` and
+hand-rolled HTTP/1.1 framing) and does only cheap work: parse, validate,
+route, coalesce, merge.  Everything CPU-bound happens in the
+:class:`~repro.serve.fleet.Fleet` workers.
+
+Routes:
+
+``GET /predict?application=..&cpus=..&machine=..[&metric=9][&deadline_ms=..]``
+    One prediction.  The cell's trace identity is hashed onto the shard
+    ring, so the owning worker answers from a warm cache; identical
+    concurrent requests are collapsed by
+    :class:`~repro.serve.coalesce.SingleFlight` into one worker call,
+    followers stamped ``coalesced: true``.  Status mapping is identical
+    to the single-process server: 400 structured validation errors,
+    429 + ``Retry-After`` on shed (including a worker dying mid-request),
+    503 when every ladder rung failed — never a traceback page.
+
+``POST /predict/batch``
+    A tensorized sub-matrix in one request.  The body names explicit
+    ``cells`` ``[application, cpus, system, metric]`` or axes
+    (``applications`` / ``systems`` / ``metrics`` / optional ``rows``);
+    an empty body means the paper's full study matrix.  The front end
+    compiles the cells into per-shard row lists, fans one
+    :meth:`~repro.serve.service.PredictionService.predict_cells` call to
+    each owning worker (the engine's ``run_matrix`` path — one rate
+    table per row shared across every machine and metric), retries
+    re-routed rows once if a worker dies mid-batch, then merges shards
+    back into the engine's canonical emission order.  Identical axes
+    therefore reproduce offline study records byte-for-byte, regardless
+    of worker count — ``run_matrix``'s partition invariance, served.
+
+``GET /healthz``
+    Fleet-wide aggregation: per-worker breaker boards, admission depths
+    and trace-LRU counters (gathered concurrently), ring membership and
+    hash-space shares, coalescing counters, death/respawn totals.
+
+``GET /readyz``
+    200 only when every worker is alive and itself ready; 503 while the
+    fleet is degraded (a worker dead or draining) so load balancers
+    steer around the instance during recovery.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.apps.suite import APPLICATIONS, get_application
+from repro.core.errors import OverloadedError, UnknownIdError
+from repro.core.registry import REGISTRY
+from repro.machines.registry import MACHINES, TARGET_SYSTEMS
+from repro.serve.coalesce import SingleFlight
+from repro.serve.fleet import Fleet, error_payload
+from repro.serve.service import DEFAULT_DEADLINE_SECONDS, validate_query
+from repro.util.validation import nearest_ids
+
+__all__ = ["FleetFrontend", "FleetServer"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Margin added to a request's own deadline before the front end gives up
+#: on a worker frame (the worker enforces the real deadline; this only
+#: guards against a hung process).
+_FRAME_TIMEOUT_MARGIN = 10.0
+
+#: Worker-frame timeout for batches that set no deadline.
+_BATCH_FRAME_TIMEOUT = 300.0
+
+
+def _study_metrics() -> tuple[int, ...]:
+    return tuple(spec.number for spec in REGISTRY.table3())
+
+
+class FleetFrontend:
+    """Route, coalesce and merge requests over one :class:`Fleet`."""
+
+    def __init__(self, fleet: Fleet, *, default_deadline: float = DEFAULT_DEADLINE_SECONDS):
+        self.fleet = fleet
+        self.default_deadline = default_deadline
+        self.coalescer = SingleFlight()
+        self.requests_total = 0
+        self.batch_requests_total = 0
+        self.batch_cells_total = 0
+        self.batch_reroutes_total = 0
+        self._server: asyncio.AbstractServer | None = None
+        self.address: tuple[str, int] | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Spawn the fleet and bind the HTTP listener; returns the address."""
+        await self.fleet.start()
+        self._server = await asyncio.start_server(self._handle_connection, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.fleet.stop()
+
+    # ------------------------------------------------------------------
+    # HTTP/1.1 framing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                status, payload, retry_after = await self._dispatch(
+                    method, target, body
+                )
+                close = headers.get("connection", "").lower() == "close"
+                self._write_response(
+                    writer, status, payload, retry_after=retry_after, close=close
+                )
+                await writer.drain()
+                if close:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            OSError,
+        ):
+            pass  # client went away; nothing to answer
+        finally:
+            try:
+                writer.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader):
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            return None
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    @staticmethod
+    def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: dict,
+        *,
+        retry_after: float | None = None,
+        close: bool = False,
+    ) -> None:
+        payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(payload)}",
+        ]
+        if retry_after is not None:
+            # RFC 9110: integral seconds only; round up so clients never
+            # retry before the hint (same rule as the single-process server).
+            head.append(f"Retry-After: {max(1, round(retry_after + 0.5))}")
+        head.append("Connection: close" if close else "Connection: keep-alive")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _dispatch(self, method: str, target: str, body: bytes):
+        """Route one request; returns ``(status, body_dict, retry_after)``."""
+        url = urlsplit(target)
+        try:
+            if method == "GET" and url.path == "/predict":
+                return await self._predict(dict(parse_qsl(url.query)))
+            if method == "POST" and url.path == "/predict/batch":
+                return await self._predict_batch(body)
+            if method == "GET" and url.path == "/healthz":
+                return 200, await self._healthz(), None
+            if method == "GET" and url.path == "/readyz":
+                return await self._readyz()
+            return (
+                404,
+                {
+                    "error": "NotFound",
+                    "message": f"no route {method} {url.path!r}",
+                    "routes": [
+                        "GET /predict",
+                        "POST /predict/batch",
+                        "GET /healthz",
+                        "GET /readyz",
+                    ],
+                },
+                None,
+            )
+        except Exception as exc:  # last-resort guard: JSON, never a traceback
+            mapped = error_payload(exc)
+            return mapped["status"], mapped["body"], mapped.get("retry_after")
+
+    # ------------------------------------------------------------------
+    # GET /predict
+    # ------------------------------------------------------------------
+    async def _predict(self, query: dict[str, str]):
+        missing = [k for k in ("application", "cpus", "machine") if k not in query]
+        if missing:
+            return (
+                400,
+                {
+                    "error": "MissingParameter",
+                    "message": f"missing query parameter(s): {', '.join(missing)}",
+                    "required": ["application", "cpus", "machine"],
+                    "optional": ["metric", "deadline_ms"],
+                },
+                None,
+            )
+        try:
+            cpus = int(query["cpus"])
+        except ValueError:
+            return (
+                400,
+                {
+                    "error": "BadParameter",
+                    "message": f"cpus must be an integer, got {query['cpus']!r}",
+                },
+                None,
+            )
+        deadline_ms = None
+        if "deadline_ms" in query:
+            try:
+                deadline_ms = float(query["deadline_ms"])
+            except ValueError:
+                return (
+                    400,
+                    {
+                        "error": "BadParameter",
+                        "message": (
+                            f"deadline_ms must be a number, got "
+                            f"{query['deadline_ms']!r}"
+                        ),
+                    },
+                    None,
+                )
+        try:
+            # Reject malformed traffic here, before any worker round-trip,
+            # with exactly the in-process service's errors.
+            app, _target, cpus, metric_num = validate_query(
+                query["application"], cpus, query["machine"], query.get("metric", 9)
+            )
+        except (UnknownIdError, ValueError, TypeError) as exc:
+            mapped = error_payload(exc)
+            return mapped["status"], mapped["body"], mapped.get("retry_after")
+
+        self.requests_total += 1
+        machine = query["machine"]
+        budget = (
+            self.default_deadline if deadline_ms is None else deadline_ms / 1000.0
+        )
+        key = (app.label, cpus, machine, metric_num)
+
+        async def leader_call():
+            worker = self.fleet.owner_of(app.label, cpus)
+            response = await worker.call(
+                "predict",
+                {
+                    "application": app.label,
+                    "cpus": cpus,
+                    "machine": machine,
+                    "metric": metric_num,
+                    "deadline_ms": deadline_ms,
+                },
+                timeout=budget + _FRAME_TIMEOUT_MARGIN,
+            )
+            return response
+
+        try:
+            response, coalesced = await self.coalescer.run(key, leader_call)
+        except (OverloadedError,) as exc:
+            mapped = error_payload(exc)
+            return mapped["status"], mapped["body"], mapped.get("retry_after")
+        if not response.get("ok", False):
+            return (
+                response.get("status", 500),
+                response.get("body", {"error": "WorkerError"}),
+                response.get("retry_after"),
+            )
+        result = dict(response["result"])
+        result["coalesced"] = coalesced
+        return 200, result, None
+
+    # ------------------------------------------------------------------
+    # POST /predict/batch
+    # ------------------------------------------------------------------
+    def _compile_batch(self, body: bytes):
+        """Parse + validate the batch body into (rows, systems, metrics,
+        wanted, deadline_ms); raises UnknownIdError/ValueError on bad input."""
+        if body.strip():
+            try:
+                spec = json.loads(body)
+            except ValueError:
+                raise ValueError("request body must be a JSON object") from None
+        else:
+            spec = {}
+        if not isinstance(spec, dict):
+            raise ValueError(f"request body must be a JSON object, got {type(spec).__name__}")
+
+        deadline_ms = spec.get("deadline_ms")
+        if deadline_ms is not None:
+            deadline_ms = float(deadline_ms)
+
+        wanted = None  # explicit-cells form filters the merged records
+        if "cells" in spec:
+            rows: list[tuple[str, int]] = []
+            systems: list[str] = []
+            metrics: list = []
+            wanted = set()
+            for cell in spec["cells"]:
+                if not isinstance(cell, (list, tuple)) or len(cell) != 4:
+                    raise ValueError(
+                        "each cell must be [application, cpus, system, metric], "
+                        f"got {cell!r}"
+                    )
+                label, cpus, system, metric = cell
+                label, system = str(label), str(system)
+                cpus = int(cpus)
+                metric_num = REGISTRY.spec(metric).number
+                if (label, cpus) not in rows:
+                    rows.append((label, cpus))
+                if system not in systems:
+                    systems.append(system)
+                if metric_num not in metrics:
+                    metrics.append(metric_num)
+                wanted.add((label, cpus, system, metric_num))
+        else:
+            applications = spec.get("applications")
+            if applications is None:
+                applications = list(APPLICATIONS)
+            systems = list(spec.get("systems", spec.get("machines", TARGET_SYSTEMS)))
+            metrics = [
+                REGISTRY.spec(key).number
+                for key in spec.get("metrics", _study_metrics())
+            ]
+            if "rows" in spec:
+                rows = [(str(label), int(cpus)) for label, cpus in spec["rows"]]
+            else:
+                rows = []
+                for label in applications:
+                    label = str(label)
+                    if label.partition("@")[0] not in APPLICATIONS:
+                        raise UnknownIdError(
+                            "application",
+                            label,
+                            tuple(APPLICATIONS),
+                            nearest_ids(label, APPLICATIONS),
+                        )
+                    app = get_application(label)
+                    rows.extend((app.label, cpus) for cpus in app.cpu_counts)
+        # Axis validation (cheap, front-end side; workers re-validate too).
+        for label, cpus in rows:
+            if label.partition("@")[0] not in APPLICATIONS:
+                raise UnknownIdError(
+                    "application", label, tuple(APPLICATIONS), nearest_ids(label, APPLICATIONS)
+                )
+            if cpus <= 0:
+                raise ValueError(f"cpus must be > 0, got {cpus!r}")
+        for system in systems:
+            if system not in MACHINES:
+                raise UnknownIdError(
+                    "machine", system, tuple(MACHINES), nearest_ids(system, MACHINES)
+                )
+        return rows, systems, metrics, wanted, deadline_ms
+
+    async def _predict_batch(self, body: bytes):
+        try:
+            rows, systems, metrics, wanted, deadline_ms = self._compile_batch(body)
+        except (UnknownIdError, ValueError, TypeError) as exc:
+            mapped = error_payload(exc)
+            return mapped["status"], mapped["body"], mapped.get("retry_after")
+        self.batch_requests_total += 1
+        if not rows or not systems or not metrics:
+            return 200, {"count": 0, "records": [], "workers": {}}, None
+
+        timeout = (
+            _BATCH_FRAME_TIMEOUT
+            if deadline_ms is None
+            else deadline_ms / 1000.0 + _FRAME_TIMEOUT_MARGIN
+        )
+
+        async def run_shard(shard_rows: list[tuple[str, int]]):
+            """One worker's sub-batch; re-routes and retries once on death."""
+            worker = self.fleet.owner_of(*shard_rows[0])
+            params = {
+                "rows": [list(row) for row in shard_rows],
+                "systems": list(systems),
+                "metrics": list(metrics),
+                "deadline_ms": deadline_ms,
+            }
+            try:
+                return worker.name, await worker.call("batch", params, timeout=timeout)
+            except OverloadedError:
+                # The owner died or backlogged mid-batch: the ring has
+                # (or will have) re-routed its range — retry once against
+                # the new owner rather than failing the whole batch.
+                self.batch_reroutes_total += 1
+                await asyncio.sleep(self.fleet.respawn_delay)
+                worker = self.fleet.owner_of(*shard_rows[0])
+                return worker.name, await worker.call(
+                    "batch", params, timeout=timeout
+                )
+
+        # Compile the cell list into per-shard row sets: every row routes
+        # to the worker whose caches own its trace identity.
+        shards: dict[str, list[tuple[str, int]]] = {}
+        for row in rows:
+            shards.setdefault(self.fleet.owner_of(*row).name, []).append(row)
+
+        try:
+            shard_results = await asyncio.gather(
+                *(run_shard(shard_rows) for shard_rows in shards.values())
+            )
+        except OverloadedError as exc:
+            mapped = error_payload(exc)
+            return mapped["status"], mapped["body"], mapped.get("retry_after")
+        worker_counts: dict[str, int] = {}
+        merged: list[list] = []
+        for worker_name, response in shard_results:
+            if not response.get("ok", False):
+                return (
+                    response.get("status", 500),
+                    response.get("body", {"error": "WorkerError"}),
+                    response.get("retry_after"),
+                )
+            records = response["result"]["records"]
+            worker_counts[worker_name] = (
+                worker_counts.get(worker_name, 0) + len(records)
+            )
+            merged.extend(records)
+
+        # Merge back into the engine's canonical emission order —
+        # (label, system, row, metric), each axis in request order — so
+        # any sharding reproduces the serial full-matrix byte stream.
+        label_order: dict[str, int] = {}
+        for label, _cpus in rows:
+            label_order.setdefault(label, len(label_order))
+        row_order = {row: i for i, row in enumerate(rows)}
+        system_order = {system: i for i, system in enumerate(systems)}
+        metric_order = {number: i for i, number in enumerate(metrics)}
+        if wanted is not None:
+            merged = [
+                record
+                for record in merged
+                if (record[0], record[1], record[2], record[3]) in wanted
+            ]
+        merged.sort(
+            key=lambda record: (
+                label_order[record[0]],
+                system_order[record[2]],
+                row_order[(record[0], record[1])],
+                metric_order[record[3]],
+            )
+        )
+        self.batch_cells_total += len(merged)
+        return (
+            200,
+            {
+                "count": len(merged),
+                "records": merged,
+                "workers": dict(sorted(worker_counts.items())),
+            },
+            None,
+        )
+
+    # ------------------------------------------------------------------
+    # health surfaces
+    # ------------------------------------------------------------------
+    async def _healthz(self) -> dict:
+        workers = await self.fleet.worker_health()
+        alive = self.fleet.alive_count()
+        degraded = alive < self.fleet.n_workers or any(
+            row.get("health", {}).get("status") == "degraded"
+            for row in workers.values()
+        )
+        return {
+            "status": "degraded" if degraded else "ok",
+            "fleet": {
+                "workers": self.fleet.n_workers,
+                "alive": alive,
+                "deaths_total": self.fleet.deaths_total,
+                "respawns_total": self.fleet.respawns_total,
+            },
+            "ring": {
+                "nodes": list(self.fleet.ring.nodes),
+                "vnodes": self.fleet.ring.vnodes,
+                "shares": {
+                    node: round(share, 6)
+                    for node, share in self.fleet.ring.shares().items()
+                },
+            },
+            "coalescing": self.coalescer.counters(),
+            "frontend": {
+                "requests_total": self.requests_total,
+                "batch_requests_total": self.batch_requests_total,
+                "batch_cells_total": self.batch_cells_total,
+                "batch_reroutes_total": self.batch_reroutes_total,
+            },
+            "workers": workers,
+        }
+
+    async def _readyz(self):
+        alive = self.fleet.alive_count()
+        if alive < self.fleet.n_workers:
+            return (
+                503,
+                {
+                    "ready": False,
+                    "reason": f"{self.fleet.n_workers - alive} worker(s) down",
+                    "alive": alive,
+                    "workers": self.fleet.n_workers,
+                },
+                None,
+            )
+        not_ready: list[str] = []
+        for name, handle in self.fleet.workers.items():
+            try:
+                response = await handle.call("ready", {}, timeout=2.0)
+                if not response.get("result", {}).get("ready_ok", False):
+                    not_ready.append(name)
+            except Exception:
+                not_ready.append(name)
+        ok = not not_ready
+        body = {
+            "ready": ok,
+            "alive": alive,
+            "workers": self.fleet.n_workers,
+            "not_ready": sorted(not_ready),
+        }
+        return (200 if ok else 503), body, None
+
+
+class FleetServer:
+    """Background-thread harness around :class:`FleetFrontend`.
+
+    Synchronous ``start()``/``stop()`` so tests, the benchmark, the
+    chaos script and the CLI can boot a whole fleet without owning an
+    event loop themselves.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        service_config: dict | None = None,
+        default_deadline: float = DEFAULT_DEADLINE_SECONDS,
+        **fleet_kwargs,
+    ):
+        self._host = host
+        self._port = port
+        self.fleet = Fleet(workers, service_config=service_config, **fleet_kwargs)
+        self.frontend = FleetFrontend(self.fleet, default_deadline=default_deadline)
+        self.address: tuple[str, int] | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._boot_error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    def start(self, timeout: float = 30.0) -> tuple[str, int]:
+        """Boot fleet + listener in a daemon thread; returns (host, port)."""
+        self._thread = threading.Thread(
+            target=self._run, name="fleet-frontend", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise TimeoutError("fleet front end did not start in time")
+        if self._boot_error is not None:
+            raise self._boot_error
+        assert self.address is not None
+        return self.address
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        try:
+            self.address = await self.frontend.start(self._host, self._port)
+        except BaseException as exc:  # surface spawn/bind failures to start()
+            self._boot_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self._shutdown.wait()
+        await self.frontend.stop()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and self._shutdown is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._shutdown.set)
+            except RuntimeError:
+                pass  # loop already gone
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FleetServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -61,6 +61,7 @@ from repro.engine import (
     DeadlineGate,
     Engine,
     FaultMiddleware,
+    MatrixPlan,
     PointPlan,
 )
 from repro.machines.registry import BASE_SYSTEM, MACHINES, get_machine
@@ -73,7 +74,7 @@ from repro.tracing.store import TraceStore
 from repro.util.deadline import Deadline
 from repro.util.validation import nearest_ids
 
-__all__ = ["PredictionService", "ServedPrediction", "STAGES"]
+__all__ = ["PredictionService", "ServedPrediction", "STAGES", "validate_query"]
 
 #: Backend stages in pipeline order; each gets its own circuit breaker.
 STAGES = ("probe", "trace", "convolve")
@@ -85,6 +86,48 @@ DEFAULT_DEADLINE_SECONDS = 1.0
 #: Reserving the rest is what lets a request that lost a stage to a stall
 #: still serve a cheaper rung inside its deadline.
 DEFAULT_STAGE_FRACTION = 0.5
+
+
+def validate_query(
+    application: str, cpus: int, machine: str, metric: "int | str"
+) -> tuple[object, object, int, int]:
+    """Resolve and validate one query's identifiers.
+
+    Module-level so the fleet front end can reject malformed traffic
+    *before* a worker round-trip with exactly the errors the in-process
+    service raises: unknown ids raise
+    :class:`~repro.core.errors.UnknownIdError` carrying the known set and
+    nearest matches (the HTTP 400 body); structural problems (bad cpus,
+    oversized run) raise :class:`ValueError`.  Mirrors ``StudyConfig``'s
+    name-the-bad-key convention.  ``metric`` may be a registry number
+    (``9``), a numeric string (``"9"``) or a registry name
+    (``"balanced"``, ``"conv+maps"``) — the registry's nearest-match
+    suggestions cover misspelled names too.
+    """
+    label = str(application)
+    if label.partition("@")[0] not in APPLICATIONS:
+        raise UnknownIdError(
+            "application", label, tuple(APPLICATIONS), nearest_ids(label, APPLICATIONS)
+        )
+    try:
+        app = get_application(label)
+    except KeyError as exc:  # bad @replica suffix on a known base label
+        raise ValueError(exc.args[0] if exc.args else str(exc)) from None
+    if machine not in MACHINES:
+        raise UnknownIdError(
+            "machine", machine, tuple(MACHINES), nearest_ids(machine, MACHINES)
+        )
+    target = get_machine(machine)
+    metric_num = REGISTRY.spec(metric).number
+    cpus_num = int(cpus)
+    if cpus_num <= 0:
+        raise ValueError(f"cpus must be > 0, got {cpus!r}")
+    if cpus_num > target.cpus:
+        raise ValueError(
+            f"cpus={cpus_num} exceeds the {target.cpus} processors of "
+            f"system {machine!r} (the paper leaves such cells blank)"
+        )
+    return app, target, cpus_num, metric_num
 
 
 @dataclass(frozen=True)
@@ -317,41 +360,9 @@ class PredictionService:
     def validate_request(
         self, application: str, cpus: int, machine: str, metric: "int | str"
     ) -> tuple[object, object, int, int]:
-        """Resolve and validate one query's identifiers.
-
-        Unknown ids raise :class:`~repro.core.errors.UnknownIdError`
-        carrying the known set and the nearest matches (the HTTP 400
-        body); structural problems (bad cpus, oversized run) raise
-        :class:`ValueError`.  Mirrors ``StudyConfig``'s name-the-bad-key
-        convention.  ``metric`` may be a registry number (``9``), a
-        numeric string (``"9"``) or a registry name (``"balanced"``,
-        ``"conv+maps"``) — the registry's nearest-match suggestions cover
-        misspelled names too.
-        """
-        label = str(application)
-        if label.partition("@")[0] not in APPLICATIONS:
-            raise UnknownIdError(
-                "application", label, tuple(APPLICATIONS), nearest_ids(label, APPLICATIONS)
-            )
-        try:
-            app = get_application(label)
-        except KeyError as exc:  # bad @replica suffix on a known base label
-            raise ValueError(exc.args[0] if exc.args else str(exc)) from None
-        if machine not in MACHINES:
-            raise UnknownIdError(
-                "machine", machine, tuple(MACHINES), nearest_ids(machine, MACHINES)
-            )
-        target = get_machine(machine)
-        metric_num = REGISTRY.spec(metric).number
-        cpus_num = int(cpus)
-        if cpus_num <= 0:
-            raise ValueError(f"cpus must be > 0, got {cpus!r}")
-        if cpus_num > target.cpus:
-            raise ValueError(
-                f"cpus={cpus_num} exceeds the {target.cpus} processors of "
-                f"system {machine!r} (the paper leaves such cells blank)"
-            )
-        return app, target, cpus_num, metric_num
+        """Resolve and validate one query's identifiers (see
+        :func:`validate_query`)."""
+        return validate_query(application, cpus, machine, metric)
 
     # ------------------------------------------------------------------
     # the request path
@@ -476,6 +487,84 @@ class PredictionService:
             f"no ladder rung could serve the request ({detail})",
             retry_after=min(retry_hints) if retry_hints else None,
         )
+
+    # ------------------------------------------------------------------
+    # the batch path: whole sub-matrices through the tensorized engine
+    # ------------------------------------------------------------------
+    def predict_cells(
+        self,
+        rows,
+        systems,
+        metrics,
+        *,
+        deadline_seconds: float | None = None,
+    ) -> list:
+        """Price explicit ``(application, cpus)`` rows against ``systems``
+        for ``metrics`` — one engine matrix run, not N point lookups.
+
+        This is the worker half of ``POST /predict/batch``: the front end
+        compiles a heterogeneous cell list into per-shard row sets and
+        each worker rides :meth:`~repro.engine.Engine.run_matrix` — the
+        same tensorized path the offline study uses, sharing one rate
+        table per row across every metric and machine — under the
+        service's own middleware chain (deadline gate, breakers, budget,
+        faults) and admission queue.  Returns
+        :class:`~repro.engine.PredictionRecord` rows in the canonical
+        (application, system, cpus, metric) order; identical rows and
+        axes therefore reproduce study records bit-for-bit.
+        """
+        seen_rows = []
+        labels: list[str] = []
+        for label, cpus in rows:
+            label = str(label)
+            if label.partition("@")[0] not in APPLICATIONS:
+                raise UnknownIdError(
+                    "application",
+                    label,
+                    tuple(APPLICATIONS),
+                    nearest_ids(label, APPLICATIONS),
+                )
+            try:
+                app = get_application(label)
+            except KeyError as exc:  # bad @replica suffix on a known base
+                raise ValueError(exc.args[0] if exc.args else str(exc)) from None
+            cpus_num = int(cpus)
+            if cpus_num <= 0:
+                raise ValueError(f"cpus must be > 0, got {cpus!r}")
+            # cells whose cpus exceed a given system are skipped per
+            # system inside the engine (the paper's blank cells), so no
+            # machine-size check belongs here.
+            if (app.label, cpus_num) not in seen_rows:
+                seen_rows.append((app.label, cpus_num))
+            if app.label not in labels:
+                labels.append(app.label)
+        for system in systems:
+            if system not in MACHINES:
+                raise UnknownIdError(
+                    "machine", system, tuple(MACHINES), nearest_ids(system, MACHINES)
+                )
+        metric_numbers = tuple(REGISTRY.spec(key).number for key in metrics)
+        if not seen_rows or not systems or not metric_numbers:
+            return []
+        plan = MatrixPlan(
+            labels=tuple(labels),
+            systems=tuple(systems),
+            metrics=metric_numbers,
+            rows=tuple(seen_rows),
+        )
+        deadline = None
+        if deadline_seconds is not None:
+            if deadline_seconds <= 0:
+                raise ValueError(
+                    f"deadline must be > 0 seconds, got {deadline_seconds!r}"
+                )
+            deadline = Deadline(deadline_seconds, clock=self._clock, stage="batch")
+        with self._state_lock:
+            self.requests_total += 1
+        timeout = None if deadline is None else deadline.remaining()
+        with self.admission.admit(timeout):
+            records, _observed = self._engine.run_matrix(plan, deadline=deadline)
+        return records
 
     # ------------------------------------------------------------------
     # backends

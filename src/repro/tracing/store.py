@@ -70,7 +70,7 @@ from repro.tracing.trace import ApplicationTrace
 from repro.util.io import write_atomic_bytes
 from repro.util.options import CacheModel
 
-__all__ = ["TraceStore", "STORE_SCHEMA_VERSION"]
+__all__ = ["TraceStore", "STORE_SCHEMA_VERSION", "trace_key", "probes_key"]
 
 log = logging.getLogger(__name__)
 
@@ -94,6 +94,40 @@ def _digest(*keys: object) -> str:
 
 def _checksum(payload: str) -> str:
     return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def trace_key(
+    application: str,
+    cpus: int,
+    base_machine: str,
+    sample_size: int,
+    cache_sim: bool = False,
+    cache_model: str | None = "analytic",
+) -> str:
+    """The content digest naming a trace identity in every store.
+
+    This is the public form of the digest that stems ``<digest>.rpb``
+    entries on disk; the serve fleet reuses it as the consistent-hashing
+    shard key, so "which worker owns this trace" and "which file holds
+    it" are the same question.  ``cache_model`` only shapes the artifact
+    when cache accounting ran, mirroring the tracer's own identity rule.
+    """
+    model = str(CacheModel.coerce(cache_model)) if cache_sim else None
+    return _digest(
+        "trace",
+        SCHEMA_VERSION,
+        application,
+        int(cpus),
+        base_machine,
+        int(sample_size),
+        bool(cache_sim),
+        model,
+    )
+
+
+def probes_key(machine: MachineSpec) -> str:
+    """The content digest naming a machine's probe bundle in every store."""
+    return _digest("probes", SCHEMA_VERSION, machine.name, machine.fingerprint())
 
 
 class TraceStore:
@@ -171,25 +205,12 @@ class TraceStore:
         cache_sim: bool,
         cache_model: str | None,
     ) -> Path:
-        # cache_model only shapes the artifact when cache accounting ran;
-        # coercing through the shared enum rejects a typo before it mints
-        # a digest no reader would ever look up.
-        model = str(CacheModel.coerce(cache_model)) if cache_sim else None
-        name = _digest(
-            "trace",
-            SCHEMA_VERSION,
-            application,
-            cpus,
-            base_machine,
-            sample_size,
-            cache_sim,
-            model,
+        return self.traces_dir / trace_key(
+            application, cpus, base_machine, sample_size, cache_sim, cache_model
         )
-        return self.traces_dir / name
 
     def _probes_stem(self, machine: MachineSpec) -> Path:
-        name = _digest("probes", SCHEMA_VERSION, machine.name, machine.fingerprint())
-        return self.probes_dir / name
+        return self.probes_dir / probes_key(machine)
 
     def _trace_paths(
         self,

@@ -1,0 +1,178 @@
+"""Unit tests for the single-flight request coalescer.
+
+Exactly-once execution per key, follower stamping, leader-failure
+propagation (then a clean slate for the next caller), and cancellation
+isolation — all on a plain event loop via ``asyncio.run`` (the fleet
+front end is single-loop, and so are these tests).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve.coalesce import SingleFlight
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ---------------------------------------------------------------------------
+# exactly-once
+# ---------------------------------------------------------------------------
+def test_concurrent_duplicates_run_factory_once():
+    async def scenario():
+        sf = SingleFlight()
+        calls = 0
+        release = asyncio.Event()
+
+        async def factory():
+            nonlocal calls
+            calls += 1
+            await release.wait()
+            return {"answer": 42}
+
+        async def request():
+            return await sf.run("key", factory)
+
+        tasks = [asyncio.ensure_future(request()) for _ in range(8)]
+        await asyncio.sleep(0)  # all eight enter run(); one becomes leader
+        assert sf.in_flight() == 1
+        release.set()
+        results = await asyncio.gather(*tasks)
+        return calls, results, sf
+
+    calls, results, sf = run(scenario())
+    assert calls == 1
+    assert [r[0] for r in results] == [{"answer": 42}] * 8
+    flags = [coalesced for _, coalesced in results]
+    assert flags.count(False) == 1  # exactly one leader
+    assert flags.count(True) == 7
+    assert sf.counters() == {
+        "in_flight": 0,
+        "leaders_total": 1,
+        "followers_total": 7,
+        "failed_flights_total": 0,
+    }
+
+
+def test_distinct_keys_do_not_coalesce():
+    async def scenario():
+        sf = SingleFlight()
+        release = asyncio.Event()
+
+        async def factory(value):
+            await release.wait()
+            return value
+
+        tasks = [
+            asyncio.ensure_future(sf.run(key, lambda key=key: factory(key)))
+            for key in ("a", "b", "c")
+        ]
+        await asyncio.sleep(0)
+        assert sf.in_flight() == 3
+        release.set()
+        return await asyncio.gather(*tasks), sf
+
+    results, sf = run(scenario())
+    assert results == [("a", False), ("b", False), ("c", False)]
+    assert sf.followers_total == 0
+
+
+def test_sequential_calls_each_lead():
+    async def scenario():
+        sf = SingleFlight()
+
+        async def factory():
+            return "value"
+
+        first = await sf.run("key", factory)
+        second = await sf.run("key", factory)
+        return first, second, sf
+
+    first, second, sf = run(scenario())
+    assert first == ("value", False)
+    assert second == ("value", False)  # flight cleared; no stale cache
+    assert sf.leaders_total == 2
+
+
+# ---------------------------------------------------------------------------
+# failure semantics
+# ---------------------------------------------------------------------------
+def test_leader_failure_propagates_to_followers_then_clears():
+    async def scenario():
+        sf = SingleFlight()
+        release = asyncio.Event()
+
+        async def failing():
+            await release.wait()
+            raise RuntimeError("backend exploded")
+
+        tasks = [
+            asyncio.ensure_future(sf.run("key", failing)) for _ in range(4)
+        ]
+        await asyncio.sleep(0)
+        release.set()
+        outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+
+        # The key cleared with the failure: a retry is a *fresh* leader,
+        # not an inheritor of the poisoned future.
+        async def healthy():
+            return "recovered"
+
+        retry = await sf.run("key", healthy)
+        return outcomes, retry, sf
+
+    outcomes, retry, sf = run(scenario())
+    assert len(outcomes) == 4
+    for outcome in outcomes:
+        assert isinstance(outcome, RuntimeError)
+        assert "backend exploded" in str(outcome)
+    assert retry == ("recovered", False)
+    assert sf.failed_flights_total == 1
+    assert sf.in_flight() == 0
+
+
+def test_leader_failure_with_no_followers_is_clean():
+    async def scenario():
+        sf = SingleFlight()
+
+        async def failing():
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            await sf.run("key", failing)
+        return sf
+
+    sf = run(scenario())
+    assert sf.failed_flights_total == 1
+    assert sf.in_flight() == 0
+
+
+# ---------------------------------------------------------------------------
+# cancellation isolation
+# ---------------------------------------------------------------------------
+def test_cancelling_a_follower_does_not_kill_the_flight():
+    async def scenario():
+        sf = SingleFlight()
+        release = asyncio.Event()
+
+        async def factory():
+            await release.wait()
+            return "shared"
+
+        leader = asyncio.ensure_future(sf.run("key", factory))
+        follower_a = asyncio.ensure_future(sf.run("key", factory))
+        follower_b = asyncio.ensure_future(sf.run("key", factory))
+        await asyncio.sleep(0)
+        follower_a.cancel()
+        await asyncio.sleep(0)
+        release.set()
+        leader_result = await leader
+        follower_result = await follower_b
+        return leader_result, follower_result, follower_a.cancelled()
+
+    leader_result, follower_result, a_cancelled = run(scenario())
+    assert a_cancelled  # the cancelled follower is gone...
+    assert leader_result == ("shared", False)  # ...but the flight survived
+    assert follower_result == ("shared", True)
