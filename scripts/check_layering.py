@@ -3,7 +3,7 @@
 
 The package is layered (see DESIGN.md section 5f):
 
-    util  <  machines/apps/probes/memory/network  <  tracing  <  core
+    util  <  machines/apps/probes/memory/network  <  events/tracing  <  core
           <  engine  <  study / serve  <  cli
 
 Two boundaries carry the architecture and are enforced here:
@@ -46,6 +46,17 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
     # The shared bottom layers must not reach up either; cheap to pin.
     "repro.util": ("repro.study", "repro.serve", "repro.engine", "repro.cli"),
     "repro.tracing": ("repro.study", "repro.serve", "repro.engine", "repro.cli"),
+    # The event-sourced durability core (DESIGN.md section 5i) sits beside
+    # tracing: every higher layer may append to it, but the log itself
+    # depends only on stdlib + repro.util — it must never know who writes.
+    "repro.events": (
+        "repro.core",
+        "repro.tracing",
+        "repro.study",
+        "repro.serve",
+        "repro.engine",
+        "repro.cli",
+    ),
 }
 
 #: (module, imported) pairs exempted from FORBIDDEN, with cause.

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Kill-at-random-event-boundary chaos gate for the checkpointed study.
+
+The durability contract (DESIGN.md section 5i) is that a checkpointed
+study survives the hardest possible interruption: SIGKILL, no atexit, no
+flush, delivered at an arbitrary event boundary of the journal.  This
+script proves it end to end through the real CLI:
+
+1. **Golden** — run ``table4`` uninterrupted and capture stdout.
+2. **Victim** — run ``table4 --checkpoint`` in a child whose
+   ``EventLog.append`` is wrapped to ``os.kill(getpid(), SIGKILL)`` right
+   after the N-th append, N drawn from a seeded RNG over the journal's
+   interior boundaries (after study-started, before the last chunk).
+   The child must die to the signal, never exit cleanly.
+3. **Resume** — re-run ``table4 --checkpoint`` over the survivor journal
+   and require stdout byte-identical to the golden run.
+4. **Fsck** — ``repro-study events verify`` over the journal directory
+   must report every stream clean (a checkpoint directory is just a
+   one-stream event log).
+
+Everything is seeded, so a failure here is a real durability regression,
+never flakiness.  Run from the repository root (CI does)::
+
+    PYTHONPATH=src python scripts/study_kill_resume.py --seed 3
+
+Exits 0 when the contract holds, 1 with a diagnostic otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# Injected into the victim child: count EventLog appends in the study
+# process and SIGKILL ourselves at the chosen boundary.  argv is
+# [kill_after, checkpoint_dir, cache_dir].
+VICTIM = """\
+import os, signal, sys
+import repro.events.log as evlog
+from repro.cli import main
+
+kill_after = int(sys.argv[1])
+state = {"count": 0}
+original = evlog.EventLog.append
+
+def append(self, event):
+    seq = original(self, event)
+    state["count"] += 1
+    if state["count"] >= kill_after:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return seq
+
+evlog.EventLog.append = append
+sys.exit(main([
+    "table4", "--workers", "1",
+    "--checkpoint", sys.argv[2], "--cache-dir", sys.argv[3],
+]))
+"""
+
+
+def run_cli(args: list[str], env: dict[str, str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=env, capture_output=True, text=True, timeout=120,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=3, help="RNG seed for the kill boundary")
+    parser.add_argument(
+        "--kill-after", type=int, default=None,
+        help="override: SIGKILL after exactly N journal appends",
+    )
+    opts = parser.parse_args(argv)
+
+    env = {**os.environ, "PYTHONPATH": str(ROOT / "src")}
+    with tempfile.TemporaryDirectory(prefix="study-kill-") as tmp:
+        cache = str(Path(tmp) / "cache")
+        journal = str(Path(tmp) / "study.ckpt")
+
+        golden = run_cli(["table4", "--cache-dir", cache], env)
+        if golden.returncode != 0:
+            print(f"golden run failed rc={golden.returncode}:\n{golden.stderr}", file=sys.stderr)
+            return 1
+
+        # Journal shape for table4: 1 study-started + 5 chunk-completed.
+        # Interior boundaries [1, 5] guarantee death strictly mid-study.
+        kill_after = opts.kill_after or random.Random(opts.seed).randint(1, 5)
+        victim = subprocess.run(
+            [sys.executable, "-c", VICTIM, str(kill_after), journal, cache],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        if victim.returncode != -signal.SIGKILL:
+            print(
+                f"victim survived the boundary kill (kill_after={kill_after}, "
+                f"rc={victim.returncode}):\n{victim.stderr}",
+                file=sys.stderr,
+            )
+            return 1
+
+        resumed = run_cli(["table4", "--checkpoint", journal, "--cache-dir", cache], env)
+        if resumed.returncode != 0:
+            print(f"resume failed rc={resumed.returncode}:\n{resumed.stderr}", file=sys.stderr)
+            return 1
+        if resumed.stdout != golden.stdout:
+            print(
+                f"resumed output diverged from golden after SIGKILL at "
+                f"event boundary {kill_after}",
+                file=sys.stderr,
+            )
+            return 1
+
+        fsck = run_cli(["events", "verify", "--events-dir", journal], env)
+        if fsck.returncode != 0:
+            print(
+                f"events verify failed rc={fsck.returncode}:\n{fsck.stdout}{fsck.stderr}",
+                file=sys.stderr,
+            )
+            return 1
+
+        print(
+            f"study_kill_resume: SIGKILL at event boundary {kill_after} -> "
+            f"resume byte-identical, journal fsck clean ({fsck.stdout.strip().splitlines()[-1]})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,17 +13,22 @@ Subcommands regenerate the paper's artifacts on the terminal:
 * ``csv`` — raw prediction records as CSV on stdout;
 * ``serve`` — the resilient online prediction service (HTTP);
 * ``store migrate`` / ``store info`` — cache-directory maintenance
-  (rewrite legacy JSON entries as binary; print format/entry counts).
+  (rewrite legacy JSON entries as binary; print format/entry counts);
+* ``events tail`` / ``events verify`` / ``events rebuild`` — event-log
+  audit: print the newest events, fsck every writer stream, or
+  reconstruct the projection views from the raw log alone.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import signal
 import sys
-import time
+import threading
 
 from repro.apps.suite import list_applications
-from repro.core.errors import ReproError, StudyAbortedError
+from repro.core.errors import EventLogCorruptError, ReproError, StudyAbortedError
 from repro.core.options import CacheModel, Mode
 from repro.core.registry import REGISTRY
 from repro.machines.registry import MACHINES
@@ -113,6 +118,7 @@ def _serve(args, faults) -> int:
         noise=not args.no_noise,
         cache_model=args.cache_model,
         store=args.cache_dir,
+        events=args.events_dir,
         default_deadline=(
             DEFAULT_DEADLINE_SECONDS if args.deadline is None else args.deadline
         ),
@@ -123,14 +129,33 @@ def _serve(args, faults) -> int:
     print(
         f"repro-study: serving predictions on http://{host}:{port} "
         f"(deadline {service.default_deadline:g}s; routes: /predict, "
-        f"/healthz, /readyz; Ctrl-C stops)",
+        f"/healthz, /readyz, /events/stats; Ctrl-C stops, SIGTERM drains)",
         file=sys.stderr,
+    )
+    _install_sigterm(
+        # shutdown() must come from another thread: called from the
+        # handler (main thread, inside serve_forever) it deadlocks.
+        lambda: threading.Thread(
+            target=server.shutdown, name="serve-sigterm", daemon=True
+        ).start()
     )
     try:
         server.serve_forever()
     finally:
+        # server_close() joins the in-flight handler threads
+        # (block_on_close), so the drain below sees every request that
+        # was admitted before the stop signal.
         server.server_close()
+        service.drain()
     return 0
+
+
+def _install_sigterm(handler) -> None:
+    """Install a no-argument SIGTERM callback (no-op off the main thread)."""
+    try:
+        signal.signal(signal.SIGTERM, lambda signum, frame: handler())
+    except ValueError:  # tests drive serve from a non-main thread
+        pass
 
 
 def _serve_fleet(args, faults) -> int:
@@ -149,6 +174,7 @@ def _serve_fleet(args, faults) -> int:
             "noise": not args.no_noise,
             "cache_model": args.cache_model,
             "store": args.cache_dir,
+            "events_dir": args.events_dir,
             "default_deadline": deadline,
             # FaultPlan crosses the fork/spawn boundary as its spec string.
             "faults": args.inject_faults,
@@ -158,14 +184,18 @@ def _serve_fleet(args, faults) -> int:
     print(
         f"repro-study: serving predictions on http://{host}:{port} "
         f"({args.workers} workers; deadline {deadline:g}s; routes: /predict, "
-        f"/predict/batch, /healthz, /readyz; Ctrl-C stops)",
+        f"/predict/batch, /healthz, /readyz, /events/stats; Ctrl-C stops, "
+        f"SIGTERM drains)",
         file=sys.stderr,
     )
+    stop = threading.Event()
+    _install_sigterm(stop.set)
     try:
-        while True:
-            time.sleep(3600)
-    except KeyboardInterrupt:
-        pass
+        # SIGTERM sets the event; Ctrl-C raises out of the wait.  Either
+        # way server.stop() EOFs every worker socket, and the workers
+        # drain their admitted frames and flush their stores/logs before
+        # exiting (see fleet._worker_main).
+        stop.wait()
     finally:
         server.stop()
     return 0
@@ -196,6 +226,48 @@ def _store_action(action: str, cache_dir: str) -> int:
             f"{kind:15s} : {row['binary']} binary, "
             f"{row['legacy_json']} legacy JSON, {row['bytes']} bytes"
         )
+    return 0
+
+
+def _events_action(action: str, events_dir: str, limit: int) -> int:
+    """Event-log audit: ``events tail`` / ``events verify`` / ``events rebuild``."""
+    from repro.events import ProjectionEngine, replay_dir, verify_dir
+
+    if action == "tail":
+        rows = [
+            {"writer": writer, "seq": seq, **event.to_doc()}
+            for writer, seq, event in replay_dir(events_dir)
+        ]
+        for row in rows[-limit:] if limit > 0 else rows:
+            print(json.dumps(row, sort_keys=True))
+        return 0
+    if action == "verify":
+        report = verify_dir(events_dir)
+        for stream in report["streams"]:
+            status = "ok" if stream["ok"] else "DAMAGED"
+            print(
+                f"{stream['writer']:12s} {status:8s} "
+                f"{stream['frames']} frame(s), "
+                f"{len(stream['segments'])} segment(s), "
+                f"{stream['duplicates']} duplicate(s), "
+                f"last seq {stream['last_seq']}"
+            )
+            for error in stream["errors"]:
+                print(f"  - {error}")
+        print(
+            f"repro-study: events verify {report['root']}: "
+            f"{report['frames']} frame(s) across "
+            f"{len(report['streams'])} stream(s)"
+        )
+        if not report["ok"]:
+            raise EventLogCorruptError(
+                f"event log {events_dir} has damaged stream(s); "
+                "see the fsck report above"
+            )
+        return 0
+    # rebuild: reconstruct every projection view from the raw log alone.
+    views = ProjectionEngine.rebuild(events_dir).views()
+    print(json.dumps(views, indent=2, sort_keys=True))
     return 0
 
 
@@ -237,20 +309,25 @@ def _run(argv: list[str] | None) -> int:
             "all",
             "serve",
             "store",
+            "events",
         ],
         nargs="?",
         default="table4",
-        help="which paper artifact to regenerate (default: table4), or "
-        "'store' for cache maintenance",
+        help="which paper artifact to regenerate (default: table4), "
+        "'store' for cache maintenance, or 'events' for event-log audit",
     )
     parser.add_argument(
-        "store_action",
-        choices=["migrate", "info"],
+        "action",
+        choices=["migrate", "info", "tail", "verify", "rebuild"],
         nargs="?",
         default=None,
         help="with 'store': 'migrate' rewrites a JSON-era cache dir to the "
         "binary format in place (atomic, resumable); 'info' prints format "
-        "version, entry counts and bytes (requires --cache-dir)",
+        "version, entry counts and bytes (requires --cache-dir); with "
+        "'events': 'tail' prints the newest events as JSON lines, 'verify' "
+        "fscks every writer stream (exit 13 on damage), 'rebuild' "
+        "reconstructs the projection views from the raw log (requires "
+        "--events-dir)",
     )
     parser.add_argument(
         "--no-noise",
@@ -301,6 +378,21 @@ def _run(argv: list[str] | None) -> int:
         help="cache accounting back-end when tracing: 'analytic' prices all "
         "levels from one reuse-distance profile (default), 'exact' replays "
         "streams through the set-associative simulator",
+    )
+    parser.add_argument(
+        "--events-dir",
+        default=None,
+        metavar="DIR",
+        help="append an auditable event log under DIR ('serve': one writer "
+        "stream per process) and read it back with the 'events' artifact",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="events tail: print the newest N events (default: 20; 0 for "
+        "the full log)",
     )
     parser.add_argument(
         "--checkpoint",
@@ -390,15 +482,21 @@ def _run(argv: list[str] | None) -> int:
             parser.error("--metrics: expected at least one metric")
 
     if args.artifact == "store":
-        if args.store_action is None:
+        if args.action not in ("migrate", "info"):
             parser.error("store: expected an action ('migrate' or 'info')")
         if args.cache_dir is None:
             parser.error("store: --cache-dir is required")
-        return _store_action(args.store_action, args.cache_dir)
-    if args.store_action is not None:
-        parser.error(
-            f"{args.store_action!r} only applies to the 'store' artifact"
-        )
+        return _store_action(args.action, args.cache_dir)
+    if args.artifact == "events":
+        if args.action not in ("tail", "verify", "rebuild"):
+            parser.error(
+                "events: expected an action ('tail', 'verify' or 'rebuild')"
+            )
+        if args.events_dir is None:
+            parser.error("events: --events-dir is required")
+        return _events_action(args.action, args.events_dir, args.limit)
+    if args.action is not None:
+        parser.error(f"{args.action!r} only applies to the 'store' or 'events' artifact")
 
     if args.artifact == "serve":
         return _serve(args, faults)

@@ -28,6 +28,7 @@ __all__ = [
     "ChunkTimeoutError",
     "StudyAbortedError",
     "CheckpointError",
+    "EventLogCorruptError",
     "DeadlineExceededError",
     "CircuitOpenError",
     "OverloadedError",
@@ -81,6 +82,18 @@ class CheckpointError(ReproError):
     """A checkpoint file could not be written."""
 
     exit_code = 7
+
+
+class EventLogCorruptError(ReproError):
+    """An event-log segment failed verification beyond its torn tail.
+
+    Raised by ``repro-study events verify`` when a sealed segment is
+    damaged or a sequence gap splits the log — damage that replay can only
+    answer by dropping the suffix, which deserves a loud exit code rather
+    than a silent shorter view.
+    """
+
+    exit_code = 13
 
 
 class DeadlineExceededError(ReproError):

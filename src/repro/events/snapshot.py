@@ -1,0 +1,84 @@
+"""Compaction snapshots for event-log streams.
+
+A snapshot is the *only* non-append-only artifact of the durability
+core: a single checksummed JSON document that summarizes every event of
+one writer stream up to a sequence number, so the segments it covers can
+be deleted.  Written atomically (temp + rename + fsync) — a crash leaves
+either the old snapshot or the new one, never a torn file — and
+validated on load; a damaged snapshot is treated as absent, which only
+costs a longer replay when the covered segments still exist.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.util.io import write_atomic
+
+__all__ = ["SNAPSHOT_VERSION", "snapshot_path", "save_snapshot", "load_snapshot", "writer_of"]
+
+SNAPSHOT_VERSION = 1
+_PREFIX = "snapshot-"
+_SUFFIX = ".json"
+
+
+def snapshot_path(root: str | os.PathLike, writer: str) -> Path:
+    return Path(root) / f"{_PREFIX}{writer}{_SUFFIX}"
+
+
+def writer_of(name: str) -> str | None:
+    """Writer id a snapshot filename belongs to, or ``None``."""
+    if name.startswith(_PREFIX) and name.endswith(_SUFFIX):
+        writer = name[len(_PREFIX):-len(_SUFFIX)]
+        return writer or None
+    return None
+
+
+def _checksum(doc: dict[str, Any]) -> str:
+    canon = json.dumps(doc, sort_keys=True)
+    return hashlib.blake2b(canon.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def save_snapshot(
+    root: str | os.PathLike, writer: str, seq: int, state: dict[str, Any]
+) -> Path:
+    """Atomically persist ``state`` as the stream's summary through ``seq``."""
+    doc = {
+        "kind": "events-snapshot",
+        "version": SNAPSHOT_VERSION,
+        "writer": writer,
+        "seq": seq,
+        "state": state,
+    }
+    doc["check"] = _checksum({k: v for k, v in doc.items() if k != "check"})
+    path = snapshot_path(root, writer)
+    write_atomic(path, json.dumps(doc, sort_keys=True) + "\n")
+    return path
+
+
+def load_snapshot(
+    root: str | os.PathLike, writer: str
+) -> tuple[int, dict[str, Any]] | None:
+    """Load and validate the stream's snapshot; damaged or absent → None."""
+    path = snapshot_path(root, writer)
+    try:
+        doc = json.loads(path.read_text())
+    except (FileNotFoundError, ValueError):
+        return None
+    if not isinstance(doc, dict):
+        return None
+    check = doc.pop("check", None)
+    if (
+        doc.get("kind") != "events-snapshot"
+        or doc.get("version") != SNAPSHOT_VERSION
+        or doc.get("writer") != writer
+        or not isinstance(doc.get("seq"), int)
+        or not isinstance(doc.get("state"), dict)
+        or check != _checksum(doc)
+    ):
+        return None
+    return doc["seq"], doc["state"]

@@ -27,6 +27,7 @@ is shared by every request thread of the service.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from collections import deque
@@ -34,6 +35,8 @@ from typing import Callable
 
 from repro.core.errors import CircuitOpenError
 from repro.util.retry import backoff_seconds
+
+log = logging.getLogger(__name__)
 
 __all__ = ["CircuitBreaker", "BreakerBoard", "CLOSED", "OPEN", "HALF_OPEN"]
 
@@ -101,6 +104,12 @@ class CircuitBreaker:
         self._reopens = 0  # consecutive half-open failures (backoff round)
         self._half_open_used = 0
         self._opened_total = 0
+        #: Optional ``fn(stage, failures, cooldown_seconds)`` called on
+        #: every closed/half-open -> open transition — the single choke
+        #: point all trips pass through, so an event-log audit trail sees
+        #: each one exactly once.  Called under the breaker lock; must not
+        #: call back into the breaker.
+        self.on_trip: "Callable[[str, int, float], None] | None" = None
 
     # ------------------------------------------------------------------
     # state
@@ -164,10 +173,16 @@ class CircuitBreaker:
     # outcomes
     # ------------------------------------------------------------------
     def _trip(self, now: float) -> None:
+        failures = len(self._failure_times) if self._failure_times else self._reopens
         self._state = OPEN
         self._opened_at = now
         self._opened_total += 1
         self._failure_times.clear()
+        if self.on_trip is not None:
+            try:
+                self.on_trip(self.stage, failures, self._cooldown)
+            except Exception:  # pragma: no cover - audit must not break serving
+                log.exception("breaker on_trip listener failed")
 
     def record_success(self) -> None:
         """Note a successful stage call.
@@ -283,10 +298,18 @@ class BreakerBoard:
     ):
         self._clock = clock
         self._defaults = dict(defaults)
+        self._on_trip: "Callable[[str, int, float], None] | None" = None
         self.breakers = {
             stage: CircuitBreaker(stage, clock=clock, **defaults)
             for stage in stages
         }
+
+    def set_listener(self, fn: "Callable[[str, int, float], None] | None") -> None:
+        """Install ``fn`` as the trip listener on every breaker, present and
+        lazily-created (see :attr:`CircuitBreaker.on_trip`)."""
+        self._on_trip = fn
+        for breaker in self.breakers.values():
+            breaker.on_trip = fn
 
     def __getitem__(self, stage: str) -> CircuitBreaker:
         breaker = self.breakers.get(stage)
@@ -294,9 +317,9 @@ class BreakerBoard:
             # Stages appear lazily: the batch path runs an "execute"
             # stage the point path never does.  setdefault keeps a racing
             # pair of threads on one shared breaker.
-            breaker = self.breakers.setdefault(
-                stage, CircuitBreaker(stage, clock=self._clock, **self._defaults)
-            )
+            fresh = CircuitBreaker(stage, clock=self._clock, **self._defaults)
+            fresh.on_trip = self._on_trip
+            breaker = self.breakers.setdefault(stage, fresh)
         return breaker
 
     def any_open(self) -> bool:

@@ -47,6 +47,7 @@ from repro.core.errors import (
     ServiceUnavailableError,
     UnknownIdError,
 )
+from repro.events.types import Event, WorkerDied, WorkerRespawned
 from repro.machines.registry import BASE_SYSTEM
 from repro.serve.admission import AdmissionQueue, ServiceTimeEwma
 from repro.serve.shard import DEFAULT_VNODES, ShardRing
@@ -136,12 +137,16 @@ def error_payload(exc: BaseException) -> dict:
 # ---------------------------------------------------------------------------
 # the worker process
 # ---------------------------------------------------------------------------
-def _build_service(config: dict):
+def _build_service(config: dict, worker_id: str | None = None):
     """Construct the worker's PredictionService from the plain-dict config.
 
     Plain dict (not a dataclass) because it crosses the process boundary
-    under both fork and spawn start methods.
+    under both fork and spawn start methods.  When the config names an
+    ``events_dir``, each worker appends to its *own* writer stream in
+    that directory (stream id = worker name) — per-writer streams are
+    what lets N processes share one log directory without sharing files.
     """
+    from repro.events.log import EventLog
     from repro.serve.breaker import BreakerBoard
     from repro.serve.service import STAGES, PredictionService
     from repro.util.faults import FaultPlan
@@ -156,7 +161,13 @@ def _build_service(config: dict):
         max_concurrent=config.get("max_concurrent", 4),
         max_queue=config.get("max_queue", 16),
     )
+    events = None
+    if config.get("events_dir"):
+        events = EventLog(
+            config["events_dir"], writer=worker_id or "serve", fsync="commit"
+        )
     return PredictionService(
+        events=events,
         base_system=config.get("base_system", BASE_SYSTEM),
         mode=config.get("mode", "relative"),
         sample_size=config.get("sample_size", DEFAULT_SAMPLE_SIZE),
@@ -221,6 +232,10 @@ def _handle_frame(service, worker_id: str, msg: dict, reply) -> None:
         elif op == "ready":
             ok, body = service.ready()
             reply({"id": rid, "ok": True, "result": {"ready_ok": ok, **body}})
+        elif op == "events":
+            body = service.events_stats()
+            body["worker"] = worker_id
+            reply({"id": rid, "ok": True, "result": body})
         elif op == "ping":
             reply({"id": rid, "ok": True, "result": {"worker": worker_id}})
         else:
@@ -239,9 +254,18 @@ def _handle_frame(service, worker_id: str, msg: dict, reply) -> None:
 def _worker_main(sock: socket.socket, worker_id: str, config: dict) -> None:
     """Entry point of one engine worker process."""
     # The front end owns Ctrl-C; a worker must only exit on socket EOF
-    # (orderly shutdown) or a kill (chaos / supervisor restart).
+    # (orderly shutdown), a graceful SIGTERM, or a kill (chaos /
+    # supervisor restart).
     signal.signal(signal.SIGINT, signal.SIG_IGN)
-    service = _build_service(config)
+
+    def _sigterm(signum, frame):  # noqa: ARG001 - signal handler signature
+        # Interrupts the blocking frame read below; the finally block
+        # then drains in-flight work and flushes durable state, so a
+        # TERM'd worker loses nothing it already accepted.
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    service = _build_service(config, worker_id)
     pool = ThreadPoolExecutor(
         max_workers=config.get("threads", DEFAULT_WORKER_THREADS),
         thread_name_prefix=f"fleet-{worker_id}",
@@ -272,7 +296,14 @@ def _worker_main(sock: socket.socket, worker_id: str, config: dict) -> None:
                 continue  # torn frame; the front end will time out the id
             pool.submit(_handle_frame, service, worker_id, msg, reply)
     finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+        # Graceful drain: stop accepting (the read loop is done), finish
+        # every admitted frame, then flush the store's write-behind queue
+        # and fsync the event log before the socket closes.
+        pool.shutdown(wait=True)
+        try:
+            service.drain()
+        except Exception:  # pragma: no cover - drain must never mask exit
+            log.exception("fleet worker %s drain failed", worker_id)
         try:
             sock.close()
         except OSError:
@@ -411,6 +442,9 @@ class Fleet:
     respawn, respawn_delay:
         Whether (and how soon) a dead worker is replaced.  The chaos
         harness disables respawn to hold the degraded topology still.
+    events:
+        Optional :class:`~repro.events.log.EventLog` (the supervisor's
+        own writer stream) that records worker deaths and respawns.
     """
 
     def __init__(
@@ -423,10 +457,12 @@ class Fleet:
         max_pending: int = DEFAULT_MAX_PENDING,
         respawn: bool = True,
         respawn_delay: float = 0.2,
+        events=None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
         self.n_workers = workers
+        self.events = events
         self.config = dict(service_config or {})
         self.config.setdefault("threads", worker_threads)
         self.ring = ShardRing(vnodes=vnodes)
@@ -487,6 +523,7 @@ class Fleet:
             return
         self.deaths_total += 1
         log.warning("fleet worker %s (pid %s) died", name, handle.proc.pid)
+        self._emit(WorkerDied(worker=name, pid=handle.proc.pid or 0))
         self.ring.remove(name)
         handle.close()
         # In-flight work on the dead worker is shed, not erred: clients
@@ -510,8 +547,20 @@ class Fleet:
             await self._launch(name)
             self.respawns_total += 1
             log.info("fleet worker %s respawned", name)
+            self._emit(
+                WorkerRespawned(worker=name, pid=self.workers[name].proc.pid or 0)
+            )
         except Exception:  # pragma: no cover - spawn failure is environmental
             log.exception("fleet worker %s respawn failed", name)
+
+    def _emit(self, event: Event) -> None:
+        """Best-effort append to the supervisor's event stream."""
+        if self.events is None:
+            return
+        try:
+            self.events.append(event)
+        except (OSError, ValueError):  # pragma: no cover - audit is best-effort
+            log.warning("fleet event append failed", exc_info=True)
 
     async def stop(self) -> None:
         self._closing = True

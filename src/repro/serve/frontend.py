@@ -41,6 +41,12 @@ Routes:
     200 only when every worker is alive and itself ready; 503 while the
     fleet is degraded (a worker dead or draining) so load balancers
     steer around the instance during recovery.
+
+``GET /events/stats``
+    Projection views rebuilt from the fleet's shared event-log
+    directory — every worker's writer stream plus the supervisor's own
+    (worker deaths/respawns) folded into one audit surface;
+    ``{"enabled": false}`` when the fleet runs without an event log.
 """
 
 from __future__ import annotations
@@ -53,6 +59,8 @@ from urllib.parse import parse_qsl, urlsplit
 from repro.apps.suite import APPLICATIONS, get_application
 from repro.core.errors import OverloadedError, UnknownIdError
 from repro.core.registry import REGISTRY
+from repro.events.log import EventLog
+from repro.events.projections import ProjectionEngine
 from repro.machines.registry import MACHINES, TARGET_SYSTEMS
 from repro.serve.coalesce import SingleFlight
 from repro.serve.fleet import Fleet, error_payload
@@ -207,6 +215,8 @@ class FleetFrontend:
                 return 200, await self._healthz(), None
             if method == "GET" and url.path == "/readyz":
                 return await self._readyz()
+            if method == "GET" and url.path == "/events/stats":
+                return 200, await self._events_stats(), None
             return (
                 404,
                 {
@@ -217,6 +227,7 @@ class FleetFrontend:
                         "POST /predict/batch",
                         "GET /healthz",
                         "GET /readyz",
+                        "GET /events/stats",
                     ],
                 },
                 None,
@@ -563,6 +574,30 @@ class FleetFrontend:
         }
         return (200 if ok else 503), body, None
 
+    async def _events_stats(self) -> dict:
+        """Fold every writer stream in the shared log dir into one view.
+
+        Rebuilt from the raw segments on each request (the streams live
+        in N other processes; there is nothing to subscribe to here) in
+        an executor thread so segment reads never stall the event loop.
+        """
+        events_dir = self.fleet.config.get("events_dir")
+        if not events_dir:
+            return {"enabled": False}
+        loop = asyncio.get_running_loop()
+        views = await loop.run_in_executor(
+            None, lambda: ProjectionEngine.rebuild(events_dir).views()
+        )
+        return {
+            "enabled": True,
+            "events_dir": str(events_dir),
+            "fleet": {
+                "deaths_total": self.fleet.deaths_total,
+                "respawns_total": self.fleet.respawns_total,
+            },
+            "views": views,
+        }
+
 
 class FleetServer:
     """Background-thread harness around :class:`FleetFrontend`.
@@ -584,6 +619,14 @@ class FleetServer:
     ):
         self._host = host
         self._port = port
+        self.events = None
+        if (service_config or {}).get("events_dir") and "events" not in fleet_kwargs:
+            # The supervisor gets its own writer stream in the shared
+            # directory; workers each open theirs inside _build_service.
+            self.events = EventLog(
+                service_config["events_dir"], writer="frontend", fsync="commit"
+            )
+            fleet_kwargs["events"] = self.events
         self.fleet = Fleet(workers, service_config=service_config, **fleet_kwargs)
         self.frontend = FleetFrontend(self.fleet, default_deadline=default_deadline)
         self.address: tuple[str, int] | None = None
@@ -622,6 +665,12 @@ class FleetServer:
         self._started.set()
         await self._shutdown.wait()
         await self.frontend.stop()
+        if self.events is not None:
+            try:
+                self.events.commit()
+                self.events.close()
+            except OSError:
+                pass  # best-effort: audit flush must not block shutdown
 
     def stop(self, timeout: float = 10.0) -> None:
         if self._loop is not None and self._shutdown is not None:

@@ -25,6 +25,11 @@ admission queue:
 ``GET /readyz``
     Readiness: 200 when no breaker is open and the queue has room,
     503 otherwise — load balancers drain the instance while it heals.
+
+``GET /events/stats``
+    Live projection views over the service's event log (leaderboards,
+    failure history, event counts); ``{"enabled": false}`` when the
+    service runs without one.
 """
 
 from __future__ import annotations
@@ -74,13 +79,15 @@ class _Handler(BaseHTTPRequestHandler):
             elif url.path == "/readyz":
                 ok, body = self.server.service.ready()
                 self._json(200 if ok else 503, body)
+            elif url.path == "/events/stats":
+                self._json(200, self.server.service.events_stats())
             else:
                 self._json(
                     404,
                     {
                         "error": "NotFound",
                         "message": f"no route {url.path!r}",
-                        "routes": ["/predict", "/healthz", "/readyz"],
+                        "routes": ["/predict", "/healthz", "/readyz", "/events/stats"],
                     },
                 )
         except Exception as exc:  # last-resort guard: still JSON, never a traceback page

@@ -35,6 +35,7 @@ them (``metric=balanced``) as well as number them.
 
 from __future__ import annotations
 
+import logging
 import math
 import os
 import threading
@@ -64,6 +65,9 @@ from repro.engine import (
     MatrixPlan,
     PointPlan,
 )
+from repro.events.log import EventLog
+from repro.events.projections import ProjectionEngine
+from repro.events.types import BreakerTripped, PredictionEmitted
 from repro.machines.registry import BASE_SYSTEM, MACHINES, get_machine
 from repro.probes.suite import probe_machine
 from repro.serve.admission import AdmissionQueue
@@ -246,6 +250,15 @@ class PredictionService:
     breakers, admission:
         Injectable resilience components (built with defaults on the
         service's clock when omitted).
+    events:
+        Optional :class:`~repro.events.log.EventLog` (or a log-directory
+        path) the service appends its serving events to —
+        ``prediction-emitted`` per answered query, ``breaker-tripped``
+        per breaker opening — and feeds the live projection views behind
+        ``GET /events/stats``.  A path builds a log with writer id
+        ``"serve"``.  When a store is built here (from a path) it shares
+        this log; an injected ``TraceStore`` keeps its own ``events``
+        wiring.
     faults:
         Optional :class:`~repro.util.faults.FaultPlan`; stalls/crashes are
         injected per (stage, call-number) with the plan's seeded draws.
@@ -271,6 +284,7 @@ class PredictionService:
         stage_timeouts: dict[str, float] | None = None,
         breakers: BreakerBoard | None = None,
         admission: AdmissionQueue | None = None,
+        events: "EventLog | str | os.PathLike | None" = None,
         faults=None,
         fault_stages: tuple[str, ...] = STAGES,
         clock: Callable[[], float] = time.monotonic,
@@ -305,10 +319,14 @@ class PredictionService:
         self.stage_timeouts = dict(stage_timeouts or {})
         self._clock = clock
         self._sleep = sleep
+        if isinstance(events, EventLog) or events is None:
+            self.events = events
+        else:
+            self.events = EventLog(events, writer="serve", fsync="commit")
         if isinstance(store, TraceStore) or store is None:
             self.store = store
         else:
-            self.store = TraceStore(store)
+            self.store = TraceStore(store, events=self.events)
         if trace_cache_size < 1:
             raise ValueError(
                 f"trace_cache_size must be >= 1, got {trace_cache_size!r}"
@@ -319,6 +337,12 @@ class PredictionService:
         # one, the tracer's own in-memory cache is already disk-free).
         self._trace_cache = _TraceLRU(trace_cache_size)
         self.breakers = breakers if breakers is not None else BreakerBoard(STAGES, clock=clock)
+        # Live projections over this service's own event stream; also the
+        # sink for breaker trips (the board's single trip choke point).
+        self._projections: ProjectionEngine | None = None
+        if self.events is not None:
+            self._projections = ProjectionEngine().attach(self.events)
+            self.breakers.set_listener(self._on_breaker_trip)
         self.admission = admission if admission is not None else AdmissionQueue(clock=clock)
         self.faults = faults
         self.fault_stages = tuple(fault_stages)
@@ -468,6 +492,16 @@ class PredictionService:
                 if degraded:
                     with self._state_lock:
                         self.degraded_total += 1
+                self._emit_event(
+                    PredictionEmitted(
+                        application=app.label,
+                        cpus=cpus,
+                        machine=target.name,
+                        metric=get_metric(rung).label,
+                        predicted_seconds=float(predicted),
+                        degraded=degraded,
+                    )
+                )
                 return ServedPrediction(
                     application=app.label,
                     cpus=cpus,
@@ -605,6 +639,53 @@ class PredictionService:
         return target_probes, base_probes, base_time
 
     # ------------------------------------------------------------------
+    # serving events
+    # ------------------------------------------------------------------
+    def _emit_event(self, event) -> None:
+        """Append one serving event; audit trouble never fails a request."""
+        if self.events is None:
+            return
+        try:
+            self.events.append(event)
+        except (OSError, ValueError) as exc:
+            logging.getLogger(__name__).warning(
+                "could not append %s event: %s", type(event).kind, exc
+            )
+
+    def _on_breaker_trip(self, stage: str, failures: int, cooldown: float) -> None:
+        self._emit_event(
+            BreakerTripped(stage=stage, failures=failures, cooldown_seconds=cooldown)
+        )
+
+    def events_stats(self) -> dict:
+        """The ``GET /events/stats`` body: live projection views.
+
+        Views are materialized incrementally from the service's event
+        stream (never by re-reading the log on request), so this surface
+        stays cheap under load; ``repro-study events rebuild`` produces
+        the identical views from the raw log alone.
+        """
+        if self.events is None or self._projections is None:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "writer": self.events.writer,
+            "last_seq": self.events.last_seq,
+            "views": self._projections.views(),
+        }
+
+    def drain(self) -> None:
+        """Flush everything durable: the store's backlog, then the log.
+
+        The SIGTERM graceful-drain path: called after the HTTP server has
+        stopped accepting and finished in-flight requests.
+        """
+        if self.store is not None:
+            self.store.close()
+        if self.events is not None:
+            self.events.commit()
+
+    # ------------------------------------------------------------------
     # health surfaces
     # ------------------------------------------------------------------
     def health(self) -> dict:
@@ -625,6 +706,10 @@ class PredictionService:
                 "invalidated": self.store.invalidated if self.store is not None else 0,
             },
             "trace_cache": self._trace_cache.counters(),
+            "events": {
+                "enabled": self.events is not None,
+                "last_seq": self.events.last_seq if self.events is not None else 0,
+            },
             "requests": requests,
         }
 

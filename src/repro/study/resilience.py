@@ -6,13 +6,16 @@ directories) a single worker death, torn cache file or Ctrl-C must not
 throw the whole campaign away.  This module provides the pieces
 :func:`repro.study.runner.run_study` composes into that guarantee:
 
-* :class:`StudyCheckpoint` — an append-only journal of completed
-  (application-row) chunks.  The header is written atomically and pins the
-  study config's identity digest; each entry is one checksummed JSON line,
-  so a crash mid-append at worst leaves a torn tail that the loader drops
-  (and compacts away).  Because chunk results are partition-invariant and
-  every stochastic input is seed-stable, a resumed study is byte-identical
-  to an uninterrupted one.
+* :class:`StudyCheckpoint` — the study journal, an event-log consumer
+  since the durability core landed: completed chunks are
+  ``ChunkCompleted`` events in a :class:`~repro.events.log.EventLog`
+  stream whose first event (``StudyStarted``) pins the study config's
+  identity digest.  A crash mid-append at worst leaves a torn tail frame
+  that recovery truncates.  Because chunk results are partition-invariant
+  and every stochastic input is seed-stable, a resumed study is
+  byte-identical to an uninterrupted one.  Journals written by the
+  pre-event single-file format load transparently and are migrated on the
+  next ``record``.
 * :class:`CellFailure` — the quarantine record for a chunk that exhausted
   its retries, carrying the failure taxonomy class
   (:mod:`repro.core.errors`) so partial results stay diagnosable.
@@ -41,7 +44,9 @@ from repro.core.errors import (
     ReproError,
     WorkerCrashError,
 )
-from repro.util.io import append_line_durable, write_atomic
+from repro.events.log import EventLog
+from repro.events.snapshot import snapshot_path
+from repro.events.types import CellFailed, ChunkCompleted, StudyStarted
 from repro.util.retry import (
     BACKOFF_BASE_SECONDS,
     BACKOFF_CAP_SECONDS,
@@ -60,7 +65,13 @@ __all__ = [
 log = logging.getLogger(__name__)
 
 #: Bumped whenever the checkpoint layout changes incompatibly.
-CHECKPOINT_SCHEMA_VERSION = 1
+#: Version 2 is the event-log directory format; version 1 was the
+#: single-file JSONL journal, still readable (and migrated on write).
+CHECKPOINT_SCHEMA_VERSION = 2
+_LEGACY_SCHEMA_VERSION = 1
+
+#: Writer id of the study journal stream inside its log directory.
+CHECKPOINT_WRITER = "study"
 
 #: Identity fields of a StudyConfig — the ones that shape results.  Engine
 #: knobs (``max_retries``, ``chunk_timeout``) are deliberately excluded:
@@ -135,18 +146,24 @@ def _entry_checksum(doc: dict) -> str:
 
 
 class StudyCheckpoint:
-    """Append-only journal of completed study chunks.
+    """The study journal: one event-log stream of completed chunks.
 
-    Layout: line 1 is an atomically-written header pinning the schema
-    version and the study config's identity digest; every further line is
-    one completed chunk's records/observed-times/stage-breakdown with a
-    content checksum.  Loading validates everything and silently heals the
-    two possible damage shapes:
+    ``path`` is an event-log *directory* (created on first ``record``).
+    Its ``study`` writer stream opens with a ``StudyStarted`` event
+    pinning the schema version and the study config's identity digest;
+    every completed chunk is a ``ChunkCompleted`` event carrying the
+    chunk's records/observed-times/stage-breakdown, and quarantined
+    chunks leave ``CellFailed`` events for the audit trail.  Loading
+    validates everything and silently heals the damage shapes:
 
-    * header mismatch (different config, stale schema, foreign file) —
-      the journal is ignored and overwritten on the next ``record``;
-    * torn tail (killed mid-append) — the valid prefix is kept and the
-      file is compacted in place.
+    * identity mismatch (different config, stale schema, foreign log) —
+      the journal is ignored and wiped on the next ``record``;
+    * torn tail (killed mid-append) — the event log keeps the valid
+      frame prefix and truncates the rest in place.
+
+    ``path`` may also name a journal written by the legacy single-file
+    format (schema version 1): it loads transparently and is migrated
+    into an event-log directory by the next ``record``.
 
     JSON float serialisation round-trips exactly (``repr`` semantics), so
     chunks replayed from a checkpoint are *byte-identical* to freshly
@@ -156,11 +173,153 @@ class StudyCheckpoint:
     def __init__(self, path: str, digest: str):
         self.path = Path(path)
         self.config_digest = digest
-        self._header_ok = False
+        self._log: EventLog | None = None
+        self._started = False
+        self._reset_needed = False
+        self._legacy_entries: dict[str, dict] | None = None
 
     # ------------------------------------------------------------------
     def load(self) -> dict[str, dict]:
         """Validated entries keyed by chunk label (empty when unusable)."""
+        if self.path.is_file():
+            self._legacy_entries = self._load_legacy()
+            return dict(self._legacy_entries)
+        if not self.path.is_dir():
+            return {}
+        event_log = self._open_log()
+        entries: dict[str, dict] = {}
+        for index, (_seq, event) in enumerate(event_log.replay()):
+            if index == 0:
+                if not (
+                    isinstance(event, StudyStarted)
+                    and event.schema_version == CHECKPOINT_SCHEMA_VERSION
+                    and event.config_digest == self.config_digest
+                ):
+                    log.warning(
+                        "checkpoint %s does not match this study (stale schema "
+                        "or different config); it will be restarted", self.path,
+                    )
+                    self._reset_needed = True
+                    return {}
+                self._started = True
+                continue
+            if isinstance(event, ChunkCompleted):
+                entries[event.label] = {
+                    "label": event.label,
+                    "records": event.records,
+                    "observed": event.observed,
+                    "stages": event.stages,
+                }
+        return entries
+
+    # ------------------------------------------------------------------
+    def record(self, label: str, records, observed, stages) -> None:
+        """Journal one completed chunk (durable before returning).
+
+        ``records`` are :class:`~repro.study.runner.PredictionRecord`
+        tuples; ``observed`` maps ``(application, system, cpus)`` to
+        seconds; ``stages`` is the chunk's stage-seconds breakdown.
+        """
+        event = ChunkCompleted(
+            label=label,
+            records=[list(rec) for rec in records],
+            observed=[[a, s, c, v] for (a, s, c), v in observed.items()],
+            stages=dict(stages),
+        )
+        try:
+            self._ensure_log().append(event)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot journal chunk {label!r} to checkpoint {self.path}: {exc}"
+            ) from exc
+
+    def record_failure(self, failure: "CellFailure") -> None:
+        """Journal a quarantined chunk for the audit trail (best-effort).
+
+        Failed chunks are *not* resume points — they are retried from
+        scratch on the next run — so a journal write error here is logged,
+        not raised: losing an audit event must not fail the study.
+        """
+        event = CellFailed(
+            application=failure.application,
+            error=failure.error,
+            message=failure.message,
+            attempts=failure.attempts,
+        )
+        try:
+            self._ensure_log().append(event)
+        except OSError as exc:  # pragma: no cover - audit is best-effort
+            log.warning(
+                "could not journal failure of %r to checkpoint %s: %s",
+                failure.application, self.path, exc,
+            )
+
+    # ------------------------------------------------------------------
+    # journal stream management
+    # ------------------------------------------------------------------
+    def _open_log(self) -> EventLog:
+        if self._log is None:
+            self._log = EventLog(
+                self.path, writer=CHECKPOINT_WRITER, fsync="always"
+            )
+        return self._log
+
+    def _ensure_log(self) -> EventLog:
+        """The journal stream, ready to append chunks to.
+
+        Handles the three cold-start shapes: migrating a legacy
+        single-file journal, wiping a mismatched log, and starting the
+        stream with its ``StudyStarted`` identity event.
+        """
+        if self._started and self._log is not None:
+            return self._log
+        if self.path.is_file():
+            if self._legacy_entries is None:
+                self._legacy_entries = self._load_legacy()
+            self.path.unlink()
+        if self._reset_needed:
+            self._wipe_log_dir()
+            self._reset_needed = False
+            self._log = None
+        event_log = self._open_log()
+        if event_log.last_seq == 0:
+            event_log.append(
+                StudyStarted(
+                    config_digest=self.config_digest,
+                    schema_version=CHECKPOINT_SCHEMA_VERSION,
+                )
+            )
+            for doc in (self._legacy_entries or {}).values():
+                event_log.append(
+                    ChunkCompleted(
+                        label=doc["label"],
+                        records=doc["records"],
+                        observed=doc["observed"],
+                        stages=doc.get("stages", {}),
+                    )
+                )
+        self._legacy_entries = None
+        self._started = True
+        return event_log
+
+    def _wipe_log_dir(self) -> None:
+        """Drop every event-log artifact under ``path`` (restart semantics)."""
+        if self._log is not None:
+            self._log.close()
+            self._log = None
+        if not self.path.is_dir():
+            return
+        for child in self.path.iterdir():
+            name = child.name
+            if name.startswith("events-") and name.endswith(".jsonl"):
+                child.unlink()
+            elif name.startswith("snapshot-") and name.endswith(".json"):
+                child.unlink()
+
+    # ------------------------------------------------------------------
+    # legacy single-file journal (schema version 1)
+    # ------------------------------------------------------------------
+    def _load_legacy(self) -> dict[str, dict]:
         try:
             text = self.path.read_text()
         except OSError:
@@ -173,7 +332,7 @@ class StudyCheckpoint:
             usable = (
                 isinstance(header, dict)
                 and header.get("kind") == "study-checkpoint"
-                and header.get("schema_version") == CHECKPOINT_SCHEMA_VERSION
+                and header.get("schema_version") == _LEGACY_SCHEMA_VERSION
                 and header.get("config_digest") == self.config_digest
             )
         except json.JSONDecodeError:
@@ -184,9 +343,7 @@ class StudyCheckpoint:
                 "different config); it will be restarted", self.path,
             )
             return {}
-        self._header_ok = True
         entries: dict[str, dict] = {}
-        torn = False
         for offset, line in enumerate(lines[1:], start=2):
             try:
                 doc = json.loads(line)
@@ -199,56 +356,6 @@ class StudyCheckpoint:
                     "checkpoint %s: dropping torn tail from line %d",
                     self.path, offset,
                 )
-                torn = True
                 break
             entries[label] = doc
-        if torn:
-            self._rewrite(entries)
         return entries
-
-    # ------------------------------------------------------------------
-    def record(self, label: str, records, observed, stages) -> None:
-        """Journal one completed chunk (durable before returning).
-
-        ``records`` are :class:`~repro.study.runner.PredictionRecord`
-        tuples; ``observed`` maps ``(application, system, cpus)`` to
-        seconds; ``stages`` is the chunk's stage-seconds breakdown.
-        """
-        doc = {
-            "label": label,
-            "records": [list(rec) for rec in records],
-            "observed": [[a, s, c, v] for (a, s, c), v in observed.items()],
-            "stages": dict(stages),
-        }
-        doc["checksum"] = _entry_checksum({k: v for k, v in doc.items()})
-        try:
-            if not self._header_ok:
-                write_atomic(self.path, self._header_line())
-                self._header_ok = True
-            append_line_durable(self.path, json.dumps(doc))
-        except OSError as exc:
-            raise CheckpointError(
-                f"cannot journal chunk {label!r} to checkpoint {self.path}: {exc}"
-            ) from exc
-
-    # ------------------------------------------------------------------
-    def _header_line(self) -> str:
-        return json.dumps(
-            {
-                "kind": "study-checkpoint",
-                "schema_version": CHECKPOINT_SCHEMA_VERSION,
-                "config_digest": self.config_digest,
-            }
-        ) + "\n"
-
-    def _rewrite(self, entries: dict[str, dict]) -> None:
-        """Compact the journal to header + the given valid entries."""
-        lines = [self._header_line()]
-        for doc in entries.values():
-            full = dict(doc)
-            full["checksum"] = _entry_checksum(doc)
-            lines.append(json.dumps(full) + "\n")
-        try:
-            write_atomic(self.path, "".join(lines))
-        except OSError as exc:  # pragma: no cover - compaction is best-effort
-            log.warning("could not compact checkpoint %s: %s", self.path, exc)

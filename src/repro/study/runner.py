@@ -546,12 +546,14 @@ def run_study(
         the pool path on small matrices; the override also bypasses the
         core-count cap so single-core CI still exercises the pool).
     checkpoint:
-        Path of an append-only journal of completed chunks
-        (:class:`~repro.study.resilience.StudyCheckpoint`).  A study
-        killed mid-run resumes from the last journaled chunk on the next
-        call with the same path and config, and the resumed result is
-        byte-identical to an uninterrupted run.  Delete the file to force
-        a full re-run.
+        Path of the study journal
+        (:class:`~repro.study.resilience.StudyCheckpoint`) — an
+        event-log directory of completed-chunk events (journals from the
+        legacy single-file format load and migrate transparently).  A
+        study killed mid-run resumes from the last journaled chunk on
+        the next call with the same path and config, and the resumed
+        result is byte-identical to an uninterrupted run.  Delete the
+        directory to force a full re-run.
     faults:
         Optional :class:`~repro.util.faults.FaultPlan` injecting
         deterministic chaos (worker crashes, chunk stalls, store
@@ -682,7 +684,10 @@ def _run_resilient(
                 continue
             error, message = classify_failure(outcome)
             if attempt >= retries:
-                failures.append(CellFailure(label, error, message, attempt + 1))
+                failure = CellFailure(label, error, message, attempt + 1)
+                failures.append(failure)
+                if ckpt is not None:
+                    ckpt.record_failure(failure)
             else:
                 next_pending[label] = attempt + 1
         if next_pending:

@@ -46,16 +46,19 @@ never fail a study, only slow it down.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import json
 import logging
 import os
 import threading
 import time
+import weakref
 from collections.abc import Callable
 from pathlib import Path
 
 from repro.core.errors import TraceCorruptError
+from repro.events.types import Event, ProbeCompleted, StoreInvalidated, TraceCaptured
 from repro.machines.spec import MachineSpec
 from repro.probes.results import MachineProbes
 from repro.tracing import binfmt
@@ -82,6 +85,23 @@ STORE_SCHEMA_VERSION = 1
 #: Suffix of current (binary) and legacy (JSON envelope) entries.
 BINARY_SUFFIX = ".rpb"
 LEGACY_SUFFIX = ".json"
+
+
+#: Live stores with write-behind backlogs; the atexit hook drains them so
+#: an interpreter exit between runner flush points (Ctrl-C, sys.exit from
+#: a script) cannot drop encoded-but-unwritten entries.
+_LIVE_STORES: "weakref.WeakSet[TraceStore]" = weakref.WeakSet()
+
+
+def _flush_stores_at_exit() -> None:
+    for store in list(_LIVE_STORES):
+        try:
+            store._drain_inline()
+        except Exception:  # pragma: no cover - last-ditch, never raise at exit
+            log.exception("trace store flush at interpreter exit failed")
+
+
+atexit.register(_flush_stores_at_exit)
 
 
 def _digest(*keys: object) -> str:
@@ -143,16 +163,22 @@ class TraceStore:
         ``corrupt_rate`` fires, a save writes deterministically damaged
         bytes — the chaos harness's way of proving the checksummed load
         path heals instead of raising.
+    events:
+        Optional :class:`~repro.events.log.EventLog` (or anything with an
+        ``append(event)``) the store's durability events are appended to:
+        ``trace-captured``/``probe-completed`` on save,
+        ``store-invalidated`` on self-heal.  Event-log trouble never
+        fails the store — emission is best-effort by design.
 
     Attributes
     ----------
     invalidated:
         Count of entries this instance deleted because they failed
         validation (diagnostic; the chaos tests assert it moves and the
-        service's ``/healthz`` reports it).  Guarded by an internal lock:
-        one store instance is shared by every thread of the prediction
-        service, and an unguarded ``+= 1`` under concurrent invalidations
-        loses counts (and could double-unlink a healing entry).
+        service's ``/healthz`` reports it).  Since the durability core
+        landed this is a read-only projection over the store's own
+        ``store-invalidated`` events, so the number on ``/healthz``, in
+        ``store info`` and in an attached event log are one fact.
     """
 
     #: Idle seconds after which a store's background writer thread exits
@@ -167,14 +193,15 @@ class TraceStore:
     #: the per-item wakeups cost several times the writes themselves.
     WRITER_POLL_SECONDS = 0.02
 
-    def __init__(self, root: str | os.PathLike, *, faults=None):
+    def __init__(self, root: str | os.PathLike, *, faults=None, events=None):
         self.root = Path(root)
         self.traces_dir = self.root / "traces"
         self.probes_dir = self.root / "probes"
         self.traces_dir.mkdir(parents=True, exist_ok=True)
         self.probes_dir.mkdir(parents=True, exist_ok=True)
         self.faults = faults
-        self.invalidated = 0
+        self.events = events
+        self._invalidated = 0
         self._lock = threading.Lock()
         # Write-behind state: saves enqueue encoded bytes (or zero-arg
         # encoders) here and a daemon thread drains them to disk in
@@ -194,6 +221,34 @@ class TraceStore:
         # identities a process touches (apps x cpu counts x machines).
         self._trace_paths_memo: dict[tuple, tuple[Path, Path]] = {}
         self._probes_paths_memo: dict[tuple, tuple[Path, Path]] = {}
+        _LIVE_STORES.add(self)
+
+    # ------------------------------------------------------------------
+    # durability events
+    # ------------------------------------------------------------------
+    @property
+    def invalidated(self) -> int:
+        """Entries this instance self-healed (fold of its invalidation events)."""
+        with self._lock:
+            return self._invalidated
+
+    def _emit(self, event: Event) -> None:
+        """Fold ``event`` into local accounting and the attached log.
+
+        Called outside :attr:`_lock` — the event log has its own lock and
+        doing file I/O inside the store's critical section would stall
+        every reader behind an fsync.
+        """
+        if isinstance(event, StoreInvalidated):
+            with self._lock:
+                self._invalidated += 1
+        if self.events is None:
+            return
+        try:
+            self.events.append(event)
+        except (OSError, ValueError) as exc:
+            log.warning("could not append %s event to event log: %s",
+                        type(event).kind, exc)
 
     # ------------------------------------------------------------------
     def _trace_stem(
@@ -269,6 +324,7 @@ class TraceStore:
         own poll cadence so a burst of saves costs one thread wakeup, not
         one per entry.
         """
+        _LIVE_STORES.add(self)
         with self._lock:
             self._pending[path] = data
             if self._writer is None:
@@ -346,18 +402,46 @@ class TraceStore:
                 self._kick.set()
                 self._cond.wait(timeout=1.0)
 
+    def _drain_inline(self) -> None:
+        """Write the backlog in the calling thread (no writer involved).
+
+        The interpreter-exit path: at shutdown the daemon writer may
+        already be dead and new threads cannot start, so the atexit hook
+        (and :meth:`close`) drain synchronously.  Racing an in-flight
+        writer batch is harmless — entry writes are atomic renames of
+        identical content, so double-writing is idempotent.
+        """
+        with self._cond:
+            batch = list(self._pending.items())
+        for path, data in batch:
+            self._write_one(path, data)
+        with self._cond:
+            for path, data in batch:
+                if self._pending.get(path) is data:
+                    del self._pending[path]
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Drain the backlog and detach from the interpreter-exit hook.
+
+        The store stays usable after ``close()`` (a later save re-enrolls
+        it); closing is about making "everything saved so far is on disk"
+        explicit at the end of a store's life.
+        """
+        self._drain_inline()
+        _LIVE_STORES.discard(self)
+
     def _sync_pending(self, *paths: Path) -> None:
         """Complete any in-flight write of ``paths`` before a read."""
         if self._pending and any(p in self._pending for p in paths):
             self.flush()
 
     def _invalidate(self, path: Path, kind: str, reason: Exception) -> None:
-        # One critical section covers the count *and* the unlink so
-        # concurrent service threads healing the same entry serialise:
-        # the counter never loses an increment and the delete/re-trace
-        # sequence is not interleaved mid-heal.
+        # The critical section covers the unlink so concurrent service
+        # threads healing the same entry serialise and the delete/re-trace
+        # sequence is not interleaved mid-heal; the count folds in via the
+        # invalidation event (under the same lock, in _emit).
         with self._lock:
-            self.invalidated += 1
             log.warning(
                 "invalidating corrupt %s entry %s (%s); it will be recomputed",
                 kind,
@@ -368,6 +452,9 @@ class TraceStore:
                 path.unlink()
             except OSError:  # already gone (concurrent healer) — fine
                 pass
+        self._emit(
+            StoreInvalidated(entry_kind=kind, entry=path.name, reason=str(reason))
+        )
 
     # ------------------------------------------------------------------
     # legacy JSON envelope
@@ -501,6 +588,14 @@ class TraceStore:
         # The callable defers the encode to the writer thread: a cold
         # study's foreground cost per save is one dict insert + queue put.
         self._enqueue_entry(binary, lambda: binfmt.trace_to_bytes(trace))
+        self._emit(
+            TraceCaptured(
+                application=trace.application,
+                cpus=int(trace.cpus),
+                base_machine=trace.base_machine,
+                key=binary.stem,
+            )
+        )
 
     # ------------------------------------------------------------------
     # probes
@@ -537,6 +632,7 @@ class TraceStore:
         """Persist ``probes`` keyed by the spec's content fingerprint."""
         binary, _ = self._probes_paths(machine)
         self._enqueue_entry(binary, lambda: binfmt.probes_to_bytes(probes))
+        self._emit(ProbeCompleted(machine=machine.name, key=binary.stem))
 
     # ------------------------------------------------------------------
     # maintenance (``repro-study store ...``)

@@ -236,7 +236,7 @@ def test_store_requires_action_and_cache_dir(tmp_path, capsys):
 def test_store_action_rejected_for_other_artifacts(capsys):
     with pytest.raises(SystemExit):
         main(["table4", "migrate"])
-    assert "only applies to the 'store' artifact" in capsys.readouterr().err
+    assert "only applies to the 'store' or 'events' artifact" in capsys.readouterr().err
 
 
 def test_serve_boots_answers_and_stops(capsys, monkeypatch):
@@ -281,3 +281,103 @@ def test_serve_boots_answers_and_stops(capsys, monkeypatch):
         servers[0].shutdown()
         thread.join(timeout=10)
     assert rc["code"] == 0
+
+
+# ----------------------------------------------------------------------
+# events: tail / verify / rebuild, SIGTERM drain
+# ----------------------------------------------------------------------
+def _seed_events(root):
+    from repro.events import EventLog, ProbeCompleted
+
+    log = EventLog(root, writer="serve")
+    log.append(ProbeCompleted(machine="m1", key="k1"))
+    log.append(ProbeCompleted(machine="m2", key="k2"))
+    log.close()
+
+
+def test_events_tail_verify_rebuild(tmp_path, capsys):
+    import json
+
+    ev = tmp_path / "ev"
+    _seed_events(ev)
+    assert main(["events", "tail", "--events-dir", str(ev), "--limit", "1"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["kind"] == "probe-completed"
+    assert main(["events", "verify", "--events-dir", str(ev)]) == 0
+    assert "2 frame(s)" in capsys.readouterr().out
+    assert main(["events", "rebuild", "--events-dir", str(ev)]) == 0
+    views = json.loads(capsys.readouterr().out)
+    assert views["stats"]["by_kind"] == {"probe-completed": 2}
+
+
+def test_events_verify_damage_exits_13(tmp_path, capsys):
+    ev = tmp_path / "ev"
+    _seed_events(ev)
+    segment = next(ev.glob("events-*.jsonl"))
+    raw = segment.read_bytes()
+    segment.write_bytes(raw[:-5])  # torn tail: killed mid-append
+    assert main(["events", "verify", "--events-dir", str(ev)]) == 13
+    captured = capsys.readouterr()
+    assert "DAMAGED" in captured.out
+    assert "damaged stream" in captured.err
+
+
+def test_events_requires_action_and_dir(capsys):
+    with pytest.raises(SystemExit):
+        main(["events"])
+    assert "expected an action" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["events", "verify"])
+    assert "--events-dir is required" in capsys.readouterr().err
+
+
+def test_serve_sigterm_drains_and_exits_zero(tmp_path):
+    """`kill -TERM` on a serving process finishes in-flight work, flushes
+    the event log, and exits 0 (the graceful-drain contract)."""
+    import json
+    import os
+    import re
+    import signal
+    import subprocess
+    import sys
+    import urllib.request
+    from pathlib import Path
+
+    import repro
+    from repro.events import verify_dir
+
+    env = {
+        **os.environ,
+        "PYTHONPATH": str(Path(repro.__file__).resolve().parents[1]),
+    }
+    events_dir = tmp_path / "ev"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--no-noise",
+            "--events-dir", str(events_dir),
+        ],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = proc.stderr.readline()
+        match = re.search(r"http://127\.0\.0\.1:(\d+)", banner)
+        assert match, f"no address in banner: {banner!r}"
+        port = int(match.group(1))
+        url = (
+            f"http://127.0.0.1:{port}/predict?application=AVUS-standard"
+            "&cpus=64&machine=ARL_Xeon&metric=3"
+        )
+        with urllib.request.urlopen(url) as resp:
+            assert json.load(resp)["served_metric"] == 3
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on failure
+            proc.kill()
+            proc.wait()
+    report = verify_dir(events_dir)
+    assert report["ok"] and report["frames"] >= 1

@@ -323,3 +323,55 @@ def test_retry_after_header_on_shed():
                 assert int(headers["Retry-After"]) >= 1
     finally:
         server.stop()
+
+
+# ---------------------------------------------------------------------------
+# event log: per-process writer streams, /events/stats, death audit
+# ---------------------------------------------------------------------------
+def test_fleet_events_disabled_without_dir(fleet_server):
+    status, body, _ = get(fleet_server, "/events/stats")
+    assert status == 200 and body == {"enabled": False}
+
+
+def test_fleet_events_stats_and_worker_audit(tmp_path_factory):
+    import os
+
+    from repro.events import verify_dir
+
+    events_dir = tmp_path_factory.mktemp("fleet-events")
+    server = FleetServer(
+        2, respawn_delay=0.2, service_config={"events_dir": str(events_dir)}
+    )
+    server.start()
+    try:
+        status, _, _ = get(server, PREDICT)
+        assert status == 200
+        status, stats, _ = get(server, "/events/stats")
+        assert status == 200 and stats["enabled"]
+        assert stats["views"]["stats"]["by_kind"].get("prediction-emitted", 0) >= 1
+
+        # SIGKILL a worker: the supervisor's own writer stream records the
+        # death and the respawn, visible through the same stats surface.
+        os.kill(server.fleet.workers["w0"].proc.pid, signal.SIGKILL)
+        deadline = time.time() + 15.0
+        kinds = {}
+        while time.time() < deadline:
+            _, stats, _ = get(server, "/events/stats")
+            kinds = stats["views"]["stats"]["by_kind"]
+            if kinds.get("worker-respawned"):
+                break
+            time.sleep(0.1)
+        assert kinds.get("worker-died", 0) >= 1
+        assert kinds.get("worker-respawned", 0) >= 1
+    finally:
+        server.stop()
+    # After a SIGKILL mid-run, every stream still verifies clean: the
+    # dead worker's log loses at most its unflushed suffix, never frames.
+    report = verify_dir(events_dir)
+    assert report["ok"]
+    # Segment files appear lazily on first append, so only writers that
+    # actually emitted something have streams: the supervisor (death +
+    # respawn events) and whichever worker served the prediction.
+    writers = {stream["writer"] for stream in report["streams"]}
+    assert "frontend" in writers
+    assert any(writer.startswith("w") for writer in writers - {"frontend"})

@@ -204,9 +204,12 @@ def test_killed_study_resumes_byte_identical(tmp_path, clean):
     ck = tmp_path / "study.ckpt"
     with pytest.raises(StudyAbortedError):
         run_study(REDUCED, checkpoint=ck, faults=FaultPlan(abort_after=1))
-    assert ck.exists()
-    # the journal holds header + exactly one completed chunk
-    assert len(ck.read_text().splitlines()) == 2
+    assert ck.is_dir()
+    # the journal holds the identity event + exactly one completed chunk
+    from repro.events import replay_dir
+
+    kinds = [type(ev).kind for _, _, ev in replay_dir(ck)]
+    assert kinds == ["study-started", "chunk-completed"]
     resumed = run_study(REDUCED, checkpoint=ck)
     assert resumed.failures == []
     assert_bit_identical(resumed, clean)
@@ -252,18 +255,86 @@ def test_checkpoint_of_other_config_is_restarted(tmp_path, clean):
     # different identity -> journal ignored and rewritten, result still clean
     result = run_study(REDUCED, checkpoint=ck)
     assert_bit_identical(result, clean)
-    header = json.loads(ck.read_text().splitlines()[0])
-    assert header["config_digest"] == config_digest(REDUCED)
+    from repro.events import replay_dir
+
+    started = next(ev for _, _, ev in replay_dir(ck) if type(ev).kind == "study-started")
+    assert started.config_digest == config_digest(REDUCED)
 
 
 def test_checkpoint_torn_tail_is_dropped_and_compacted(tmp_path, clean):
     ck = tmp_path / "study.ckpt"
     with pytest.raises(StudyAbortedError):
         run_study(REDUCED, checkpoint=ck, faults=FaultPlan(abort_after=2))
-    with open(ck, "a") as fh:
-        fh.write('{"label": "RFCTH-standard", "records": [[trunc')  # torn append
+    segment = max(ck.glob("events-*.jsonl"))
+    with open(segment, "a") as fh:
+        fh.write('{"seq": 99, "event": {"kind": "chunk-comp')  # torn append
     resumed = run_study(REDUCED, checkpoint=ck)
     assert_bit_identical(resumed, clean)
+
+
+def test_legacy_single_file_checkpoint_migrates(tmp_path, clean, monkeypatch):
+    """A schema-v1 single-file journal loads transparently, resumes the
+    study byte-identically, and is migrated into an event-log directory."""
+    import repro.study.runner as runner_mod
+    from repro.events import replay_dir
+    from repro.study.resilience import _entry_checksum
+
+    # Capture two real chunk documents from an aborted event-log run...
+    src = tmp_path / "src.ckpt"
+    with pytest.raises(StudyAbortedError):
+        run_study(REDUCED, checkpoint=src, faults=FaultPlan(abort_after=2))
+    chunks = [
+        ev for _, _, ev in replay_dir(src) if type(ev).kind == "chunk-completed"
+    ]
+    assert len(chunks) == 2
+
+    # ...and rewrite them in the legacy v1 single-file format.
+    ck = tmp_path / "legacy.ckpt"
+    lines = [
+        json.dumps(
+            {
+                "kind": "study-checkpoint",
+                "schema_version": 1,
+                "config_digest": config_digest(REDUCED),
+            }
+        )
+    ]
+    for ev in chunks:
+        doc = {
+            "label": ev.label,
+            "records": ev.records,
+            "observed": ev.observed,
+            "stages": ev.stages,
+        }
+        doc["checksum"] = _entry_checksum(dict(doc))
+        lines.append(json.dumps(doc, sort_keys=True))
+    ck.write_text("\n".join(lines) + "\n")
+
+    computed = []
+    original = runner_mod._run_submatrix
+
+    def spy(cfg, labels, systems, store, timer=None):
+        computed.extend(labels)
+        return original(cfg, labels, systems, store, timer)
+
+    monkeypatch.setattr(runner_mod, "_run_submatrix", spy)
+    resumed = run_study(REDUCED, checkpoint=ck)
+    assert len(computed) == 1  # only the chunk the legacy journal lacked
+    assert_bit_identical(resumed, clean)
+    # The single file became an event-log directory holding everything.
+    assert ck.is_dir()
+    kinds = [type(ev).kind for _, _, ev in replay_dir(ck)]
+    assert kinds == ["study-started"] + ["chunk-completed"] * 3
+
+
+def test_quarantined_chunks_leave_audit_events(tmp_path):
+    from repro.events import replay_dir
+
+    ck = StudyCheckpoint(str(tmp_path / "j"), "d" * 32)
+    ck.record("chunk", [], {}, {})
+    ck.record_failure(CellFailure("app", "WorkerCrashError", "boom", 3))
+    kinds = [type(ev).kind for _, _, ev in replay_dir(tmp_path / "j")]
+    assert kinds == ["study-started", "chunk-completed", "cell-failed"]
 
 
 def test_checkpoint_engine_knobs_do_not_invalidate():
