@@ -24,6 +24,14 @@ inside functions — a lazy import is still a dependency edge; laziness
 only changes when the cost is paid.  Allowed exceptions are explicit in
 :data:`ALLOWED`, with the reason inline.
 
+A second pass lints **time usage**: outside ``repro/util/clock.py`` no
+module may call ``time.time``/``time.monotonic``/``time.sleep`` (or
+import those names from :mod:`time`) — every time consumer must go
+through the injectable :class:`repro.util.clock.Clock` seam, or the
+deterministic simulation harness cannot put it on virtual time.
+``time.perf_counter`` stays allowed: it only *measures* wall cost for
+diagnostics and never steers control flow.
+
 Run from the repository root (CI does)::
 
     python scripts/check_layering.py
@@ -57,10 +65,21 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
         "repro.engine",
         "repro.cli",
     ),
+    # The simulation harness drives study/serve objects, so it sits above
+    # them — but it is a library the CLI fronts, never the reverse.
+    "repro.sim": ("repro.cli",),
 }
 
 #: (module, imported) pairs exempted from FORBIDDEN, with cause.
 ALLOWED: frozenset[tuple[str, str]] = frozenset()
+
+#: ``time`` attributes that steer control flow and are therefore banned
+#: outside the Clock seam.  ``perf_counter`` (pure measurement) is not
+#: listed on purpose.
+BANNED_TIME_CALLS: frozenset[str] = frozenset({"time", "monotonic", "sleep"})
+
+#: The one module allowed to touch :mod:`time` directly.
+CLOCK_MODULE = "repro.util.clock"
 
 
 def module_name(path: Path) -> str:
@@ -94,6 +113,46 @@ def imports_of(path: Path) -> list[tuple[int, str]]:
     return found
 
 
+def time_calls_of(path: Path) -> list[tuple[int, str]]:
+    """Banned direct time usages in ``path`` as (line, description).
+
+    Flags ``time.time``/``time.monotonic``/``time.sleep`` attribute
+    access (call or reference — storing ``time.monotonic`` as a default
+    is still a direct dependency) and ``from time import ...`` of those
+    names.  ``time.perf_counter`` and everything else pass.
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    found: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "time"
+            and node.attr in BANNED_TIME_CALLS
+        ):
+            found.append((node.lineno, f"time.{node.attr}"))
+        elif isinstance(node, ast.ImportFrom) and node.module == "time" and not node.level:
+            for alias in node.names:
+                if alias.name in BANNED_TIME_CALLS or alias.name == "*":
+                    found.append((node.lineno, f"from time import {alias.name}"))
+    return found
+
+
+def check_time_usage() -> list[str]:
+    violations: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        mod = module_name(path)
+        if mod == CLOCK_MODULE:
+            continue
+        for line, usage in time_calls_of(path):
+            violations.append(
+                f"{path.relative_to(SRC.parent)}:{line}: "
+                f"{mod} uses {usage} directly "
+                f"(go through repro.util.clock.Clock)"
+            )
+    return violations
+
+
 def check() -> list[str]:
     violations: list[str] = []
     for path in sorted(SRC.rglob("*.py")):
@@ -120,7 +179,7 @@ def check() -> list[str]:
 
 
 def main() -> int:
-    violations = check()
+    violations = check() + check_time_usage()
     for v in violations:
         print(v, file=sys.stderr)
     if violations:
@@ -129,7 +188,7 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
-    print("check_layering: import boundaries clean")
+    print("check_layering: import boundaries and time usage clean")
     return 0
 
 

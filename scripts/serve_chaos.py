@@ -14,14 +14,18 @@ and asserts the service's resilience contract end to end:
   this hold while convolve is stalled);
 * **degradation is marked** — while faults are active, convolve-bearing
   answers arrive as ``degraded: true`` with ``served_metric`` below the
-  request;
-* **recovery** — once the faults clear and one breaker cooldown elapses,
-  a request is served at full fidelity (``degraded: false``) and
-  ``/readyz`` reports ready again.
+  request.
 
 Everything is seeded and the stall durations are real but small, so the
 gate is deterministic in behaviour and fast in wall-clock.  Any violated
 assertion exits 1.
+
+This script is deliberately a *thin* live-HTTP smoke: it proves the real
+server wiring (sockets, threads, JSON mapping) under faults.  The full
+recovery contract — cooldown expiry, half-open probes, return to full
+fidelity — lives in the deterministic simulation harness
+(``repro-study sim run --scenario serve-recovery``), where virtual time
+makes it exact instead of a wall-clock polling race.
 
 With ``--fleet N`` the gate instead targets the multi-process worker
 fleet: it boots N workers behind the asyncio front end, SIGKILLs one
@@ -317,37 +321,11 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(f"/healthz returned {status}")
         if body["requests"]["total"] < statuses.count(200):
             failures.append(f"healthz counters inconsistent: {body['requests']}")
-
-        # ------------------------------------------------------------------
-        # Phase 2: the outage ends; once the open cooldown elapses, full
-        # fidelity.  Half-open probe failures during phase 1 grow the
-        # cooldown on the backoff schedule, so the exact recovery instant
-        # varies run to run — poll up to a generous ceiling rather than
-        # sleeping one fixed cooldown (the assertion is *that* it
-        # recovers, not *when*).
-        # ------------------------------------------------------------------
-        service.faults = None
-        recovery_deadline = time.monotonic() + COOLDOWN_SECONDS * 40
-        while True:
-            status, body, seconds = fetch(port, path)
-            recovered = (
-                status == 200
-                and not body.get("degraded")
-                and body.get("served_metric") == 9
-            )
-            if recovered or time.monotonic() > recovery_deadline:
-                break
-            time.sleep(COOLDOWN_SECONDS / 5)
-        print(
-            f"serve-chaos: post-recovery request -> {status}, "
-            f"served_metric {body.get('served_metric')}, "
-            f"degraded {body.get('degraded')} in {seconds:.3f}s"
-        )
-        if not recovered:
-            failures.append(f"service did not recover full fidelity: {body}")
-        status, body, _ = fetch(port, "/readyz")
-        if status != 200:
-            failures.append(f"/readyz still not ready after recovery: {body}")
+        # Recovery (cooldown expiry -> half-open probe -> full fidelity) is
+        # asserted by the deterministic simulation harness under virtual
+        # time (`repro-study sim run --scenario serve-recovery`), not by
+        # wall-clock polling here — the polling loop this replaces was the
+        # suite's one flaky gate.
     finally:
         server.shutdown()
         server.server_close()

@@ -16,7 +16,11 @@ Subcommands regenerate the paper's artifacts on the terminal:
   (rewrite legacy JSON entries as binary; print format/entry counts);
 * ``events tail`` / ``events verify`` / ``events rebuild`` — event-log
   audit: print the newest events, fsck every writer stream, or
-  reconstruct the projection views from the raw log alone.
+  reconstruct the projection views from the raw log alone;
+* ``sim run`` / ``sim replay`` / ``sim shrink`` — the deterministic
+  simulation harness: sweep seeded chaos episodes under virtual time,
+  replay the committed regression corpus, or delta-debug a failing
+  episode down to a minimal reproducer.
 """
 
 from __future__ import annotations
@@ -271,6 +275,139 @@ def _events_action(action: str, events_dir: str, limit: int) -> int:
     return 0
 
 
+def _sim_load_corpus_doc(path) -> tuple:
+    """Parse one corpus/schedule file into (schedule, canary, expected).
+
+    A file is either a bare :class:`~repro.sim.schedule.Schedule` doc
+    (replay must hold every invariant) or a wrapper ``{"schedule": ...,
+    "canary": ..., "expect_violation": ...}`` — the form ``sim shrink
+    --out`` writes — which replays under the named canary and must fail
+    with exactly the recorded invariant signature.
+    """
+    import json as _json
+
+    from repro.sim import Schedule
+
+    doc = _json.loads(path.read_text())
+    if "schedule" in doc:
+        schedule = Schedule.from_doc(doc["schedule"])
+        return schedule, doc.get("canary"), doc.get("expect_violation")
+    return Schedule.from_doc(doc), None, None
+
+
+def _sim_action(args, parser) -> int:
+    """Simulation harness: ``sim run`` / ``sim replay`` / ``sim shrink``."""
+    import time
+    from pathlib import Path
+
+    from repro.sim import SCENARIO_NAMES, run_episode, shrink_episode
+
+    if args.action == "shrink":
+        if args.scenario in (None, "all"):
+            parser.error("sim shrink: --scenario must name one scenario")
+        minimal, signature = shrink_episode(
+            args.scenario, args.seed, canary=args.canary
+        )
+        doc = {"schedule": minimal.to_doc(), "expect_violation": signature}
+        if args.canary is not None:
+            doc["canary"] = args.canary
+        text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        if args.out is not None:
+            Path(args.out).write_text(text)
+            print(
+                f"repro-study: sim shrink: {len(minimal.events)} event(s) "
+                f"reproduce [{signature}]; written to {args.out}"
+            )
+        else:
+            sys.stdout.write(text)
+        return 0
+
+    if args.action == "replay":
+        if args.schedule is not None:
+            paths = [Path(args.schedule)]
+        else:
+            paths = sorted(Path(args.corpus).glob("*.json"))
+            if not paths:
+                parser.error(f"sim replay: no *.json schedules under {args.corpus}")
+        bad = 0
+        for path in paths:
+            schedule, canary, expected = _sim_load_corpus_doc(path)
+            result = run_episode(
+                schedule.scenario, schedule.seed, schedule=schedule, canary=canary
+            )
+            if expected is not None:
+                ok = any(v["invariant"] == expected for v in result.violations)
+                detail = f"expects [{expected}]"
+            else:
+                ok = result.ok
+                detail = "expects clean"
+            bad += not ok
+            print(
+                f"{path.name:40s} {'ok' if ok else 'FAIL':4s} "
+                f"{schedule.scenario} seed={schedule.seed} "
+                f"{len(schedule.events)} event(s), {detail}, "
+                f"digest {result.digest}"
+            )
+            if not ok:
+                for violation in result.violations:
+                    print(f"  - {violation['message']}", file=sys.stderr)
+        print(
+            f"repro-study: sim replay: {len(paths) - bad}/{len(paths)} "
+            f"schedule(s) behaved as committed"
+        )
+        return 1 if bad else 0
+
+    # sim run: sweep seeded episodes, optionally merge a benchmark section.
+    scenarios = (
+        SCENARIO_NAMES
+        if args.scenario in (None, "all")
+        else (args.scenario,)
+    )
+    start = time.perf_counter()
+    episodes = 0
+    virtual_total = 0.0
+    bad = 0
+    for scenario in scenarios:
+        scenario_bad = 0
+        for seed in range(args.seed, args.seed + args.episodes):
+            result = run_episode(scenario, seed, canary=args.canary)
+            episodes += 1
+            virtual_total += result.virtual_seconds
+            if not result.ok:
+                bad += 1
+                scenario_bad += 1
+                for violation in result.violations:
+                    print(
+                        f"repro-study: sim: {scenario} seed={seed}: "
+                        f"{violation['message']}",
+                        file=sys.stderr,
+                    )
+        print(
+            f"{scenario:15s} {args.episodes} episode(s), "
+            f"{scenario_bad} violation(s)"
+        )
+    elapsed = time.perf_counter() - start
+    print(
+        f"repro-study: sim run: {episodes} episode(s) covering "
+        f"{virtual_total:,.0f} virtual second(s) in {elapsed:.2f}s wall; "
+        f"{bad} with violations"
+    )
+    if args.report is not None:
+        out = Path(args.report)
+        report = json.loads(out.read_text()) if out.exists() else {}
+        report["sim"] = {
+            "episodes": episodes,
+            "scenarios": list(scenarios),
+            "violations": bad,
+            "virtual_seconds": round(virtual_total, 3),
+            "wall_seconds": round(elapsed, 3),
+            "episodes_per_second": round(episodes / elapsed, 1) if elapsed else None,
+        }
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"repro-study: sim report merged into {out} (sim section)")
+    return 1 if bad else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``repro-study``.
 
@@ -310,15 +447,26 @@ def _run(argv: list[str] | None) -> int:
             "serve",
             "store",
             "events",
+            "sim",
         ],
         nargs="?",
         default="table4",
         help="which paper artifact to regenerate (default: table4), "
-        "'store' for cache maintenance, or 'events' for event-log audit",
+        "'store' for cache maintenance, 'events' for event-log audit, or "
+        "'sim' for the deterministic simulation harness",
     )
     parser.add_argument(
         "action",
-        choices=["migrate", "info", "tail", "verify", "rebuild"],
+        choices=[
+            "migrate",
+            "info",
+            "tail",
+            "verify",
+            "rebuild",
+            "run",
+            "replay",
+            "shrink",
+        ],
         nargs="?",
         default=None,
         help="with 'store': 'migrate' rewrites a JSON-era cache dir to the "
@@ -327,7 +475,10 @@ def _run(argv: list[str] | None) -> int:
         "'events': 'tail' prints the newest events as JSON lines, 'verify' "
         "fscks every writer stream (exit 13 on damage), 'rebuild' "
         "reconstructs the projection views from the raw log (requires "
-        "--events-dir)",
+        "--events-dir); with 'sim': 'run' sweeps seeded chaos episodes "
+        "under virtual time (exit 1 on any invariant violation), 'replay' "
+        "re-executes the committed corpus under --corpus, 'shrink' "
+        "delta-debugs a failing episode to a minimal reproducer",
     )
     parser.add_argument(
         "--no-noise",
@@ -440,6 +591,63 @@ def _run(argv: list[str] | None) -> int:
         "not name one (default: 1.0)",
     )
     parser.add_argument(
+        "--scenario",
+        choices=["all", "serve-recovery", "study-resume", "coalesce"],
+        default="all",
+        help="sim: which scenario to run/shrink (default: all; shrink "
+        "requires a single scenario)",
+    )
+    parser.add_argument(
+        "--episodes",
+        type=int,
+        default=25,
+        metavar="N",
+        help="sim run: seeded episodes per scenario (default: 25)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="sim: first episode seed (run sweeps N..N+episodes-1; "
+        "shrink targets exactly N; default: 0)",
+    )
+    parser.add_argument(
+        "--canary",
+        default=None,
+        metavar="NAME",
+        help="sim: re-introduce a known-fixed bug at the driver boundary "
+        "('silent-degrade') so the harness can prove it still detects it",
+    )
+    parser.add_argument(
+        "--schedule",
+        default=None,
+        metavar="FILE",
+        help="sim replay: replay this one schedule JSON file instead of "
+        "the corpus directory",
+    )
+    parser.add_argument(
+        "--corpus",
+        default="tests/corpus",
+        metavar="DIR",
+        help="sim replay: directory of committed schedule reproducers "
+        "(default: tests/corpus)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="sim shrink: write the corpus-ready reproducer JSON to FILE "
+        "instead of stdout",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="sim run: merge a 'sim' section (episode count, violations, "
+        "elapsed) into the benchmark report JSON at FILE",
+    )
+    parser.add_argument(
         "--inject-faults",
         default=None,
         metavar="SPEC",
@@ -495,8 +703,15 @@ def _run(argv: list[str] | None) -> int:
         if args.events_dir is None:
             parser.error("events: --events-dir is required")
         return _events_action(args.action, args.events_dir, args.limit)
+    if args.artifact == "sim":
+        if args.action not in ("run", "replay", "shrink"):
+            parser.error("sim: expected an action ('run', 'replay' or 'shrink')")
+        return _sim_action(args, parser)
     if args.action is not None:
-        parser.error(f"{args.action!r} only applies to the 'store' or 'events' artifact")
+        parser.error(
+            f"{args.action!r} only applies to the 'store', 'events' or "
+            "'sim' artifact"
+        )
 
     if args.artifact == "serve":
         return _serve(args, faults)

@@ -16,10 +16,10 @@ actual congestion rather than by a fixed constant.
 from __future__ import annotations
 
 import threading
-import time
 from typing import Callable
 
 from repro.core.errors import OverloadedError
+from repro.util.clock import Clock, as_clock
 
 __all__ = ["AdmissionQueue", "ServiceTimeEwma"]
 
@@ -77,7 +77,7 @@ class AdmissionQueue:
         max_concurrent: int = 4,
         max_queue: int = 16,
         *,
-        clock: Callable[[], float] = time.monotonic,
+        clock: "Clock | Callable[[], float] | None" = None,
     ):
         if max_concurrent < 1:
             raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent!r}")
@@ -85,7 +85,7 @@ class AdmissionQueue:
             raise ValueError(f"max_queue must be >= 0, got {max_queue!r}")
         self.max_concurrent = max_concurrent
         self.max_queue = max_queue
-        self._clock = clock
+        self._clock = as_clock(clock).monotonic
         self._lock = threading.Lock()
         self._slot_free = threading.Condition(self._lock)
         self._active = 0

@@ -29,11 +29,11 @@ from __future__ import annotations
 
 import logging
 import threading
-import time
 from collections import deque
 from typing import Callable
 
 from repro.core.errors import CircuitOpenError
+from repro.util.clock import Clock, as_clock
 from repro.util.retry import backoff_seconds
 
 log = logging.getLogger(__name__)
@@ -76,7 +76,7 @@ class CircuitBreaker:
         window_seconds: float = 30.0,
         cooldown_seconds: float = 5.0,
         half_open_quota: int = 1,
-        clock: Callable[[], float] = time.monotonic,
+        clock: "Clock | Callable[[], float] | None" = None,
     ):
         if failure_threshold < 1:
             raise ValueError(
@@ -95,7 +95,7 @@ class CircuitBreaker:
         self.window_seconds = window_seconds
         self.cooldown_seconds = cooldown_seconds
         self.half_open_quota = half_open_quota
-        self._clock = clock
+        self._clock = as_clock(clock).monotonic
         self._lock = threading.RLock()
         self._state = CLOSED
         self._failure_times: deque[float] = deque()
@@ -293,10 +293,10 @@ class BreakerBoard:
         self,
         stages: tuple[str, ...] = ("probe", "trace", "convolve"),
         *,
-        clock: Callable[[], float] = time.monotonic,
+        clock: "Clock | Callable[[], float] | None" = None,
         **defaults,
     ):
-        self._clock = clock
+        self._clock = as_clock(clock)
         self._defaults = dict(defaults)
         self._on_trip: "Callable[[str, int, float], None] | None" = None
         self.breakers = {

@@ -39,7 +39,6 @@ import logging
 import math
 import os
 import threading
-import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
@@ -75,6 +74,7 @@ from repro.serve.breaker import BreakerBoard
 from repro.serve.degrade import RungAttempt, ladder_for, stages_for
 from repro.tracing.metasim import DEFAULT_SAMPLE_SIZE, trace_application
 from repro.tracing.store import TraceStore
+from repro.util.clock import Clock, as_clock
 from repro.util.deadline import Deadline
 from repro.util.validation import nearest_ids
 
@@ -265,8 +265,11 @@ class PredictionService:
     fault_stages:
         Stages the plan applies to (chaos tests target one stage).
     clock, sleep:
-        Monotonic clock and sleeper — injectable together so chaos tests
-        advance a fake clock instead of wall-waiting.
+        Time source — a :class:`~repro.util.clock.Clock` (or legacy bare
+        monotonic callable) driving deadlines, breakers, admission and
+        fault stalls; ``sleep`` defaults to the clock's own sleeper, so
+        a single :class:`~repro.util.clock.VirtualClock` puts the whole
+        service on simulated time.
     """
 
     def __init__(
@@ -287,8 +290,8 @@ class PredictionService:
         events: "EventLog | str | os.PathLike | None" = None,
         faults=None,
         fault_stages: tuple[str, ...] = STAGES,
-        clock: Callable[[], float] = time.monotonic,
-        sleep: Callable[[float], None] = time.sleep,
+        clock: "Clock | Callable[[], float] | None" = None,
+        sleep: "Callable[[float], None] | None" = None,
     ):
         mode = str(Mode.coerce(mode))
         cache_model = str(CacheModel.coerce(cache_model))
@@ -317,8 +320,9 @@ class PredictionService:
         self.default_deadline = default_deadline
         self.stage_fraction = stage_fraction
         self.stage_timeouts = dict(stage_timeouts or {})
-        self._clock = clock
-        self._sleep = sleep
+        clock = as_clock(clock)
+        self._clock = clock.monotonic
+        self._sleep = sleep if sleep is not None else clock.sleep
         if isinstance(events, EventLog) or events is None:
             self.events = events
         else:
@@ -376,7 +380,7 @@ class PredictionService:
         self.requests_total = 0
         self.degraded_total = 0
         self.unserved_total = 0
-        self._started_at = clock()
+        self._started_at = self._clock()
 
     # ------------------------------------------------------------------
     # validation (the service boundary: structured errors, never tracebacks)

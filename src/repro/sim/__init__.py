@@ -1,0 +1,33 @@
+"""Deterministic simulation harness (DESIGN.md section 5j).
+
+Runs whole study and serve scenarios in-process under virtual time and a
+seeded fault-schedule DSL, checks a catalog of cross-layer invariants,
+and shrinks failing schedules to minimal committed reproducers.
+
+Public surface:
+
+* :class:`~repro.sim.schedule.Schedule` — the typed, JSON-serialisable
+  fault timeline and its seeded generator.
+* :func:`~repro.sim.driver.run_episode` — execute one episode, returning
+  an :class:`~repro.sim.driver.EpisodeResult` with transcript, digest and
+  any invariant violations.
+* :func:`~repro.sim.shrink.shrink` — delta-debug a failing schedule down
+  to a minimal reproducer with the same failure signature.
+* :mod:`~repro.sim.invariants` — the invariant catalog itself.
+"""
+
+from repro.sim.driver import CANARIES, EpisodeResult, run_episode
+from repro.sim.invariants import InvariantViolation
+from repro.sim.schedule import SCENARIO_NAMES, Schedule
+from repro.sim.shrink import shrink, shrink_episode
+
+__all__ = [
+    "CANARIES",
+    "EpisodeResult",
+    "InvariantViolation",
+    "SCENARIO_NAMES",
+    "Schedule",
+    "run_episode",
+    "shrink",
+    "shrink_episode",
+]

@@ -1,0 +1,193 @@
+"""The cross-layer invariant catalog the simulation harness checks.
+
+Each invariant here was pinned individually by an earlier PR's bespoke
+chaos test; the harness re-asserts all of them on *every* episode, under
+schedules no hand-written test enumerated:
+
+* ``degradation-marked`` — a served response is flagged ``degraded``
+  exactly when ``served_metric != requested_metric`` (PR 4's "degraded
+  is never silent" contract).
+* ``ladder-monotone`` — the rungs a request attempted are strictly
+  descending in metric fidelity and everything above the served rung
+  failed first (the degradation ladder never climbs back up or skips
+  down past a healthy rung silently).
+* ``typed-errors`` — every request failure is a
+  :class:`~repro.core.errors.ReproError` subclass (the HTTP layer maps
+  those to 4xx/503; anything else would be an unhandled 500).
+* ``breaker-transition`` — circuit breakers only move along legal edges
+  (closed→open, open→half_open, half_open→closed, half_open→open).
+* ``journal-fsck`` — after an episode the event-log/checkpoint directory
+  replays as a contiguous fsck-clean prefix (damage may cost events, but
+  never produces a gap or an undetected corruption).
+* ``resume-identical`` — a study resumed through any schedule of kills
+  and at-rest damage is byte-identical to the fault-free golden run.
+* ``recovery-fidelity`` — once faults stop and cooldowns elapse, the
+  service serves full-fidelity answers again (PR 7's recovery phase).
+* ``virtual-deadlock`` — the episode finishes before its virtual-time
+  horizon (checked by :class:`~repro.util.clock.VirtualClock` itself;
+  the driver folds :class:`~repro.util.clock.VirtualTimeLimitError`
+  into this invariant).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ReproError
+from repro.events.log import verify_dir
+from repro.serve.breaker import CircuitBreaker
+
+__all__ = [
+    "InvariantViolation",
+    "LEGAL_BREAKER_EDGES",
+    "RecordingBreaker",
+    "check_response",
+    "check_error",
+    "check_breaker_transitions",
+    "check_journal",
+    "check_resume_identical",
+    "check_recovery",
+]
+
+
+class InvariantViolation(AssertionError):
+    """An episode broke one of the catalog's properties.
+
+    Attributes
+    ----------
+    invariant:
+        The catalog name (``"degradation-marked"``, ...) — the shrinker
+        preserves this as the failure signature while minimising.
+    """
+
+    def __init__(self, invariant: str, message: str):
+        super().__init__(f"[{invariant}] {message}")
+        self.invariant = invariant
+
+
+#: The breaker state machine's legal edges (see repro.serve.breaker).
+LEGAL_BREAKER_EDGES: frozenset[tuple[str, str]] = frozenset(
+    {
+        ("closed", "open"),
+        ("open", "half_open"),
+        ("half_open", "closed"),
+        ("half_open", "open"),
+    }
+)
+
+
+class RecordingBreaker(CircuitBreaker):
+    """A :class:`CircuitBreaker` that journals every state transition.
+
+    The breaker's ``_state`` attribute is shadowed by a property whose
+    setter appends ``(stage, from, to)`` onto the shared ``transitions``
+    list — every mutation site in the parent class is caught without
+    touching production code, and the record is *exact* (no poll-window
+    blind spots where a breaker could pass through an illegal edge
+    unobserved).
+    """
+
+    def __init__(self, *args, transitions: list | None = None, **kwargs):
+        self.transitions = transitions if transitions is not None else []
+        super().__init__(*args, **kwargs)
+
+    @property
+    def _state(self) -> str:
+        return self._state_value
+
+    @_state.setter
+    def _state(self, value: str) -> None:
+        previous = getattr(self, "_state_value", None)
+        self._state_value = value
+        if previous is not None and previous != value:
+            self.transitions.append((self.stage, previous, value))
+
+
+# ---------------------------------------------------------------------------
+# checks (each raises InvariantViolation, else returns None)
+# ---------------------------------------------------------------------------
+
+
+def check_response(response, requested: int) -> None:
+    """``degradation-marked`` + ``ladder-monotone`` for one response."""
+    expected_degraded = response.served_metric != requested
+    if bool(response.degraded) != expected_degraded:
+        raise InvariantViolation(
+            "degradation-marked",
+            f"served metric {response.served_metric} for requested "
+            f"{requested} but degraded={response.degraded!r}",
+        )
+    attempted = [attempt.metric for attempt in response.attempts]
+    if any(b >= a for a, b in zip(attempted, attempted[1:])):
+        raise InvariantViolation(
+            "ladder-monotone",
+            f"attempted rungs not strictly descending: {attempted}",
+        )
+    if attempted and attempted[0] != requested:
+        raise InvariantViolation(
+            "ladder-monotone",
+            f"first attempted rung {attempted[0]} is not the requested "
+            f"metric {requested}",
+        )
+    if any(metric <= response.served_metric for metric in attempted):
+        raise InvariantViolation(
+            "ladder-monotone",
+            f"served rung {response.served_metric} is not below every "
+            f"failed rung {attempted}",
+        )
+
+
+def check_error(exc: BaseException) -> None:
+    """``typed-errors``: request failures must be part of the taxonomy."""
+    if not isinstance(exc, ReproError):
+        raise InvariantViolation(
+            "typed-errors",
+            f"request raised untyped {type(exc).__name__}: {exc} "
+            f"(would surface as an unhandled 500)",
+        )
+
+
+def check_breaker_transitions(transitions: list[tuple[str, str, str]]) -> None:
+    """``breaker-transition``: every recorded edge must be legal."""
+    for stage, before, after in transitions:
+        if (before, after) not in LEGAL_BREAKER_EDGES:
+            raise InvariantViolation(
+                "breaker-transition",
+                f"breaker {stage!r} moved {before} -> {after}; legal edges: "
+                f"{sorted(LEGAL_BREAKER_EDGES)}",
+            )
+
+
+def check_journal(root) -> None:
+    """``journal-fsck``: the directory replays as a clean prefix."""
+    report = verify_dir(root)
+    if not report["ok"]:
+        errors = [e for stream in report["streams"] for e in stream["errors"]]
+        raise InvariantViolation(
+            "journal-fsck", f"event log at {report['root']} is damaged: {errors}"
+        )
+
+
+def check_resume_identical(records, golden_records) -> None:
+    """``resume-identical``: resumed records must equal the golden run's."""
+    if len(records) != len(golden_records):
+        raise InvariantViolation(
+            "resume-identical",
+            f"resumed study has {len(records)} records, golden has "
+            f"{len(golden_records)}",
+        )
+    for index, (got, want) in enumerate(zip(records, golden_records)):
+        if got != want:
+            raise InvariantViolation(
+                "resume-identical",
+                f"record {index} diverged after resume: {got!r} != {want!r}",
+            )
+
+
+def check_recovery(response) -> None:
+    """``recovery-fidelity``: post-fault answers are full fidelity again."""
+    if response.degraded:
+        raise InvariantViolation(
+            "recovery-fidelity",
+            f"service still degraded after faults cleared and cooldowns "
+            f"elapsed: served {response.served_metric} for requested "
+            f"{response.requested_metric}",
+        )

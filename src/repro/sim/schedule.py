@@ -1,0 +1,321 @@
+"""The fault-schedule DSL: a typed, seeded timeline of injected faults.
+
+A :class:`Schedule` is what one simulated chaos episode *does*: an
+ordered list of :class:`FaultEvent`\\ s, each pinned to a virtual-time
+instant, generated deterministically from a seed (the same
+:func:`repro.util.rng.stable_rng` key-derivation every other stochastic
+input in the codebase uses).  Where :class:`repro.util.faults.FaultPlan`
+answers "should this *draw* misbehave?" with seeded Bernoulli rates, a
+schedule says "at t=1.35 stall the convolve stage for 0.8 s" — an
+explicit timeline the driver executes, the invariant checker can reason
+about, and the shrinker can delta-debug event-by-event.
+
+Schedules are JSON round-trippable (:meth:`Schedule.to_doc` /
+:meth:`Schedule.from_doc`), which is what makes the regression corpus
+under ``tests/corpus/`` possible: a shrunk failing schedule is committed
+as a small JSON file and replayed forever after.
+
+Event vocabulary (the fault surface the stack actually has):
+
+* :class:`StallStage` — a serve-stage call sleeps on the episode clock,
+  long enough to blow a stage budget (the breaker-trip trigger).
+* :class:`CrashStage` — a serve-stage call raises
+  :class:`~repro.core.errors.WorkerCrashError` (backend failure).
+* :class:`SkewClock` — the virtual clock jumps forward between requests
+  (cooldown expiry, EWMA aging, deadline pressure).
+* :class:`KillStudy` — the study process "dies" after N completed
+  chunks (:class:`~repro.core.errors.StudyAbortedError` via the fault
+  plan's ``abort_after``), forcing a checkpoint resume.
+* :class:`CorruptStoreEntry` — one persisted trace/probe entry gets a
+  byte flipped on disk between run and resume (self-heal path).
+* :class:`TruncateLogTail` — the checkpoint journal's active segment
+  loses its tail (torn-write recovery path).
+* :class:`DropFollower` — one coalesced follower of a single-flight
+  request is cancelled mid-flight (leader isolation path).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.util.rng import stable_rng
+
+__all__ = [
+    "FaultEvent",
+    "StallStage",
+    "CrashStage",
+    "SkewClock",
+    "KillStudy",
+    "CorruptStoreEntry",
+    "TruncateLogTail",
+    "DropFollower",
+    "Schedule",
+    "EVENT_KINDS",
+    "SCENARIO_NAMES",
+]
+
+#: Stages the serve scenarios inject into (mirrors the service's STAGES).
+_STAGES = ("probe", "trace", "convolve")
+
+#: Scenario names the generator knows how to build timelines for.
+SCENARIO_NAMES = ("serve-recovery", "study-resume", "coalesce")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault, pinned to virtual instant :attr:`at`."""
+
+    kind: ClassVar[str] = ""
+
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"event time must be >= 0, got {self.at!r}")
+
+    def to_doc(self) -> dict:
+        """JSON-shaped view (``kind`` + every field)."""
+        doc = {"kind": self.kind}
+        doc.update(dataclasses.asdict(self))
+        return doc
+
+
+@dataclass(frozen=True)
+class StallStage(FaultEvent):
+    """Stall the next ``stage`` call at/after :attr:`at` for ``seconds``."""
+
+    kind: ClassVar[str] = "stall-stage"
+
+    stage: str = "convolve"
+    seconds: float = 0.5
+
+
+@dataclass(frozen=True)
+class CrashStage(FaultEvent):
+    """Crash the next ``stage`` call at/after :attr:`at`."""
+
+    kind: ClassVar[str] = "crash-stage"
+
+    stage: str = "convolve"
+
+
+@dataclass(frozen=True)
+class SkewClock(FaultEvent):
+    """Jump the episode clock forward by ``seconds`` at :attr:`at`."""
+
+    kind: ClassVar[str] = "skew-clock"
+
+    seconds: float = 1.0
+
+
+@dataclass(frozen=True)
+class KillStudy(FaultEvent):
+    """Abort the study run after ``after_chunks`` completed chunks."""
+
+    kind: ClassVar[str] = "kill-study"
+
+    after_chunks: int = 1
+
+
+@dataclass(frozen=True)
+class CorruptStoreEntry(FaultEvent):
+    """Flip one byte of the ``selector``-th persisted store entry."""
+
+    kind: ClassVar[str] = "corrupt-store-entry"
+
+    selector: int = 0
+
+
+@dataclass(frozen=True)
+class TruncateLogTail(FaultEvent):
+    """Drop the last ``drop_bytes`` bytes of the journal's active segment."""
+
+    kind: ClassVar[str] = "truncate-log-tail"
+
+    drop_bytes: int = 16
+
+
+@dataclass(frozen=True)
+class DropFollower(FaultEvent):
+    """Cancel the ``follower``-th coalesced follower mid-flight."""
+
+    kind: ClassVar[str] = "drop-follower"
+
+    follower: int = 0
+
+
+#: kind string -> event class, the (de)serialisation registry.
+EVENT_KINDS: dict[str, type[FaultEvent]] = {
+    cls.kind: cls
+    for cls in (
+        StallStage,
+        CrashStage,
+        SkewClock,
+        KillStudy,
+        CorruptStoreEntry,
+        TruncateLogTail,
+        DropFollower,
+    )
+}
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """One episode's fault timeline.
+
+    Attributes
+    ----------
+    scenario:
+        Named scenario the timeline targets (see
+        :data:`SCENARIO_NAMES`); the driver picks the system-under-test
+        from this.
+    seed:
+        Seed the timeline was generated from (kept for provenance and
+        for seeding the scenario's request mix; replaying an edited
+        schedule keeps the original seed).
+    horizon:
+        Virtual seconds the scheduled phase of the episode spans; the
+        driver's deadlock guard is set past this.
+    events:
+        The timeline, sorted by :attr:`FaultEvent.at`.
+    """
+
+    scenario: str
+    seed: int
+    horizon: float = 10.0
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIO_NAMES:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; known: {SCENARIO_NAMES}"
+            )
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {self.horizon!r}")
+        object.__setattr__(
+            self, "events", tuple(sorted(self.events, key=lambda e: e.at))
+        )
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_doc(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "events": [event.to_doc() for event in self.events],
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "Schedule":
+        events = []
+        for entry in doc.get("events", ()):
+            entry = dict(entry)
+            kind = entry.pop("kind", None)
+            event_cls = EVENT_KINDS.get(kind)
+            if event_cls is None:
+                raise ValueError(
+                    f"unknown fault-event kind {kind!r}; "
+                    f"known: {sorted(EVENT_KINDS)}"
+                )
+            events.append(event_cls(**entry))
+        return cls(
+            scenario=doc["scenario"],
+            seed=int(doc["seed"]),
+            horizon=float(doc.get("horizon", 10.0)),
+            events=tuple(events),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_doc(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Schedule":
+        return cls.from_doc(json.loads(text))
+
+    def digest(self) -> str:
+        """Stable content digest (corpus identity, transcript keying)."""
+        canonical = json.dumps(self.to_doc(), sort_keys=True)
+        return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+
+    def replace(self, **changes) -> "Schedule":
+        """A copy with the given fields replaced (shrinker convenience)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # generation
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(cls, seed: int, scenario: str, *, horizon: float = 10.0) -> "Schedule":
+        """Seeded timeline for ``scenario`` — same seed, same schedule.
+
+        Every draw comes from one :func:`stable_rng` stream keyed by
+        ``(seed, scenario)``, so generation is reproducible across
+        processes and platforms (the cross-process determinism pin in the
+        test suite covers exactly this).
+        """
+        if scenario not in SCENARIO_NAMES:
+            raise ValueError(
+                f"unknown scenario {scenario!r}; known: {SCENARIO_NAMES}"
+            )
+        rng = stable_rng("sim-schedule", seed, scenario)
+        window = horizon * 0.6  # leave the tail of the episode for recovery
+        events: list[FaultEvent] = []
+        if scenario == "serve-recovery":
+            for _ in range(int(rng.integers(2, 7))):
+                at = round(float(rng.random()) * window, 3)
+                stage = _STAGES[int(rng.integers(0, len(_STAGES)))]
+                roll = float(rng.random())
+                if roll < 0.5:
+                    events.append(
+                        StallStage(
+                            at=at,
+                            stage=stage,
+                            seconds=round(0.2 + float(rng.random()) * 1.3, 3),
+                        )
+                    )
+                elif roll < 0.85:
+                    events.append(CrashStage(at=at, stage=stage))
+                else:
+                    events.append(
+                        SkewClock(
+                            at=at, seconds=round(0.5 + float(rng.random()) * 3.0, 3)
+                        )
+                    )
+        elif scenario == "study-resume":
+            # Always one mid-run kill (the scenario exists to test resume),
+            # plus optional at-rest damage applied before the resume.
+            events.append(
+                KillStudy(
+                    at=round(float(rng.random()) * window, 3),
+                    after_chunks=int(rng.integers(1, 3)),
+                )
+            )
+            if rng.random() < 0.5:
+                events.append(
+                    CorruptStoreEntry(
+                        at=round(window + float(rng.random()), 3),
+                        selector=int(rng.integers(0, 64)),
+                    )
+                )
+            if rng.random() < 0.5:
+                events.append(
+                    TruncateLogTail(
+                        at=round(window + float(rng.random()), 3),
+                        drop_bytes=int(rng.integers(1, 200)),
+                    )
+                )
+        elif scenario == "coalesce":
+            for _ in range(int(rng.integers(1, 3))):
+                events.append(
+                    DropFollower(
+                        at=round(float(rng.random()) * window, 3),
+                        follower=int(rng.integers(0, 4)),
+                    )
+                )
+        return cls(scenario=scenario, seed=seed, horizon=horizon, events=tuple(events))

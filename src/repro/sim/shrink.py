@@ -1,0 +1,148 @@
+"""Delta-debugging shrinker for failing fault schedules.
+
+A fuzzed schedule that violates an invariant usually does so for the
+sake of one or two of its events; the rest are noise that makes the
+reproducer hard to read and slow to replay.  :func:`shrink` minimises a
+failing schedule the way ddmin minimises failing inputs:
+
+1. **Removal** — repeatedly try dropping chunks of events (halving chunk
+   size down to single events) and keep any reduction that still fails
+   with the *same* invariant signature.
+2. **Simplification** — for each surviving event, try snapping its
+   numeric fields to small canonical values (time to 0, stall to the
+   minimum that still reproduces, byte counts down), keeping whatever
+   still fails.
+
+The result is the schedule committed into ``tests/corpus/`` — typically
+one to three events — which the CI sim job replays on every build.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.sim.schedule import FaultEvent, Schedule
+
+__all__ = ["shrink", "shrink_episode"]
+
+#: Candidate replacement values per simplifiable numeric field.
+_FIELD_CANDIDATES: dict[str, tuple] = {
+    "at": (0.0, 0.5, 1.0),
+    "seconds": (0.25, 0.5, 1.0),
+    "after_chunks": (1,),
+    "selector": (0,),
+    "drop_bytes": (1, 8, 16),
+    "follower": (0,),
+}
+
+
+def _still_fails(
+    schedule: Schedule, failing: Callable[[Schedule], bool]
+) -> bool:
+    try:
+        return bool(failing(schedule))
+    except Exception:  # noqa: BLE001 - a crashing probe is not a reproduction
+        return False
+
+
+def shrink(
+    schedule: Schedule,
+    failing: Callable[[Schedule], bool],
+    *,
+    max_probes: int = 200,
+) -> Schedule:
+    """Minimise ``schedule`` while ``failing(candidate)`` stays true.
+
+    ``failing`` must return ``True`` when the candidate schedule still
+    reproduces the original failure (same invariant signature — see
+    :func:`shrink_episode` for the canonical predicate).  ``max_probes``
+    bounds the number of candidate executions, so shrinking a pathological
+    schedule terminates; the best reduction found so far is returned.
+    """
+    if not _still_fails(schedule, failing):
+        raise ValueError("schedule does not fail; nothing to shrink")
+    probes = 0
+
+    def probe(candidate: Schedule) -> bool:
+        nonlocal probes
+        if probes >= max_probes:
+            return False
+        probes += 1
+        return _still_fails(candidate, failing)
+
+    events = list(schedule.events)
+    # Phase 1: ddmin removal — drop chunks, halving granularity.
+    chunk = max(1, len(events) // 2)
+    while chunk >= 1:
+        index = 0
+        reduced = False
+        while index < len(events):
+            candidate_events = events[:index] + events[index + chunk :]
+            candidate = schedule.replace(events=tuple(candidate_events))
+            if candidate_events != events and probe(candidate):
+                events = candidate_events
+                reduced = True
+                # keep index: the next chunk slid into this position
+            else:
+                index += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            chunk = max(1, chunk // 2)
+    # Phase 2: per-event simplification of numeric fields.
+    for index, event in enumerate(list(events)):
+        for field_name, candidates in _FIELD_CANDIDATES.items():
+            if not hasattr(event, field_name):
+                continue
+            current = getattr(events[index], field_name)
+            for value in candidates:
+                if value == current or (
+                    field_name != "at" and value > current
+                ):
+                    continue
+                simplified = dataclasses.replace(
+                    events[index], **{field_name: value}
+                )
+                candidate = schedule.replace(
+                    events=tuple(
+                        simplified if i == index else e
+                        for i, e in enumerate(events)
+                    )
+                )
+                if probe(candidate):
+                    events[index] = simplified
+                    break
+    return schedule.replace(events=tuple(events))
+
+
+def shrink_episode(
+    scenario: str,
+    seed: int,
+    *,
+    schedule: Schedule | None = None,
+    canary: str | None = None,
+    max_probes: int = 200,
+) -> tuple[Schedule, str]:
+    """Shrink the failing episode ``(scenario, seed)`` to a minimal schedule.
+
+    Runs the episode once to capture its failure signature (the first
+    violation's invariant name), then delta-debugs the schedule while
+    that signature keeps reproducing.  Returns ``(minimal_schedule,
+    signature)``.  Raises :class:`ValueError` when the episode passes.
+    """
+    from repro.sim.driver import run_episode
+
+    result = run_episode(scenario, seed, schedule=schedule, canary=canary)
+    if result.ok:
+        raise ValueError(
+            f"episode {scenario}:{seed} holds every invariant; nothing to shrink"
+        )
+    signature = result.violations[0]["invariant"]
+
+    def failing(candidate: Schedule) -> bool:
+        replay = run_episode(scenario, seed, schedule=candidate, canary=canary)
+        return any(v["invariant"] == signature for v in replay.violations)
+
+    minimal = shrink(result.schedule, failing, max_probes=max_probes)
+    return minimal, signature

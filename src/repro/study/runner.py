@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import atexit
 import os
-import time
 from collections import defaultdict
 from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -59,6 +58,7 @@ from repro.study.resilience import (
 )
 from repro.tracing.metasim import DEFAULT_SAMPLE_SIZE
 from repro.tracing.store import TraceStore
+from repro.util.clock import Clock, as_clock
 from repro.util.deadline import Deadline
 from repro.util.timing import StageTimer
 
@@ -515,6 +515,7 @@ def run_study(
     faults=None,
     max_retries: int | None = None,
     chunk_timeout: float | None = None,
+    clock=None,
 ) -> StudyResult:
     """Run the complete study described by ``config`` (defaults: the paper's).
 
@@ -569,6 +570,12 @@ def run_study(
         In parallel mode an overrunning chunk's wait is abandoned (the
         pool is rebuilt); in serial mode the deadline is checked after the
         chunk finishes.  Timed-out chunks retry like crashes.
+    clock:
+        Optional :class:`~repro.util.clock.Clock` carrying retry backoff
+        sleeps, serial chunk deadlines and fault-plan stalls — the
+        simulation harness passes a virtual clock so a chaos study's
+        minutes of injected waiting cost no wall time.  Only honoured on
+        the serial path; pool workers always run on the system clock.
     """
     cfg = config or StudyConfig()
     store_obj, store_root = _resolve_store(store)
@@ -608,6 +615,7 @@ def run_study(
             faults,
             retries,
             deadline,
+            as_clock(clock),
         )
     except KeyboardInterrupt:
         # Never strand worker processes behind an interrupted study; the
@@ -630,6 +638,7 @@ def _run_resilient(
     faults,
     retries: int,
     deadline: float | None,
+    clock: Clock,
 ) -> StudyResult:
     """Chunk-at-a-time study execution with the full resilience stack.
 
@@ -661,7 +670,9 @@ def _run_resilient(
     round_index = 0
     while pending:
         run_round = _pool_round if workers > 1 else _serial_round
-        outcomes = run_round(cfg, pending, store_obj, store_root, faults, deadline, workers)
+        outcomes = run_round(
+            cfg, pending, store_obj, store_root, faults, deadline, workers, clock
+        )
         next_pending: dict[str, int] = {}
         for label, attempt in pending.items():
             outcome = outcomes[label]
@@ -691,7 +702,9 @@ def _run_resilient(
             else:
                 next_pending[label] = attempt + 1
         if next_pending:
-            time.sleep(backoff_seconds(round_index, cfg.base_system, *sorted(next_pending)))
+            clock.sleep(
+                backoff_seconds(round_index, cfg.base_system, *sorted(next_pending))
+            )
         pending = next_pending
         round_index += 1
 
@@ -726,6 +739,7 @@ def _serial_round(
     faults,
     deadline: float | None,
     workers: int,
+    clock: "Clock | None" = None,
 ) -> dict[str, object]:
     """Run one attempt of every pending chunk in-process.
 
@@ -738,13 +752,14 @@ def _serial_round(
     :class:`ChunkTimeoutError` and takes the same retry path the pool
     engine uses.
     """
+    clock = as_clock(clock)
     outcomes: dict[str, object] = {}
     for label, attempt in attempts.items():
-        start = time.perf_counter()
-        budget = Deadline(deadline) if deadline is not None else None
+        start = clock.monotonic()
+        budget = Deadline(deadline, clock=clock) if deadline is not None else None
         try:
             if faults is not None:
-                faults.inject_chunk_faults(label, attempt, in_worker=False)
+                faults.inject_chunk_faults(label, attempt, in_worker=False, clock=clock)
             timer = StageTimer()
             if budget is not None:
                 records, observed = _run_submatrix(
@@ -754,7 +769,7 @@ def _serial_round(
                 records, observed = _run_submatrix(
                     cfg, (label,), cfg.systems, store_obj, timer
                 )
-            elapsed = time.perf_counter() - start
+            elapsed = clock.monotonic() - start
             if deadline is not None and elapsed > deadline:
                 raise ChunkTimeoutError(
                     f"chunk {label!r} took {elapsed:.3f}s "
@@ -782,6 +797,7 @@ def _pool_round(
     faults,
     deadline: float | None,
     workers: int,
+    clock: "Clock | None" = None,  # pool workers always run on real time
 ) -> dict[str, object]:
     """Run one attempt of every pending chunk on the worker pool.
 

@@ -52,7 +52,6 @@ import json
 import logging
 import os
 import threading
-import time
 import weakref
 from collections.abc import Callable
 from pathlib import Path
@@ -70,6 +69,7 @@ from repro.tracing.serialize import (
     trace_to_json,  # noqa: F401
 )
 from repro.tracing.trace import ApplicationTrace
+from repro.util.clock import as_clock
 from repro.util.io import write_atomic_bytes
 from repro.util.options import CacheModel
 
@@ -193,7 +193,9 @@ class TraceStore:
     #: the per-item wakeups cost several times the writes themselves.
     WRITER_POLL_SECONDS = 0.02
 
-    def __init__(self, root: str | os.PathLike, *, faults=None, events=None):
+    def __init__(
+        self, root: str | os.PathLike, *, faults=None, events=None, clock=None
+    ):
         self.root = Path(root)
         self.traces_dir = self.root / "traces"
         self.probes_dir = self.root / "probes"
@@ -201,6 +203,12 @@ class TraceStore:
         self.probes_dir.mkdir(parents=True, exist_ok=True)
         self.faults = faults
         self.events = events
+        # Paces the background writer (poll waits + idle-exit timing).
+        # Note the writer thread only *reads* a virtual clock — it never
+        # advances one — so under simulation it keeps draining promptly
+        # (Clock.wait maps to a tiny real wait) without perturbing the
+        # episode's deterministic timeline.
+        self._clock = as_clock(clock)
         self._invalidated = 0
         self._lock = threading.Lock()
         # Write-behind state: saves enqueue encoded bytes (or zero-arg
@@ -352,14 +360,17 @@ class TraceStore:
 
     def _drain_writes(self) -> None:
         try:
-            last_work = time.monotonic()
+            last_work = self._clock.monotonic()
             while True:
-                self._kick.wait(timeout=self.WRITER_POLL_SECONDS)
+                self._clock.wait(self._kick, self.WRITER_POLL_SECONDS)
                 self._kick.clear()
                 with self._cond:
                     batch = list(self._pending.items())
                     if not batch:
-                        if time.monotonic() - last_work >= self.WRITER_IDLE_SECONDS:
+                        if (
+                            self._clock.monotonic() - last_work
+                            >= self.WRITER_IDLE_SECONDS
+                        ):
                             return
                         continue
                     self._in_flight = True
@@ -367,7 +378,7 @@ class TraceStore:
                     for path, data in batch:
                         self._write_one(path, data)
                 finally:
-                    last_work = time.monotonic()
+                    last_work = self._clock.monotonic()
                     with self._cond:
                         for path, data in batch:
                             # A newer save of the same path may have

@@ -8,9 +8,10 @@ pass).  When the budget is spent the checkpoint raises
 :class:`~repro.core.errors.DeadlineExceededError` naming the stage, so the
 caller abandons the work instead of finishing it late.
 
-The clock is injectable (any zero-argument callable returning monotonic
-seconds), which is what makes deadline behaviour *testable*: chaos tests
-drive a fake clock forward deterministically instead of sleeping.
+The clock is injectable (a :class:`~repro.util.clock.Clock` or any
+zero-argument callable returning monotonic seconds), which is what makes
+deadline behaviour *testable*: chaos tests and the simulation harness
+drive a virtual clock forward deterministically instead of sleeping.
 
 :meth:`Deadline.sub` carves a stage-local budget out of the request
 budget — the child can expire early (capping a single slow stage) but can
@@ -21,10 +22,10 @@ the call sites.
 from __future__ import annotations
 
 import math
-import time
 from typing import Callable
 
 from repro.core.errors import DeadlineExceededError
+from repro.util.clock import Clock, as_clock
 
 __all__ = ["Deadline"]
 
@@ -38,7 +39,9 @@ class Deadline:
         Seconds allowed from construction; ``math.inf`` means unbounded
         (every check passes, so callers need no None-guards).
     clock:
-        Monotonic time source; injectable for deterministic tests.
+        Monotonic time source — a :class:`~repro.util.clock.Clock` or a
+        bare callable; injectable for deterministic tests (defaults to
+        the system clock).
     stage:
         Optional label baked into expiry errors (a :meth:`sub` child
         defaults to its own stage name).
@@ -50,7 +53,7 @@ class Deadline:
         self,
         budget_seconds: float = math.inf,
         *,
-        clock: Callable[[], float] = time.monotonic,
+        clock: "Clock | Callable[[], float] | None" = None,
         stage: str | None = None,
         _parent: "Deadline | None" = None,
     ):
@@ -58,14 +61,14 @@ class Deadline:
             raise ValueError(f"budget_seconds must be >= 0, got {budget_seconds!r}")
         self.budget = float(budget_seconds)
         self.stage = stage
-        self._clock = clock
-        self._start = clock()
+        self._clock = as_clock(clock)
+        self._start = self._clock.monotonic()
         self._parent = _parent
 
     # ------------------------------------------------------------------
     def elapsed(self) -> float:
         """Seconds since this deadline was created."""
-        return self._clock() - self._start
+        return self._clock.monotonic() - self._start
 
     def remaining(self) -> float:
         """Seconds left in the budget (never negative; inf if unbounded).

@@ -17,10 +17,10 @@ study worker processes, and the CLI builds one from a compact
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, fields, replace
 
 from repro.core.errors import WorkerCrashError
+from repro.util.clock import as_clock
 from repro.util.rng import stable_rng
 
 __all__ = ["FaultPlan"]
@@ -99,14 +99,19 @@ class FaultPlan:
     # ------------------------------------------------------------------
     # injections
     # ------------------------------------------------------------------
-    def inject_chunk_faults(self, label: str, attempt: int, *, in_worker: bool = False) -> None:
+    def inject_chunk_faults(
+        self, label: str, attempt: int, *, in_worker: bool = False, clock=None
+    ) -> None:
         """Apply this attempt's scheduled stall and/or crash.
 
         Called at the top of a study chunk.  The stall runs first so a
         stalled-then-crashed attempt still exercises the deadline path.
+        ``clock`` (a :class:`~repro.util.clock.Clock`) carries the stall:
+        under the simulation harness's virtual clock a stall advances
+        simulated time instead of wall-waiting.
         """
         if self.should_stall(label, attempt):
-            time.sleep(self.stall_seconds)
+            as_clock(clock).sleep(self.stall_seconds)
         if self.should_crash(label, attempt):
             if in_worker and self.hard_crashes:
                 os._exit(13)  # no cleanup: simulate a genuine worker death

@@ -236,7 +236,10 @@ def test_store_requires_action_and_cache_dir(tmp_path, capsys):
 def test_store_action_rejected_for_other_artifacts(capsys):
     with pytest.raises(SystemExit):
         main(["table4", "migrate"])
-    assert "only applies to the 'store' or 'events' artifact" in capsys.readouterr().err
+    assert (
+        "only applies to the 'store', 'events' or 'sim' artifact"
+        in capsys.readouterr().err
+    )
 
 
 def test_serve_boots_answers_and_stops(capsys, monkeypatch):

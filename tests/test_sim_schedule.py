@@ -1,0 +1,104 @@
+"""The fault-schedule DSL: seeded generation, serialisation, identity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.schedule import (
+    SCENARIO_NAMES,
+    CrashStage,
+    FaultEvent,
+    KillStudy,
+    Schedule,
+    StallStage,
+)
+
+
+class TestGeneration:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        scenario=st.sampled_from(SCENARIO_NAMES),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_same_seed_same_schedule(self, seed, scenario):
+        a = Schedule.generate(seed, scenario)
+        b = Schedule.generate(seed, scenario)
+        assert a == b
+        assert a.digest() == b.digest()
+
+    def test_different_seeds_diverge(self):
+        digests = {
+            Schedule.generate(seed, "serve-recovery").digest()
+            for seed in range(16)
+        }
+        assert len(digests) > 1
+
+    def test_scenarios_use_their_own_event_vocabulary(self):
+        kills = Schedule.generate(3, "study-resume")
+        assert any(isinstance(e, KillStudy) for e in kills.events)
+        serve = Schedule.generate(3, "serve-recovery")
+        assert all(not isinstance(e, KillStudy) for e in serve.events)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            Schedule.generate(0, "nope")
+
+
+class TestScheduleType:
+    def test_events_sorted_by_time(self):
+        schedule = Schedule(
+            scenario="serve-recovery",
+            seed=0,
+            events=(
+                CrashStage(at=5.0, stage="probe"),
+                StallStage(at=1.0, stage="trace", seconds=0.3),
+            ),
+        )
+        assert [e.at for e in schedule.events] == [1.0, 5.0]
+
+    def test_negative_event_time_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            StallStage(at=-0.1)
+
+    def test_nonpositive_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon"):
+            Schedule(scenario="coalesce", seed=0, horizon=0.0)
+
+
+class TestSerialisation:
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        scenario=st.sampled_from(SCENARIO_NAMES),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_json_round_trip_is_identity(self, seed, scenario):
+        schedule = Schedule.generate(seed, scenario)
+        back = Schedule.from_json(schedule.to_json())
+        assert back == schedule
+        assert back.digest() == schedule.digest()
+
+    def test_unknown_event_kind_rejected(self):
+        doc = {
+            "scenario": "serve-recovery",
+            "seed": 0,
+            "events": [{"kind": "summon-gremlin", "at": 1.0}],
+        }
+        with pytest.raises(ValueError, match="unknown fault-event kind"):
+            Schedule.from_doc(doc)
+
+    def test_digest_tracks_content(self):
+        a = Schedule.generate(7, "serve-recovery")
+        edited = a.replace(events=a.events[:-1])
+        assert edited.digest() != a.digest()
+
+    def test_event_doc_includes_kind_and_fields(self):
+        doc = StallStage(at=1.5, stage="probe", seconds=0.4).to_doc()
+        assert doc == {
+            "kind": "stall-stage",
+            "at": 1.5,
+            "stage": "probe",
+            "seconds": 0.4,
+        }
+
+    def test_base_event_subclasses_all_have_kinds(self):
+        for cls in FaultEvent.__subclasses__():
+            assert cls.kind, f"{cls.__name__} is missing its kind string"
