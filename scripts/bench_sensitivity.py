@@ -1,0 +1,301 @@
+#!/usr/bin/env python
+"""Sensitivity-sweep smoke benchmark and fidelity regression gate.
+
+Generates a ~1000-cell scenario universe from a seeded family, pushes it
+through the full :func:`repro.study.runner.run_study` path via
+:func:`repro.scenarios.sensitivity.run_sensitivity` (noise-amplitude and
+calibration-error sweeps), and optionally replays the universe's matrix
+through a live fleet's ``POST /predict/batch`` so the generated-universe
+serving path is exercised end to end.
+
+The report lands in the committed benchmark file (``--output``, default
+``BENCH_study.json``) under a ``"sensitivity"`` key, merged so the study
+and serve sections survive.
+
+Gates (any failure exits 1):
+
+* ``--budget SECONDS`` — absolute ceiling on the sweep's wall-clock
+  (the CI smoke's time budget);
+* ``--gate-reference BENCH_study.json`` — fidelity regression gate:
+  fails when the zero-noise Kendall tau of any ``--gate-metrics`` metric
+  drops more than ``--gate-tolerance`` (absolute tau) below the
+  committed reference's figure.  The sweep is fully seeded, so on the
+  same universe any drop beyond float noise means the predictor or a
+  generator family changed behaviour;
+* ``--gate-tau-floor TAU`` — absolute floor on the same zero-noise taus,
+  independent of any reference (metrics #8/#9 are the paper's best
+  simple metrics and must keep ranking a generated universe well);
+* the serve leg (unless ``--skip-serve``) asserts the batch endpoint
+  prices every cell of the generated matrix and that two back-to-back
+  batch calls return byte-identical bodies (worker sharding must not
+  leak nondeterminism into generated universes).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_sensitivity.py [--family mixed]
+        [--seed 0] [--cells 1000] [--amplitudes 0,0.05,0.15]
+        [--calibration-errors 0,0.1] [--budget SECONDS]
+        [--gate-reference FILE] [--gate-tolerance TAU]
+        [--gate-tau-floor TAU] [--gate-metrics 8,9] [--serve-workers 2]
+        [--skip-serve] [--output BENCH_study.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.scenarios.sensitivity import SensitivityConfig, run_sensitivity
+from repro.util.io import write_atomic
+
+
+def _float_list(text: str) -> tuple[float, ...]:
+    return tuple(float(part) for part in text.split(",") if part.strip())
+
+
+def _int_list(text: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in text.split(",") if part.strip())
+
+
+def serve_leg(config: SensitivityConfig, workers: int, metrics) -> dict:
+    """Replay the generated matrix through a live fleet's batch endpoint.
+
+    Boots ``workers`` engine processes with the universe mounted (the ref
+    crosses the process boundary and each worker rebuilds the same
+    catalog), POSTs the universe's own axes, and checks determinism by
+    comparing two back-to-back responses byte for byte.
+    """
+    from repro.scenarios import mount_universe, unmount_universe
+    from repro.serve.frontend import FleetServer
+
+    # Mount in this process too (the CLI's --universe does the same):
+    # the front end validates ids and serves /catalog from its own
+    # catalog, while each worker re-mounts from the ref it is shipped.
+    universe = mount_universe(f"{config.family}:{config.seed}:{config.cells}")
+    body = json.dumps(
+        {
+            "applications": [a.label for a in universe.applications],
+            "systems": [m.name for m in universe.machines],
+            "metrics": list(metrics),
+            "deadline_ms": 600000,
+        }
+    ).encode()
+    service_config = {"universe": universe.ref, "noise": False}
+    try:
+        with FleetServer(workers, service_config=service_config) as fleet:
+            conn = http.client.HTTPConnection(*fleet.address, timeout=600)
+            try:
+                status, catalog = _post(conn, "GET", "/catalog", None)
+                if status != 200 or catalog.get("universe") is None:
+                    raise RuntimeError(
+                        f"fleet /catalog did not report the mounted universe: "
+                        f"{status} {catalog}"
+                    )
+                t0 = time.perf_counter()
+                status, first = _post(conn, "POST", "/predict/batch", body)
+                wall = time.perf_counter() - t0
+                if status != 200:
+                    raise RuntimeError(f"batch status {status}: {first}")
+                status, second = _post(conn, "POST", "/predict/batch", body)
+                if status != 200:
+                    raise RuntimeError(
+                        f"repeat batch status {status}: {second}"
+                    )
+            finally:
+                conn.close()
+    finally:
+        unmount_universe()
+    identical = first["records"] == second["records"]
+    return {
+        "workers": workers,
+        "universe_ref": universe.ref,
+        "universe_digest": catalog["universe"]["digest"],
+        "cells": first["count"],
+        "seconds": round(wall, 4),
+        "predictions_per_second": round(first["count"] / wall, 1),
+        "repeat_identical": identical,
+    }
+
+
+def _post(conn: http.client.HTTPConnection, method: str, path: str, body):
+    headers = {"Content-Type": "application/json"} if body else {}
+    conn.request(method, path, body=body, headers=headers)
+    resp = conn.getresponse()
+    return resp.status, json.loads(resp.read())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--family", default="mixed")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--cells", type=int, default=1000, metavar="N")
+    parser.add_argument(
+        "--amplitudes", type=_float_list, default=(0.0, 0.05, 0.15),
+        metavar="LIST", help="noise-amplitude sweep points (default: 0,0.05,0.15)",
+    )
+    parser.add_argument(
+        "--calibration-errors", type=_float_list, default=(0.0, 0.1),
+        metavar="LIST", help="calibration-error sweep points (default: 0,0.1)",
+    )
+    parser.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="fail (exit 1) if the sweep exceeds this wall-clock",
+    )
+    parser.add_argument(
+        "--gate-reference", default=None, metavar="FILE",
+        help="committed BENCH_study.json whose sensitivity section the "
+        "zero-noise taus are gated against",
+    )
+    parser.add_argument(
+        "--gate-tolerance", type=float, default=0.02, metavar="TAU",
+        help="allowed absolute zero-noise tau drop vs the reference "
+        "(default: 0.02 — the sweep is seeded, so this is float headroom)",
+    )
+    parser.add_argument(
+        "--gate-tau-floor", type=float, default=None, metavar="TAU",
+        help="absolute floor on the zero-noise tau of every gate metric",
+    )
+    parser.add_argument(
+        "--gate-metrics", type=_int_list, default=(8, 9), metavar="LIST",
+        help="metrics the tau gates apply to (default: 8,9 — the paper's "
+        "best simple metrics)",
+    )
+    parser.add_argument("--serve-workers", type=int, default=2, metavar="N")
+    parser.add_argument(
+        "--skip-serve", action="store_true",
+        help="skip the fleet POST /predict/batch replay of the universe",
+    )
+    parser.add_argument("--output", default="BENCH_study.json")
+    args = parser.parse_args(argv)
+
+    config = SensitivityConfig(
+        family=args.family,
+        seed=args.seed,
+        cells=args.cells,
+        noise_amplitudes=args.amplitudes,
+        calibration_errors=args.calibration_errors,
+    )
+    t0 = time.perf_counter()
+    result = run_sensitivity(config)
+    sweep_seconds = time.perf_counter() - t0
+    zero = result.zero_noise()
+    print(
+        f"universe {args.family}:{args.seed}:{args.cells} -> "
+        f"{result.cell_count} cells ({result.machine_count} machines x "
+        f"{result.application_count} applications), digest "
+        f"{result.universe_digest}"
+    )
+    print(f"sweep         {sweep_seconds:7.3f}s  "
+          f"({len(result.noise)} noise + {len(result.calibration)} "
+          f"calibration points)")
+    for number in sorted(zero.metrics):
+        stats = zero.metrics[number]
+        print(
+            f"  zero-noise #{number}: tau={stats.kendall_tau:+.4f} "
+            f"rho={stats.spearman_rho:+.4f} "
+            f"mean|err|={stats.mean_abs_error:.1f}%"
+        )
+
+    doc = result.to_dict()
+    doc["sweep_seconds"] = round(sweep_seconds, 4)
+    doc["python"] = platform.python_version()
+    doc["machine"] = platform.machine()
+
+    failures: list[str] = []
+    if not args.skip_serve:
+        try:
+            serve = serve_leg(config, args.serve_workers, args.gate_metrics)
+        except Exception as exc:  # the leg is a gate: any failure must fail CI
+            failures.append(f"serve leg: {exc}")
+        else:
+            doc["serve_batch"] = serve
+            print(
+                f"serve batch   {serve['seconds']:7.3f}s  "
+                f"({serve['cells']} cells, "
+                f"{serve['predictions_per_second']:,.0f} predictions/s, "
+                f"{serve['workers']} workers)"
+            )
+            if not serve["repeat_identical"]:
+                failures.append(
+                    "serve leg: repeated POST /predict/batch over the "
+                    "generated universe returned different records"
+                )
+            expected = result.cell_count * len(args.gate_metrics)
+            if serve["cells"] != expected:
+                failures.append(
+                    f"serve leg: batch priced {serve['cells']} cells, "
+                    f"expected {expected} "
+                    f"({result.cell_count} matrix cells x "
+                    f"{len(args.gate_metrics)} metrics)"
+                )
+
+    out = Path(args.output)
+    report = json.loads(out.read_text()) if out.exists() else {}
+    report["sensitivity"] = doc
+    write_atomic(out, json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"report written to {out} (sensitivity section)")
+
+    if args.budget is not None and sweep_seconds > args.budget:
+        failures.append(
+            f"sweep {sweep_seconds:.3f}s exceeds budget {args.budget:.3f}s"
+        )
+    if args.gate_reference is not None:
+        ref = json.loads(Path(args.gate_reference).read_text())
+        ref_zero = next(
+            (
+                point
+                for point in ref["sensitivity"]["noise"]
+                if point["amplitude"] == 0.0
+            ),
+            None,
+        )
+        if ref_zero is None:
+            failures.append(
+                f"{args.gate_reference} has no zero-amplitude sensitivity "
+                f"point to gate against"
+            )
+        else:
+            for number in args.gate_metrics:
+                ref_tau = ref_zero["metrics"][str(number)]["kendall_tau"]
+                got_tau = zero.metrics[number].kendall_tau
+                floor = ref_tau - args.gate_tolerance
+                if got_tau < floor:
+                    failures.append(
+                        f"zero-noise tau of metric #{number} regressed: "
+                        f"{got_tau:.4f} < {floor:.4f} "
+                        f"(reference {ref_tau:.4f} - {args.gate_tolerance})"
+                    )
+                else:
+                    print(
+                        f"gate ok: zero-noise #{number} tau {got_tau:.4f} "
+                        f">= {floor:.4f} (reference {ref_tau:.4f})"
+                    )
+    if args.gate_tau_floor is not None:
+        for number in args.gate_metrics:
+            got_tau = zero.metrics[number].kendall_tau
+            if got_tau < args.gate_tau_floor:
+                failures.append(
+                    f"zero-noise tau of metric #{number} {got_tau:.4f} is "
+                    f"below the {args.gate_tau_floor} floor"
+                )
+            else:
+                print(
+                    f"gate ok: zero-noise #{number} tau {got_tau:.4f} >= "
+                    f"{args.gate_tau_floor} floor"
+                )
+
+    if failures:
+        for failure in failures:
+            print(f"bench-sensitivity: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("bench-sensitivity: all gates held")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,16 @@ Two boundaries carry the architecture and are enforced here:
   objects like BreakerBoard strictly by duck type, so no import is ever
   needed.)
 
+A third boundary guards the scenario catalog (DESIGN.md section 5k):
+``repro.scenarios`` is the id-resolution layer every consumer goes
+through, so it must not import the layers above it (study / serve /
+engine / sim / cli) — except the sensitivity module, which *orchestrates*
+studies and is whitelisted for exactly one edge.  Conversely the scenario
+*builder* modules (``repro.machines.registry``, ``repro.apps.suite``) are
+frozen data: only the catalog's builtin snapshot and the two package
+deprecation shims may import them; everyone else resolves ids through
+``repro.scenarios`` and therefore sees mounted universes too.
+
 Every ``import``/``from`` statement is checked, *including* ones nested
 inside functions — a lazy import is still a dependency edge; laziness
 only changes when the cost is paid.  Allowed exceptions are explicit in
@@ -68,10 +78,43 @@ FORBIDDEN: dict[str, tuple[str, ...]] = {
     # The simulation harness drives study/serve objects, so it sits above
     # them — but it is a library the CLI fronts, never the reverse.
     "repro.sim": ("repro.cli",),
+    # The scenario catalog is the id-resolution layer every consumer
+    # shares; it must stay importable without dragging in orchestration
+    # or serving (the one sensitivity edge is whitelisted below).
+    "repro.scenarios": (
+        "repro.study",
+        "repro.serve",
+        "repro.engine",
+        "repro.sim",
+        "repro.cli",
+    ),
 }
 
 #: (module, imported) pairs exempted from FORBIDDEN, with cause.
-ALLOWED: frozenset[tuple[str, str]] = frozenset()
+ALLOWED: frozenset[tuple[str, str]] = frozenset(
+    {
+        # The sensitivity sweep deliberately *drives* the study runner —
+        # it exists to push generated universes through the exact code
+        # path the paper tables use.  One lazy edge, one direction.
+        ("repro.scenarios.sensitivity", "repro.study.runner"),
+    }
+)
+
+#: Scenario *builder* modules: frozen data behind the catalog.  Direct
+#: imports are banned so every consumer resolves ids through
+#: ``repro.scenarios`` (and thereby sees mounted universes).
+BUILDER_MODULES: tuple[str, ...] = ("repro.machines.registry", "repro.apps.suite")
+
+#: The only modules allowed to import the builders: the catalog's
+#: builtin snapshot, and the two package shims that deprecate the old
+#: module-level dicts.
+BUILDER_IMPORTERS: frozenset[str] = frozenset(
+    {
+        "repro.scenarios.builtin",
+        "repro.machines",
+        "repro.apps",
+    }
+)
 
 #: ``time`` attributes that steer control flow and are therefore banned
 #: outside the Clock seam.  ``perf_counter`` (pure measurement) is not
@@ -178,8 +221,26 @@ def check() -> list[str]:
     return violations
 
 
+def check_builder_imports() -> list[str]:
+    violations: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        mod = module_name(path)
+        if mod in BUILDER_IMPORTERS:
+            continue
+        if any(mod == b or mod.startswith(b + ".") for b in BUILDER_MODULES):
+            continue
+        for line, imported in imports_of(path):
+            if imported in BUILDER_MODULES:
+                violations.append(
+                    f"{path.relative_to(SRC.parent)}:{line}: "
+                    f"{mod} imports {imported} directly "
+                    f"(resolve ids through repro.scenarios)"
+                )
+    return violations
+
+
 def main() -> int:
-    violations = check() + check_time_usage()
+    violations = check() + check_builder_imports() + check_time_usage()
     for v in violations:
         print(v, file=sys.stderr)
     if violations:

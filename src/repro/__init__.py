@@ -26,7 +26,6 @@ Quickstart::
 """
 
 from repro.apps import (
-    APPLICATIONS,
     ApplicationModel,
     BasicBlock,
     CommEvent,
@@ -58,7 +57,6 @@ from repro.core import (
 )
 from repro.machines import (
     BASE_SYSTEM,
-    MACHINES,
     TARGET_SYSTEMS,
     MachineSpec,
     get_machine,
@@ -69,6 +67,21 @@ from repro.study import StudyConfig, StudyResult, run_study
 from repro.tracing import ApplicationTrace, MetaSimTracer, trace_application
 
 __version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    # The deprecated data-dict re-exports resolve lazily through the
+    # package shims, so ``import repro`` itself never warns — only code
+    # that still touches repro.MACHINES / repro.APPLICATIONS does.
+    if name == "MACHINES":
+        from repro import machines
+
+        return machines.MACHINES
+    if name == "APPLICATIONS":
+        from repro import apps
+
+        return apps.APPLICATIONS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "__version__",

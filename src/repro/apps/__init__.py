@@ -12,20 +12,29 @@ a machine with *every* effect enabled (per-level bandwidth, dependency
 serialisation, FP/memory overlap, network contention, load imbalance,
 deterministic noise), producing the "observed" wall-clock times that stand
 in for the paper's Appendix Tables 6-10.
+
+Label resolution lives in the scenario catalog (:mod:`repro.scenarios`):
+:func:`get_application` / :func:`list_applications` here delegate to it,
+so a mounted universe's applications resolve through this module too.
+The module-level ``APPLICATIONS`` dict is deprecated — accessing it warns
+and returns a catalog snapshot of *built models* (label ->
+:class:`~repro.apps.model.ApplicationModel`, where the old suite dict
+held factories); new code should import the catalog directly.
 """
 
+from __future__ import annotations
+
+import warnings
+
+from repro.apps.execution import ExecutionResult, GroundTruthExecutor, observed_time
 from repro.apps.model import ApplicationModel, BasicBlock, CommEvent
 from repro.apps.suite import (
-    APPLICATIONS,
     avus_large,
     avus_standard,
-    get_application,
     hycom_standard,
-    list_applications,
     overflow2_standard,
     rfcth_standard,
 )
-from repro.apps.execution import ExecutionResult, GroundTruthExecutor, observed_time
 
 __all__ = [
     "ApplicationModel",
@@ -43,3 +52,33 @@ __all__ = [
     "ExecutionResult",
     "observed_time",
 ]
+
+
+def get_application(label: str) -> ApplicationModel:
+    """Resolve ``label`` through the scenario catalog (built-ins + universe)."""
+    from repro.scenarios import get_application as resolve
+
+    return resolve(label)
+
+
+def list_applications() -> list[str]:
+    """Labels of every loaded application, catalog order (built-ins first)."""
+    from repro.scenarios import list_applications as loaded
+
+    return list(loaded())
+
+
+def __getattr__(name: str):
+    if name == "APPLICATIONS":
+        warnings.warn(
+            "repro.apps.APPLICATIONS is deprecated: resolve labels through "
+            "repro.scenarios (get_application / CATALOG.application_map()), "
+            "which also sees mounted universes and returns built models "
+            "rather than factories",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.scenarios import CATALOG
+
+        return CATALOG.application_map()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -20,7 +20,17 @@ Subcommands regenerate the paper's artifacts on the terminal:
 * ``sim run`` / ``sim replay`` / ``sim shrink`` — the deterministic
   simulation harness: sweep seeded chaos episodes under virtual time,
   replay the committed regression corpus, or delta-debug a failing
-  episode down to a minimal reproducer.
+  episode down to a minimal reproducer;
+* ``catalog list`` / ``catalog show`` / ``catalog export`` / ``catalog
+  gen`` — scenario-catalog tooling: list every loaded machine and
+  application, print one spec as TOML, snapshot the loaded catalog, or
+  grow a seeded universe file from ``(family, seed, cells)``;
+* ``sensitivity`` — sweep a generated universe through the study under
+  increasing run-to-run noise and spec-calibration error, reporting
+  per-metric rank correlation and signed-error degradation.
+
+``--universe`` mounts a generated or TOML-loaded universe before any id
+resolves, for every artifact above.
 """
 
 from __future__ import annotations
@@ -31,12 +41,11 @@ import signal
 import sys
 import threading
 
-from repro.apps.suite import list_applications
 from repro.core.errors import EventLogCorruptError, ReproError, StudyAbortedError
 from repro.core.options import CacheModel, Mode
 from repro.core.registry import REGISTRY
-from repro.machines.registry import MACHINES
 from repro.probes.suite import probe_machine
+from repro.scenarios import CATALOG
 from repro.reporting.ascii_charts import bar_chart, line_chart
 from repro.reporting.export import result_to_csv
 from repro.study.runner import StudyResult, run_study, shutdown_pool
@@ -60,7 +69,7 @@ def _print_table5(result: StudyResult) -> None:
 
 
 def _print_figures(result: StudyResult) -> None:
-    for app in list_applications():
+    for app in result.config.applications:
         print(T.figures3_7_series(result, app).render())
 
 
@@ -80,7 +89,7 @@ def _print_figure1() -> None:
 
 
 def _print_appendix(result: StudyResult) -> None:
-    for app in list_applications():
+    for app in result.config.applications:
         print(T.appendix_runtimes(result, app).render())
 
 
@@ -99,7 +108,7 @@ def _print_cost(result: StudyResult) -> None:
 
 
 def _print_probes() -> None:
-    for name, machine in MACHINES.items():
+    for name, machine in CATALOG.machine_map().items():
         summary = probe_machine(machine).summary()
         row = "  ".join(f"{k}={v:.3g}" for k, v in summary.items())
         print(f"{name:15s} {row}")
@@ -133,7 +142,8 @@ def _serve(args, faults) -> int:
     print(
         f"repro-study: serving predictions on http://{host}:{port} "
         f"(deadline {service.default_deadline:g}s; routes: /predict, "
-        f"/healthz, /readyz, /events/stats; Ctrl-C stops, SIGTERM drains)",
+        f"/healthz, /readyz, /events/stats, /catalog; Ctrl-C stops, "
+        f"SIGTERM drains)",
         file=sys.stderr,
     )
     _install_sigterm(
@@ -180,16 +190,18 @@ def _serve_fleet(args, faults) -> int:
             "store": args.cache_dir,
             "events_dir": args.events_dir,
             "default_deadline": deadline,
-            # FaultPlan crosses the fork/spawn boundary as its spec string.
+            # FaultPlan crosses the fork/spawn boundary as its spec
+            # string; the universe crosses as its catalog ref.
             "faults": args.inject_faults,
+            "universe": args.universe,
         },
     )
     host, port = server.start()
     print(
         f"repro-study: serving predictions on http://{host}:{port} "
         f"({args.workers} workers; deadline {deadline:g}s; routes: /predict, "
-        f"/predict/batch, /healthz, /readyz, /events/stats; Ctrl-C stops, "
-        f"SIGTERM drains)",
+        f"/predict/batch, /healthz, /readyz, /events/stats, /catalog; "
+        f"Ctrl-C stops, SIGTERM drains)",
         file=sys.stderr,
     )
     stop = threading.Event()
@@ -272,6 +284,172 @@ def _events_action(action: str, events_dir: str, limit: int) -> int:
     # rebuild: reconstruct every projection view from the raw log alone.
     views = ProjectionEngine.rebuild(events_dir).views()
     print(json.dumps(views, indent=2, sort_keys=True))
+    return 0
+
+
+def _catalog_action(args, parser) -> int:
+    """Catalog tooling: ``catalog list|show|export|gen``."""
+    from pathlib import Path
+
+    from repro.scenarios.spec_io import dumps_universe
+
+    def emit(text: str, what: str) -> None:
+        if args.out is not None:
+            Path(args.out).write_text(text)
+            print(f"repro-study: catalog {args.action}: {what} written to {args.out}")
+        else:
+            sys.stdout.write(text)
+
+    if args.action == "gen":
+        if args.family is None:
+            parser.error("catalog gen: --family is required")
+        from repro.scenarios.generate import generate_universe
+
+        universe = generate_universe(args.family, args.seed, args.cells)
+        emit(
+            dumps_universe(
+                universe.machines, universe.applications, ref=universe.ref
+            ),
+            f"universe {universe.ref}",
+        )
+        print(
+            f"repro-study: catalog gen {universe.ref}: "
+            f"{len(universe.machines)} machine(s) x "
+            f"{len(universe.applications)} application(s) = "
+            f"{universe.cell_count()} cell(s), digest {universe.digest()}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.action == "show":
+        if args.id is None:
+            parser.error("catalog show: --id is required")
+        if CATALOG.has_machine(args.id):
+            emit(dumps_universe((CATALOG.machine(args.id),), ()), args.id)
+        elif CATALOG.has_application(args.id):
+            emit(dumps_universe((), (CATALOG.application(args.id),)), args.id)
+        else:
+            from repro.core.errors import UnknownIdError
+            from repro.util.validation import nearest_ids
+
+            known = CATALOG.machine_ids() + CATALOG.application_ids()
+            raise UnknownIdError(
+                "catalog entry", args.id, known, nearest_ids(args.id, known)
+            )
+        return 0
+
+    if args.action == "export":
+        # A snapshot of everything loaded (built-ins plus any mounted
+        # universe).  No [universe] ref: the snapshot collides with the
+        # built-ins by construction, so it documents rather than mounts.
+        emit(
+            dumps_universe(
+                tuple(CATALOG.machine_map().values()),
+                tuple(CATALOG.application_map().values()),
+            ),
+            f"{len(CATALOG.machine_ids())} machine(s), "
+            f"{len(CATALOG.application_ids())} application(s)",
+        )
+        return 0
+
+    # list: one line per loaded entry, built-ins first (catalog order).
+    universe = CATALOG.universe
+    if universe is not None:
+        print(f"universe {universe.ref} mounted (digest {universe.digest()})")
+    from_universe_machines = (
+        {m.name for m in universe.machines} if universe is not None else set()
+    )
+    from_universe_apps = (
+        {a.label for a in universe.applications} if universe is not None else set()
+    )
+    print(f"machines ({len(CATALOG.machine_ids())}):")
+    for name, spec in CATALOG.machine_map().items():
+        source = "universe" if name in from_universe_machines else "builtin"
+        print(
+            f"  {name:24s} {source:8s} {spec.cpus:6d} cpus  "
+            f"{spec.description or spec.architecture}"
+        )
+    print(f"applications ({len(CATALOG.application_ids())}):")
+    for label, app in CATALOG.application_map().items():
+        source = "universe" if label in from_universe_apps else "builtin"
+        counts = ",".join(str(c) for c in app.cpu_counts)
+        print(f"  {label:24s} {source:8s} cpus [{counts}]  {app.description}")
+    return 0
+
+
+def _parse_float_list(parser, flag: str, text: str) -> tuple[float, ...]:
+    try:
+        values = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        parser.error(f"{flag}: expected comma-separated numbers, got {text!r}")
+    if not values:
+        parser.error(f"{flag}: expected at least one value")
+    return values
+
+
+def _sensitivity_action(args, parser, metrics) -> int:
+    """Sensitivity sweep: ``repro-study sensitivity``."""
+    from pathlib import Path
+
+    from repro.scenarios.sensitivity import SensitivityConfig, run_sensitivity
+
+    overrides: dict = {}
+    if metrics is not None:
+        overrides["metrics"] = metrics
+    if args.amplitudes is not None:
+        overrides["noise_amplitudes"] = _parse_float_list(
+            parser, "--amplitudes", args.amplitudes
+        )
+    if args.calibration_errors is not None:
+        overrides["calibration_errors"] = _parse_float_list(
+            parser, "--calibration-errors", args.calibration_errors
+        )
+    if args.sample_size is not None:
+        overrides["sample_size"] = args.sample_size
+    config = SensitivityConfig(
+        family=args.family or "mixed",
+        seed=args.seed,
+        cells=args.cells,
+        **overrides,
+    )
+    result = run_sensitivity(config, workers=args.workers, store=args.cache_dir)
+    print(
+        f"Sensitivity sweep over {config.family}:{config.seed}:{config.cells} "
+        f"({result.machine_count} machine(s) x {result.application_count} "
+        f"application(s) = {result.cell_count} cell(s), "
+        f"digest {result.universe_digest})"
+    )
+    for title, points in (
+        ("noise amplitude", result.noise),
+        ("calibration error", result.calibration),
+    ):
+        if not points:
+            continue
+        print()
+        print(f"{title} sweep")
+        print(
+            f"{title.split()[-1]:>10s} {'metric':>7s} {'tau':>7s} "
+            f"{'rho':>7s} {'mean |err| %':>13s} {'p5..p95 signed %':>20s}"
+        )
+        for point in points:
+            for number, stats in sorted(point.metrics.items()):
+                span = (
+                    f"{stats.p5_signed_error:.1f} .. {stats.p95_signed_error:.1f}"
+                )
+                print(
+                    f"{point.amplitude:10.3f} {'#' + str(number):>7s} "
+                    f"{stats.kendall_tau:7.3f} {stats.spearman_rho:7.3f} "
+                    f"{stats.mean_abs_error:13.1f} {span:>20s}"
+                )
+    if args.report is not None:
+        out = Path(args.report)
+        report = json.loads(out.read_text()) if out.exists() else {}
+        report["sensitivity"] = result.to_dict()
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(
+            f"repro-study: sensitivity report merged into {out} "
+            "(sensitivity section)"
+        )
     return 0
 
 
@@ -448,12 +626,16 @@ def _run(argv: list[str] | None) -> int:
             "store",
             "events",
             "sim",
+            "catalog",
+            "sensitivity",
         ],
         nargs="?",
         default="table4",
         help="which paper artifact to regenerate (default: table4), "
-        "'store' for cache maintenance, 'events' for event-log audit, or "
-        "'sim' for the deterministic simulation harness",
+        "'store' for cache maintenance, 'events' for event-log audit, "
+        "'sim' for the deterministic simulation harness, 'catalog' for "
+        "scenario-catalog tooling, or 'sensitivity' for the generated-"
+        "universe noise/calibration sweep",
     )
     parser.add_argument(
         "action",
@@ -466,6 +648,10 @@ def _run(argv: list[str] | None) -> int:
             "run",
             "replay",
             "shrink",
+            "list",
+            "show",
+            "export",
+            "gen",
         ],
         nargs="?",
         default=None,
@@ -478,7 +664,11 @@ def _run(argv: list[str] | None) -> int:
         "--events-dir); with 'sim': 'run' sweeps seeded chaos episodes "
         "under virtual time (exit 1 on any invariant violation), 'replay' "
         "re-executes the committed corpus under --corpus, 'shrink' "
-        "delta-debugs a failing episode to a minimal reproducer",
+        "delta-debugs a failing episode to a minimal reproducer; with "
+        "'catalog': 'list' prints every loaded machine/application id, "
+        "'show' prints one spec as TOML (--id), 'export' snapshots the "
+        "loaded catalog as TOML, 'gen' grows a seeded universe file "
+        "(--family/--seed/--cells)",
     )
     parser.add_argument(
         "--no-noise",
@@ -610,7 +800,8 @@ def _run(argv: list[str] | None) -> int:
         default=0,
         metavar="N",
         help="sim: first episode seed (run sweeps N..N+episodes-1; "
-        "shrink targets exactly N; default: 0)",
+        "shrink targets exactly N); catalog gen / sensitivity: the "
+        "universe generator seed (default: 0)",
     )
     parser.add_argument(
         "--canary",
@@ -637,15 +828,70 @@ def _run(argv: list[str] | None) -> int:
         "--out",
         default=None,
         metavar="FILE",
-        help="sim shrink: write the corpus-ready reproducer JSON to FILE "
-        "instead of stdout",
+        help="sim shrink / catalog show|export|gen: write the output "
+        "(reproducer JSON, spec or universe TOML) to FILE instead of "
+        "stdout",
     )
     parser.add_argument(
         "--report",
         default=None,
         metavar="FILE",
-        help="sim run: merge a 'sim' section (episode count, violations, "
-        "elapsed) into the benchmark report JSON at FILE",
+        help="sim run / sensitivity: merge a 'sim' or 'sensitivity' "
+        "section into the benchmark report JSON at FILE",
+    )
+    parser.add_argument(
+        "--universe",
+        default=None,
+        metavar="REF",
+        help="mount a scenario universe before any id resolves: "
+        "'family:seed:cells' (e.g. 'mixed:42:1000') regenerates a seeded "
+        "universe, anything else is read as a universe TOML path; study "
+        "artifacts then sweep the universe's own matrix, and 'serve' "
+        "accepts (and suggests) its ids",
+    )
+    parser.add_argument(
+        "--id",
+        default=None,
+        metavar="NAME",
+        help="catalog show: the machine name or application label to "
+        "print as TOML",
+    )
+    parser.add_argument(
+        "--family",
+        default=None,
+        metavar="NAME",
+        help="catalog gen / sensitivity: generator family — hierarchy, "
+        "numa, hotnode or mixed (sensitivity default: mixed)",
+    )
+    parser.add_argument(
+        "--cells",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="catalog gen / sensitivity: minimum prediction-cell count "
+        "of the generated universe (default: 1000)",
+    )
+    parser.add_argument(
+        "--amplitudes",
+        default=None,
+        metavar="LIST",
+        help="sensitivity: comma-separated noise amplitudes to sweep "
+        "(default: 0,0.02,0.05,0.1,0.2)",
+    )
+    parser.add_argument(
+        "--calibration-errors",
+        default=None,
+        metavar="LIST",
+        help="sensitivity: comma-separated machine-spec calibration "
+        "error magnitudes to sweep (default: 0,0.05,0.1)",
+    )
+    parser.add_argument(
+        "--sample-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sensitivity: per-cell tensor sample size (default and "
+        "minimum: 64; larger is finer and slower)",
     )
     parser.add_argument(
         "--inject-faults",
@@ -689,6 +935,17 @@ def _run(argv: list[str] | None) -> int:
         if not metrics:
             parser.error("--metrics: expected at least one metric")
 
+    universe = None
+    if args.universe is not None:
+        from repro.scenarios import mount_universe
+
+        try:
+            universe = mount_universe(args.universe)
+        except OSError as exc:
+            parser.error(f"--universe: {exc}")
+        except ValueError as exc:
+            parser.error(f"--universe: {exc}")
+
     if args.artifact == "store":
         if args.action not in ("migrate", "info"):
             parser.error("store: expected an action ('migrate' or 'info')")
@@ -707,12 +964,21 @@ def _run(argv: list[str] | None) -> int:
         if args.action not in ("run", "replay", "shrink"):
             parser.error("sim: expected an action ('run', 'replay' or 'shrink')")
         return _sim_action(args, parser)
+    if args.artifact == "catalog":
+        if args.action not in ("list", "show", "export", "gen"):
+            parser.error(
+                "catalog: expected an action ('list', 'show', 'export' "
+                "or 'gen')"
+            )
+        return _catalog_action(args, parser)
     if args.action is not None:
         parser.error(
-            f"{args.action!r} only applies to the 'store', 'events' or "
-            "'sim' artifact"
+            f"{args.action!r} only applies to the 'store', 'events', "
+            "'sim' or 'catalog' artifact"
         )
 
+    if args.artifact == "sensitivity":
+        return _sensitivity_action(args, parser, metrics)
     if args.artifact == "serve":
         return _serve(args, faults)
 
@@ -730,6 +996,13 @@ def _run(argv: list[str] | None) -> int:
         from repro.study.runner import StudyConfig
 
         overrides = {} if metrics is None else {"metrics": metrics}
+        if universe is not None:
+            # Sweep the mounted universe's own matrix (predictions stay
+            # anchored to the built-in base system).
+            overrides["applications"] = tuple(
+                a.label for a in universe.applications
+            )
+            overrides["systems"] = tuple(m.name for m in universe.machines)
         config = StudyConfig(
             mode=args.mode,
             noise=not args.no_noise,

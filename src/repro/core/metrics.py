@@ -274,10 +274,13 @@ class CompositeMetric(Metric):
         lazily over every registered machine's (cached) probe suite."""
         if self._rating is None:
             from repro.core.balanced import BalancedRating
-            from repro.machines.registry import MACHINES
+            from repro.scenarios import CATALOG
             from repro.probes.suite import probe_machine
 
-            probes = {name: probe_machine(spec) for name, spec in MACHINES.items()}
+            probes = {
+                name: probe_machine(spec)
+                for name, spec in CATALOG.machine_map().items()
+            }
             self._rating = BalancedRating(probes, self.weights)
         return self._rating
 

@@ -18,9 +18,8 @@ import warnings
 from dataclasses import dataclass
 
 from repro.apps.model import ApplicationModel
-from repro.apps.suite import get_application
 from repro.core.metrics import ALL_METRICS, Metric, PredictionContext, get_metric
-from repro.machines.registry import BASE_SYSTEM, get_machine
+from repro.scenarios import BASE_SYSTEM, get_application, get_machine
 from repro.machines.spec import MachineSpec
 from repro.tracing.metasim import DEFAULT_SAMPLE_SIZE
 

@@ -31,11 +31,10 @@ import threading
 from collections import OrderedDict
 
 from repro.apps.execution import executor_for
-from repro.apps.suite import get_application
 from repro.core.metrics import PredictionContext, predict_all, resolve_metrics
 from repro.engine.middleware import StageRunner, TimingMiddleware
 from repro.engine.plan import MatrixPlan, PointPlan, PredictionRecord, ProbeBundle
-from repro.machines.registry import BASE_SYSTEM, get_machine
+from repro.scenarios import BASE_SYSTEM, get_application, get_machine
 from repro.probes.suite import probe_machine
 from repro.tracing.metasim import DEFAULT_SAMPLE_SIZE, trace_application
 from repro.tracing.store import TraceStore

@@ -11,20 +11,24 @@ systems of the paper's Tables 1 and 2 — the ten prediction targets plus the
 NAVO p690 base system used for tracing and as the reference of Equation 1.
 Parameters are tuned to the published characteristics of each architecture;
 they are *models*, standing in for hardware we do not have (see DESIGN.md §2).
+
+Id resolution lives in the scenario catalog (:mod:`repro.scenarios`):
+:func:`get_machine` / :func:`list_machines` here delegate to it, so a
+mounted universe's machines resolve through this module too.  The
+module-level ``MACHINES`` dict is deprecated — accessing it warns and
+returns a catalog snapshot; new code should import the catalog directly.
 """
 
+from __future__ import annotations
+
+import warnings
+
+from repro.machines.registry import BASE_SYSTEM, TARGET_SYSTEMS
 from repro.machines.spec import (
     MachineSpec,
     MemoryLevelSpec,
     NetworkSpec,
     ProcessorSpec,
-)
-from repro.machines.registry import (
-    BASE_SYSTEM,
-    MACHINES,
-    TARGET_SYSTEMS,
-    get_machine,
-    list_machines,
 )
 
 __all__ = [
@@ -38,3 +42,32 @@ __all__ = [
     "get_machine",
     "list_machines",
 ]
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Resolve ``name`` through the scenario catalog (built-ins + universe)."""
+    from repro.scenarios import get_machine as resolve
+
+    return resolve(name)
+
+
+def list_machines() -> list[str]:
+    """Names of every loaded system, catalog order (built-ins first)."""
+    from repro.scenarios import list_machines as loaded
+
+    return list(loaded())
+
+
+def __getattr__(name: str):
+    if name == "MACHINES":
+        warnings.warn(
+            "repro.machines.MACHINES is deprecated: resolve ids through "
+            "repro.scenarios (get_machine / CATALOG.machine_map()), which "
+            "also sees mounted universes",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.scenarios import CATALOG
+
+        return CATALOG.machine_map()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,45 @@
+"""Scenario catalog layer: machines and applications as data, not code.
+
+Resolution (:mod:`repro.scenarios.catalog`) is the package's heart — one
+process-wide :data:`~repro.scenarios.catalog.CATALOG` every consumer
+(engine, predictor, study, serve, CLI) looks ids up through, with the
+paper's eleven systems and five test cases frozen in as built-ins
+(:mod:`repro.scenarios.builtin`) and at most one generated or TOML-loaded
+universe mounted on top.  :mod:`repro.scenarios.spec_io` round-trips
+specs through TOML, :mod:`repro.scenarios.generate` grows reproducible
+universes from ``(family, seed, cells)``, and
+:mod:`repro.scenarios.sensitivity` sweeps them to measure how metric
+fidelity degrades with noise and calibration error.
+"""
+
+from repro.scenarios.catalog import (
+    CATALOG,
+    ScenarioCatalog,
+    Universe,
+    content_fingerprint,
+    get_application,
+    get_machine,
+    list_applications,
+    list_machines,
+    mount_universe,
+    resolve_universe,
+    unmount_universe,
+)
+from repro.scenarios.builtin import BASE_SYSTEM, TARGET_SYSTEMS, builtin_digest
+
+__all__ = [
+    "BASE_SYSTEM",
+    "CATALOG",
+    "ScenarioCatalog",
+    "TARGET_SYSTEMS",
+    "Universe",
+    "builtin_digest",
+    "content_fingerprint",
+    "get_application",
+    "get_machine",
+    "list_applications",
+    "list_machines",
+    "mount_universe",
+    "resolve_universe",
+    "unmount_universe",
+]

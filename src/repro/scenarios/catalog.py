@@ -1,0 +1,338 @@
+"""The scenario catalog: machines and applications as first-class data.
+
+Historically the study's scenarios were *code*: :mod:`repro.machines.registry`
+built eleven :class:`~repro.machines.spec.MachineSpec` objects into a
+module-level dict and :mod:`repro.apps.suite` exposed five application
+factories, and every consumer (engine, predictor, study runner, serve tier,
+CLI) imported those dicts directly.  That made the 5 x 10 paper matrix a
+closed world — there was no way to point the same pipeline at a different
+machine/application universe without editing source.
+
+This module is the refactor's pivot.  A :class:`ScenarioCatalog` holds the
+frozen built-in entries (constructed exactly once from the original
+builders, so content digests are byte-identical to the pre-refactor
+objects) and can *mount* one generated or TOML-loaded
+:class:`Universe` on top.  All id resolution in the package goes through
+the process-wide :data:`CATALOG`:
+
+* unknown ids raise :class:`~repro.core.errors.UnknownIdError` with
+  nearest-match suggestions drawn from *whatever is loaded* — so serve-tier
+  400 responses automatically list generated-universe ids when a universe
+  is mounted;
+* ``"label@k"`` replica suffixes resolve here with the exact semantics the
+  suite used (parsed, never registered), so parallel study workers stay
+  oblivious to ``--scale``;
+* mounting is cheap, reversible and versioned; derived caches elsewhere key
+  on machine fingerprints and application labels, so remounting a different
+  universe can never alias a stale entry.
+
+The catalog sits *below* :mod:`repro.core` (it is data, not policy): the
+only core dependency is a lazy import of the error type, mirroring
+:func:`repro.util.validation.check_known`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import threading
+from dataclasses import dataclass
+
+from repro.apps.model import ApplicationModel
+from repro.machines.spec import MachineSpec
+from repro.util.validation import nearest_ids
+
+__all__ = [
+    "CATALOG",
+    "ScenarioCatalog",
+    "Universe",
+    "content_fingerprint",
+    "get_application",
+    "get_machine",
+    "list_applications",
+    "list_machines",
+    "mount_universe",
+    "resolve_universe",
+    "unmount_universe",
+]
+
+
+def content_fingerprint(spec: object) -> str:
+    """Stable content digest of a spec dataclass (blake2b-16 of ``repr``).
+
+    The same idiom as :meth:`repro.machines.spec.MachineSpec.fingerprint`,
+    usable for :class:`~repro.apps.model.ApplicationModel` too: frozen
+    dataclasses of floats/strings/enums repr deterministically, so equal
+    content means equal digest in any process.
+    """
+    return hashlib.blake2b(repr(spec).encode(), digest_size=16).hexdigest()
+
+
+@dataclass(frozen=True)
+class Universe:
+    """An immutable set of scenario entries mountable on the catalog.
+
+    Attributes
+    ----------
+    ref:
+        The picklable string this universe was resolved from — either a
+        generator spec ``"family:seed:cells"`` or a TOML file path.
+        Workers in other processes re-resolve the same universe from this
+        ref alone (see :func:`resolve_universe`).
+    machines, applications:
+        The entries; names/labels must not collide with each other.
+        Collisions *with built-ins* are rejected at mount time instead, so
+        a universe file is not coupled to the built-in id set.
+    """
+
+    ref: str
+    machines: tuple[MachineSpec, ...]
+    applications: tuple[ApplicationModel, ...]
+
+    def __post_init__(self):
+        names = [m.name for m in self.machines]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate machine names in universe {self.ref!r}")
+        labels = [a.label for a in self.applications]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate application labels in universe {self.ref!r}")
+        for label in labels:
+            if "@" in label:
+                raise ValueError(
+                    f"application label {label!r} in universe {self.ref!r} "
+                    "contains '@' (reserved for replica suffixes)"
+                )
+
+    def digest(self) -> str:
+        """Order-sensitive digest over every entry's content fingerprint."""
+        h = hashlib.blake2b(digest_size=16)
+        for machine in self.machines:
+            h.update(machine.fingerprint().encode())
+            h.update(b"\x1f")
+        for app in self.applications:
+            h.update(content_fingerprint(app).encode())
+            h.update(b"\x1f")
+        return h.hexdigest()
+
+    def cell_count(self) -> int:
+        """Non-blank study cells this universe spans (paper blank-cell rule)."""
+        return sum(
+            1
+            for app in self.applications
+            for cpus in app.cpu_counts
+            for machine in self.machines
+            if cpus <= machine.cpus
+        )
+
+
+class ScenarioCatalog:
+    """Built-in scenario entries plus at most one mounted :class:`Universe`.
+
+    Lookup order is universe-first for ids the universe defines, built-ins
+    otherwise; id listings are built-ins first (preserving the registry
+    order every table and error message already depends on) followed by
+    universe entries.  ``version`` increments on every mount/unmount so
+    derived caches can invalidate, mirroring
+    :class:`repro.core.registry.MetricRegistry`.
+    """
+
+    def __init__(
+        self,
+        machines: dict[str, MachineSpec],
+        applications: dict[str, ApplicationModel],
+    ):
+        self._builtin_machines = dict(machines)
+        self._builtin_applications = dict(applications)
+        self._universe: Universe | None = None
+        self._machines = dict(self._builtin_machines)
+        self._applications = dict(self._builtin_applications)
+        self._lock = threading.RLock()
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def machine(self, name: str) -> MachineSpec:
+        """The machine called ``name``, built-in or mounted.
+
+        Raises :class:`~repro.core.errors.UnknownIdError` (a
+        :class:`KeyError` subclass, so pre-catalog handlers keep working)
+        with nearest-match suggestions over everything loaded.
+        """
+        try:
+            return self._machines[name]
+        except KeyError:
+            from repro.core.errors import UnknownIdError
+
+            known = self.machine_ids()
+            raise UnknownIdError(
+                "machine", name, known, nearest_ids(name, known)
+            ) from None
+
+    def application(self, label: str) -> ApplicationModel:
+        """The application labelled ``label``, with ``"label@k"`` replicas.
+
+        Replica semantics are exactly the suite's: the suffix is parsed
+        here, never registered, so replicas resolve in any process; a bad
+        suffix on a known base raises a plain :class:`KeyError` (the serve
+        boundary maps it to a 400 ``BadParameter``).
+        """
+        base_label, sep, suffix = label.partition("@")
+        try:
+            app = self._applications[base_label]
+        except KeyError:
+            from repro.core.errors import UnknownIdError
+
+            known = self.application_ids()
+            raise UnknownIdError(
+                "application", label, known, nearest_ids(label, known)
+            ) from None
+        if not sep:
+            return app
+        if not suffix.isdigit() or int(suffix) <= 0:
+            raise KeyError(
+                f"bad replica suffix in {label!r}; expected '<label>@<positive int>'"
+            )
+        # label round-trips: app.label == f"{base_label}@{suffix}"
+        return dataclasses.replace(app, testcase=f"{app.testcase}@{suffix}")
+
+    def machine_ids(self) -> tuple[str, ...]:
+        """Every loaded machine name, built-ins first, then universe order."""
+        return tuple(self._machines)
+
+    def application_ids(self) -> tuple[str, ...]:
+        """Every loaded application label, built-ins first, then universe."""
+        return tuple(self._applications)
+
+    def machine_map(self) -> dict[str, MachineSpec]:
+        """Fresh name -> spec dict of everything loaded (iteration helper)."""
+        return dict(self._machines)
+
+    def application_map(self) -> dict[str, ApplicationModel]:
+        """Fresh label -> model dict of everything loaded."""
+        return dict(self._applications)
+
+    def has_machine(self, name: str) -> bool:
+        return name in self._machines
+
+    def has_application(self, label: str) -> bool:
+        """True when ``label`` (sans any replica suffix) is loaded."""
+        return label.partition("@")[0] in self._applications
+
+    # ------------------------------------------------------------------
+    # universes
+    # ------------------------------------------------------------------
+    @property
+    def universe(self) -> Universe | None:
+        return self._universe
+
+    @property
+    def universe_ref(self) -> str | None:
+        """Picklable ref of the mounted universe (ships to worker processes)."""
+        return None if self._universe is None else self._universe.ref
+
+    def mount(self, universe: Universe) -> None:
+        """Mount ``universe`` on top of the built-ins (replacing any other).
+
+        Validates every entry against built-in ids before touching state —
+        a failed mount leaves the catalog exactly as it was.
+        """
+        for machine in universe.machines:
+            if machine.name in self._builtin_machines:
+                raise ValueError(
+                    f"universe machine {machine.name!r} collides with a "
+                    "built-in system"
+                )
+        for app in universe.applications:
+            if app.label in self._builtin_applications:
+                raise ValueError(
+                    f"universe application {app.label!r} collides with a "
+                    "built-in test case"
+                )
+        with self._lock:
+            self._universe = universe
+            self._machines = dict(self._builtin_machines)
+            self._machines.update({m.name: m for m in universe.machines})
+            self._applications = dict(self._builtin_applications)
+            self._applications.update({a.label: a for a in universe.applications})
+            self.version += 1
+
+    def unmount(self) -> None:
+        """Drop any mounted universe, restoring the built-in-only view."""
+        with self._lock:
+            if self._universe is None:
+                return
+            self._universe = None
+            self._machines = dict(self._builtin_machines)
+            self._applications = dict(self._builtin_applications)
+            self.version += 1
+
+
+def _builtin_catalog() -> ScenarioCatalog:
+    from repro.scenarios.builtin import builtin_applications, builtin_machines
+
+    return ScenarioCatalog(builtin_machines(), builtin_applications())
+
+
+#: The process-wide catalog every consumer resolves ids through.
+CATALOG = _builtin_catalog()
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Resolve ``name`` through the process catalog (universe-aware)."""
+    return CATALOG.machine(name)
+
+
+def get_application(label: str) -> ApplicationModel:
+    """Resolve ``label`` (including replicas) through the process catalog."""
+    return CATALOG.application(label)
+
+
+def list_machines() -> list[str]:
+    """Names of every loaded system, built-in registry order first."""
+    return list(CATALOG.machine_ids())
+
+
+def list_applications() -> list[str]:
+    """Labels of every loaded test case, built-in study order first."""
+    return list(CATALOG.application_ids())
+
+
+def resolve_universe(ref: str) -> Universe:
+    """Build the :class:`Universe` a ref names, without mounting it.
+
+    Two ref shapes, disambiguated by syntax:
+
+    * ``"family:seed:cells"`` — a generator spec; resolved by
+      :func:`repro.scenarios.generate.generate_universe`, so the same ref
+      reproduces the same universe in any process.
+    * anything else — a path to a TOML catalog file written by
+      ``repro-study catalog export``/``gen`` (see
+      :mod:`repro.scenarios.spec_io`).
+    """
+    parts = ref.split(":")
+    if len(parts) == 3 and parts[1].lstrip("-").isdigit() and parts[2].isdigit():
+        from repro.scenarios.generate import generate_universe
+
+        return generate_universe(parts[0], int(parts[1]), int(parts[2]))
+    from repro.scenarios.spec_io import load_universe
+
+    return load_universe(ref)
+
+
+def mount_universe(ref: str) -> Universe:
+    """Resolve ``ref`` and mount it on the process catalog; returns it.
+
+    Mounting the ref that is already mounted is a no-op (keeps pool
+    initializers and fleet workers idempotent).
+    """
+    if CATALOG.universe_ref == ref:
+        return CATALOG.universe  # type: ignore[return-value]
+    universe = resolve_universe(ref)
+    CATALOG.mount(universe)
+    return universe
+
+
+def unmount_universe() -> None:
+    """Drop any mounted universe from the process catalog."""
+    CATALOG.unmount()

@@ -1,0 +1,301 @@
+"""Seeded generator families: reproducible machine/application universes.
+
+The paper's matrix is 5 applications x 10 target machines.  The ROADMAP
+asks for a machine *space* — enough scenarios to ask distribution-level
+questions ("how does metric #8's ranking fidelity degrade with noise?")
+instead of eleven anecdotes.  This module grows that space from the
+built-in archetypes, deterministically:
+
+* every draw flows through :func:`repro.util.rng.stable_rng` keyed by
+  ``(family, seed, role, index)``, so a universe is a pure function of
+  ``(family, seed, cells)`` — two processes (or two CI runs) that name
+  the same triple get content-identical specs, byte for byte;
+* machines are *family-shaped* perturbations of the built-in systems —
+  ``hierarchy`` deepens the cache hierarchy with an extra level,
+  ``numa`` models multi-socket nodes (bigger cpu counts, a near-memory
+  level, slower and more contended far memory), ``hotnode`` trades for
+  high-FLOP/low-latency nodes, and ``mixed`` draws a style per machine;
+* applications perturb or interpolate the five TI-05 archetypes:
+  operation mixes and working-set laws jitter log-normally, stride
+  histograms are re-normalised through
+  :meth:`~repro.memory.patterns.StrideHistogram.normalised`, and MPI
+  signatures scale count/size within validated ranges.
+
+Every generated spec goes through the ordinary dataclass constructors, so
+``__post_init__`` validation runs — a universe that builds is a universe
+the engine can run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.apps.model import ApplicationModel, BasicBlock, CommEvent
+from repro.machines.spec import MachineSpec, MemoryLevelSpec, NetworkSpec
+from repro.memory.patterns import StrideHistogram
+from repro.scenarios.builtin import builtin_applications, builtin_machines
+from repro.scenarios.catalog import Universe
+from repro.util.rng import stable_rng
+from repro.util.validation import nearest_ids
+
+__all__ = ["FAMILIES", "generate_universe"]
+
+#: Generator families; ``mixed`` draws one of the others per machine.
+FAMILIES: tuple[str, ...] = ("hierarchy", "numa", "hotnode", "mixed")
+
+#: Generated machines are provisioned to at least this many processors so
+#: no generated (application, cpus) row ever hits the paper's blank-cell
+#: rule — making the universe's cell count an exact function of its shape.
+_MIN_CPUS = 512
+
+_RNG_NS = "scenarios.generate"
+
+
+def _clamp(value: float, lo: float, hi: float) -> float:
+    return min(max(value, lo), hi)
+
+
+def _jitter(rng, value: float, sigma: float = 0.2) -> float:
+    """Log-normal multiplicative jitter: positive, centred near ``value``."""
+    return float(value * math.exp(rng.normal(0.0, sigma)))
+
+
+def _perturb_level(rng, lvl: MemoryLevelSpec, size_factor: float) -> MemoryLevelSpec:
+    size = lvl.size_bytes if math.isinf(lvl.size_bytes) else lvl.size_bytes * size_factor
+    return dataclasses.replace(
+        lvl,
+        size_bytes=size,
+        bandwidth=_jitter(rng, lvl.bandwidth, 0.15),
+        latency=_jitter(rng, lvl.latency, 0.15),
+        mlp=_clamp(_jitter(rng, lvl.mlp, 0.1), 1.0, 16.0),
+        dependent_stream_factor=_clamp(
+            _jitter(rng, lvl.dependent_stream_factor, 0.1), 0.05, 1.0
+        ),
+    )
+
+
+def _mid_level(name: str, below: MemoryLevelSpec, above: MemoryLevelSpec, rng) -> MemoryLevelSpec:
+    """A level geometrically between ``below`` and ``above`` (sizes ascend).
+
+    ``above`` may be main memory (infinite size); the new level then
+    extends the finite ladder instead of interpolating.
+    """
+    if math.isinf(above.size_bytes):
+        size = below.size_bytes * float(rng.uniform(6.0, 12.0))
+    else:
+        size = math.sqrt(below.size_bytes * above.size_bytes)
+    return MemoryLevelSpec(
+        name=name,
+        size_bytes=size,
+        bandwidth=math.sqrt(below.bandwidth * above.bandwidth),
+        latency=math.sqrt(below.latency * above.latency),
+        line_bytes=above.line_bytes if not math.isinf(above.size_bytes) else below.line_bytes,
+        mlp=(below.mlp + above.mlp) / 2.0,
+        dependent_stream_factor=(
+            below.dependent_stream_factor + above.dependent_stream_factor
+        )
+        / 2.0,
+    )
+
+
+def _machine(family: str, seed: int, index: int, style: str, archetype: MachineSpec) -> MachineSpec:
+    rng = stable_rng(_RNG_NS, family, seed, "machine", index)
+    proc = archetype.processor
+    levels = list(archetype.memory_levels)
+    net = archetype.network
+    cpus = max(int(archetype.cpus), _MIN_CPUS)
+
+    size_factor = float(rng.uniform(0.75, 1.5))
+    levels = [_perturb_level(rng, lvl, size_factor) for lvl in levels]
+    proc = dataclasses.replace(
+        proc,
+        clock_ghz=_jitter(rng, proc.clock_ghz, 0.1),
+        ilp_efficiency=_clamp(_jitter(rng, proc.ilp_efficiency, 0.1), 0.05, 1.0),
+        dependent_fp_efficiency=_clamp(
+            _jitter(rng, proc.dependent_fp_efficiency, 0.1), 0.01, 1.0
+        ),
+    )
+    net = dataclasses.replace(
+        net,
+        latency=_jitter(rng, net.latency, 0.15),
+        bandwidth=_jitter(rng, net.bandwidth, 0.15),
+        collective_efficiency=_clamp(
+            _jitter(rng, net.collective_efficiency, 0.1), 0.1, 1.0
+        ),
+        contention_factor=max(1.0, _jitter(rng, net.contention_factor, 0.1)),
+    )
+
+    if style == "hierarchy":
+        # Deepen the ladder: one extra level between the last finite cache
+        # and main memory (think victim cache / HBM tier).
+        depth = len(levels)
+        levels.insert(
+            depth - 1, _mid_level(f"L{depth}+", levels[depth - 2], levels[depth - 1], rng)
+        )
+    elif style == "numa":
+        # Multi-socket node: more processors, a near-memory slab, and far
+        # memory that is slower and more contended (remote-socket hops).
+        cpus *= int(rng.integers(2, 5))
+        mem = levels[-1]
+        near = dataclasses.replace(
+            _mid_level("NEAR", levels[-2], mem, rng),
+            bandwidth=mem.bandwidth * float(rng.uniform(1.2, 1.8)),
+            latency=mem.latency * float(rng.uniform(0.7, 0.95)),
+        )
+        levels.insert(len(levels) - 1, near)
+        levels[-1] = dataclasses.replace(
+            mem,
+            latency=mem.latency * float(rng.uniform(1.4, 2.2)),
+            bandwidth=mem.bandwidth * float(rng.uniform(0.6, 0.9)),
+        )
+        net = dataclasses.replace(
+            net, contention_factor=net.contention_factor * float(rng.uniform(1.1, 1.4))
+        )
+    elif style == "hotnode":
+        # High-FLOP, low-latency nodes: faster clocks, wider FP issue,
+        # leaner network.
+        proc = dataclasses.replace(
+            proc,
+            clock_ghz=proc.clock_ghz * float(rng.uniform(1.5, 2.5)),
+            flops_per_cycle=proc.flops_per_cycle * float(rng.choice((1.0, 2.0))),
+        )
+        net = dataclasses.replace(
+            net,
+            latency=net.latency * float(rng.uniform(0.3, 0.6)),
+            bandwidth=net.bandwidth * float(rng.uniform(1.5, 3.0)),
+        )
+
+    name = f"GEN-{family}-{seed}-M{index:03d}"
+    return MachineSpec(
+        name=name,
+        architecture=f"GEN_{style}_{archetype.architecture}",
+        vendor="synthetic",
+        model=f"{style} variant of {archetype.model}",
+        cpus=cpus,
+        processor=proc,
+        memory_levels=tuple(levels),
+        network=net,
+        overlap_factor=_clamp(_jitter(rng, archetype.overlap_factor, 0.1), 0.1, 1.0),
+        noise_level=archetype.noise_level,
+        description=f"generated ({family}, seed {seed}) from {archetype.name}",
+    )
+
+
+def _blend_hist(rng, a: StrideHistogram, b: StrideHistogram, t: float) -> StrideHistogram:
+    unit = _clamp(_jitter(rng, (1 - t) * a.unit + t * b.unit + 1e-3, 0.1), 1e-3, 1.0)
+    short = _clamp(_jitter(rng, (1 - t) * a.short + t * b.short + 1e-3, 0.1), 1e-3, 1.0)
+    random = _clamp(_jitter(rng, (1 - t) * a.random + t * b.random + 1e-3, 0.1), 1e-3, 1.0)
+    elems = a.short_stride_elems if rng.random() < 0.5 else b.short_stride_elems
+    return StrideHistogram.normalised(
+        unit=unit, short=short, random=random, short_stride_elems=elems
+    )
+
+
+def _blend_block(rng, a: BasicBlock, b: BasicBlock, t: float) -> BasicBlock:
+    def mix(x: float, y: float) -> float:
+        return (1 - t) * x + t * y
+
+    return BasicBlock(
+        name=a.name,
+        fp_per_cell=_jitter(rng, max(mix(a.fp_per_cell, b.fp_per_cell), 1e-6), 0.25),
+        loads_per_cell=_jitter(
+            rng, max(mix(a.loads_per_cell, b.loads_per_cell), 1e-6), 0.25
+        ),
+        stores_per_cell=_jitter(
+            rng, max(mix(a.stores_per_cell, b.stores_per_cell), 1e-6), 0.25
+        ),
+        stride=_blend_hist(rng, a.stride, b.stride, t),
+        ws_scale=_jitter(rng, max(mix(a.ws_scale, b.ws_scale), 1e-6), 0.2),
+        ws_exponent=_clamp(_jitter(rng, mix(a.ws_exponent, b.ws_exponent), 0.05), 0.0, 1.0),
+        dependency_fraction=_clamp(
+            _jitter(rng, mix(a.dependency_fraction, b.dependency_fraction) + 1e-3, 0.2),
+            0.0,
+            1.0,
+        ),
+        chase_fraction=_clamp(
+            _jitter(rng, mix(a.chase_fraction, b.chase_fraction) + 1e-3, 0.2), 0.0, 1.0
+        ),
+        fp_ilp=_clamp(_jitter(rng, mix(a.fp_ilp, b.fp_ilp), 0.1), 0.05, 1.0),
+    )
+
+
+def _blend_comm(rng, ev: CommEvent) -> CommEvent:
+    return dataclasses.replace(
+        ev,
+        count=_jitter(rng, ev.count, 0.25),
+        size_scale=_jitter(rng, ev.size_scale, 0.25),
+        size_exponent=_clamp(_jitter(rng, ev.size_exponent + 1e-3, 0.1), 0.0, 1.0),
+        neighbors=int(_clamp(float(ev.neighbors + rng.integers(-2, 3)), 1, 26)),
+    )
+
+
+def _application(family: str, seed: int, index: int, archetypes) -> ApplicationModel:
+    rng = stable_rng(_RNG_NS, family, seed, "application", index)
+    a = archetypes[int(rng.integers(len(archetypes)))]
+    b = archetypes[int(rng.integers(len(archetypes)))]
+    # 30% of apps interpolate two archetypes; the rest perturb one.
+    t = float(rng.uniform(0.2, 0.8)) if rng.random() < 0.3 else 0.0
+    pad = {blk.name: blk for blk in b.blocks}
+    blocks = tuple(
+        _blend_block(rng, blk, pad.get(blk.name, blk), t) for blk in a.blocks
+    )
+    comms = tuple(_blend_comm(rng, ev) for ev in a.comms)
+    return ApplicationModel(
+        name=f"GEN-{family}-A{index:03d}",
+        testcase=f"s{seed}",
+        description=f"generated ({family}, seed {seed}) from {a.label}"
+        + (f" x {b.label} (t={t:.2f})" if t else ""),
+        cells=_jitter(rng, a.cells, 0.3),
+        bytes_per_cell=_jitter(rng, a.bytes_per_cell, 0.2),
+        timesteps=max(10, int(_jitter(rng, float(a.timesteps), 0.2))),
+        cpu_counts=a.cpu_counts,
+        blocks=blocks,
+        comms=comms,
+        serial_fraction=_clamp(_jitter(rng, a.serial_fraction + 1e-5, 0.2), 0.0, 0.05),
+        imbalance=_clamp(_jitter(rng, a.imbalance + 1e-3, 0.2), 0.0, 0.5),
+    )
+
+
+def generate_universe(family: str, seed: int, cells: int) -> Universe:
+    """The universe named by ``(family, seed, cells)`` — same triple, same
+    bytes, in any process.
+
+    ``cells`` is a floor: the generator picks the smallest near-square
+    (applications x machines) grid whose non-blank cell count reaches it
+    (every built-in archetype runs 3 processor counts, and generated
+    machines always have enough processors, so the count is exact).
+    """
+    if family not in FAMILIES:
+        from repro.core.errors import UnknownIdError
+
+        raise UnknownIdError("family", family, FAMILIES, nearest_ids(family, FAMILIES))
+    if cells < 1:
+        raise ValueError(f"cells must be >= 1, got {cells!r}")
+    seed = int(seed)
+
+    app_archetypes = tuple(builtin_applications().values())
+    machine_archetypes = tuple(builtin_machines().values())
+    rows_per_app = len(app_archetypes[0].cpu_counts)  # 3 for every archetype
+
+    n_machines = max(1, math.ceil(math.sqrt(cells / rows_per_app)))
+    n_apps = max(1, math.ceil(cells / (rows_per_app * n_machines)))
+
+    machines = []
+    for i in range(n_machines):
+        rng = stable_rng(_RNG_NS, family, seed, "style", i)
+        style = (
+            str(rng.choice(("hierarchy", "numa", "hotnode")))
+            if family == "mixed"
+            else family
+        )
+        archetype = machine_archetypes[int(rng.integers(len(machine_archetypes)))]
+        machines.append(_machine(family, seed, i, style, archetype))
+    applications = tuple(
+        _application(family, seed, j, app_archetypes) for j in range(n_apps)
+    )
+    return Universe(
+        ref=f"{family}:{seed}:{cells}",
+        machines=tuple(machines),
+        applications=applications,
+    )

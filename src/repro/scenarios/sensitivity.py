@@ -1,0 +1,359 @@
+"""Sensitivity study: how metric fidelity degrades on generated universes.
+
+Cornebize & Legrand's critique of performance-model studies is that a
+ranking claim means little without knowing how it behaves under run-to-run
+variability and model-calibration error.  The paper's own matrix cannot
+answer that — 50 cells, one noise draw.  This module can, because the
+scenario catalog makes universes data:
+
+* **noise sweep** — the same generated universe is re-mounted with every
+  machine's ``noise_level`` set to each amplitude; the ground-truth
+  executor's (deterministic, machine-keyed) noise then perturbs observed
+  times while predictions are unchanged, and per-metric rank correlation
+  (Kendall tau / Spearman rho per (application, cpus) case, averaged) and
+  the signed-error distribution are recorded per amplitude.  Amplitude 0
+  is the *fidelity ceiling* — what the metric could do on a noiseless
+  machine — and is what CI gates on for metrics #8/#9.
+* **calibration sweep** — machine specs (clock, per-level bandwidth and
+  latency, network latency/bandwidth) are perturbed log-normally with
+  relative magnitude ``epsilon``, modelling mis-measured machine specs.
+  Predictions run on the *perturbed* specs, observed times come from the
+  *true* (epsilon = 0) run, joined per cell — exactly the situation of a
+  practitioner predicting with an imperfect spec sheet.
+
+Every sweep point runs through the ordinary tensorized
+:func:`repro.study.runner.run_study` path (the layering lint whitelists
+this one study import), so sensitivity results exercise precisely the
+code the paper tables use.  Derived universes are written as TOML files
+and mounted by path, which makes them shippable to parallel study workers
+via the catalog's universe ref.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ranking import rank_agreement
+from repro.core.registry import REGISTRY
+from repro.scenarios.builtin import BASE_SYSTEM
+from repro.scenarios.catalog import CATALOG, Universe, mount_universe
+from repro.scenarios.generate import FAMILIES, generate_universe
+from repro.scenarios.spec_io import dumps_universe
+from repro.util.rng import stable_rng
+from repro.util.validation import check_fraction, check_positive, nearest_ids
+
+__all__ = [
+    "MetricSensitivity",
+    "SensitivityConfig",
+    "SensitivityResult",
+    "SweepPoint",
+    "run_sensitivity",
+]
+
+_RNG_NS = "scenarios.sensitivity"
+
+
+@dataclass(frozen=True)
+class SensitivityConfig:
+    """Parameters of a sensitivity sweep over one generated universe."""
+
+    family: str = "mixed"
+    seed: int = 0
+    cells: int = 1000
+    noise_amplitudes: tuple[float, ...] = (0.0, 0.02, 0.05, 0.1, 0.2)
+    calibration_errors: tuple[float, ...] = (0.0, 0.05, 0.1)
+    metrics: tuple[int, ...] = field(
+        default_factory=lambda: tuple(spec.number for spec in REGISTRY.table3())
+    )
+    sample_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            from repro.core.errors import UnknownIdError
+
+            raise UnknownIdError(
+                "family", self.family, FAMILIES, nearest_ids(self.family, FAMILIES)
+            )
+        check_positive("cells", self.cells)
+        if self.sample_size < 64:  # the tracer's own floor
+            raise ValueError(f"sample_size must be >= 64, got {self.sample_size}")
+        for amp in self.noise_amplitudes:
+            check_fraction("noise amplitude", amp)
+        for eps in self.calibration_errors:
+            check_fraction("calibration error", eps)
+        if not self.metrics:
+            raise ValueError("metrics must not be empty")
+        object.__setattr__(
+            self,
+            "metrics",
+            tuple(REGISTRY.spec(key).number for key in self.metrics),
+        )
+
+
+@dataclass(frozen=True)
+class MetricSensitivity:
+    """One metric's fidelity at one sweep point."""
+
+    metric: int
+    kendall_tau: float
+    spearman_rho: float
+    cases: int
+    mean_signed_error: float
+    mean_abs_error: float
+    p5_signed_error: float
+    p95_signed_error: float
+
+    def to_dict(self) -> dict:
+        return {
+            "kendall_tau": self.kendall_tau,
+            "spearman_rho": self.spearman_rho,
+            "cases": self.cases,
+            "mean_signed_error": self.mean_signed_error,
+            "mean_abs_error": self.mean_abs_error,
+            "p5_signed_error": self.p5_signed_error,
+            "p95_signed_error": self.p95_signed_error,
+        }
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Per-metric fidelity at one amplitude / calibration error."""
+
+    amplitude: float
+    metrics: dict[int, MetricSensitivity]
+
+    def to_dict(self) -> dict:
+        return {
+            "amplitude": self.amplitude,
+            "metrics": {str(m): s.to_dict() for m, s in sorted(self.metrics.items())},
+        }
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Everything a sweep learned, JSON-ready via :meth:`to_dict`."""
+
+    config: SensitivityConfig
+    universe_digest: str
+    machine_count: int
+    application_count: int
+    cell_count: int
+    noise: tuple[SweepPoint, ...]
+    calibration: tuple[SweepPoint, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "family": self.config.family,
+            "seed": self.config.seed,
+            "cells_requested": self.config.cells,
+            "cell_count": self.cell_count,
+            "machine_count": self.machine_count,
+            "application_count": self.application_count,
+            "sample_size": self.config.sample_size,
+            "universe_digest": self.universe_digest,
+            "noise": [point.to_dict() for point in self.noise],
+            "calibration": [point.to_dict() for point in self.calibration],
+        }
+
+    def zero_noise(self) -> SweepPoint:
+        """The amplitude-0 noise point (the fidelity ceiling CI gates on)."""
+        for point in self.noise:
+            if point.amplitude == 0.0:
+                return point
+        raise ValueError("sweep has no zero-noise point")
+
+
+def _with_noise(universe: Universe, amplitude: float, ref: str) -> Universe:
+    machines = tuple(
+        dataclasses.replace(m, noise_level=amplitude) for m in universe.machines
+    )
+    return Universe(ref=ref, machines=machines, applications=universe.applications)
+
+
+def _with_calibration_error(universe: Universe, eps: float, ref: str) -> Universe:
+    """Perturb every machine's *measured* parameters by relative ``eps``.
+
+    Only rate/latency parameters move — hierarchy sizes stay, so level
+    ordering (and the working-set resident level) cannot flip from a
+    calibration wobble, mirroring how specs are actually mis-measured
+    (bandwidths and latencies, not capacities).  Noise is forced off: the
+    sweep isolates calibration error.
+    """
+    machines = []
+    for m in universe.machines:
+        rng = stable_rng(_RNG_NS, "calibration", repr(eps), m.name)
+
+        def wobble(value: float) -> float:
+            return float(value * math.exp(rng.normal(0.0, eps)))
+
+        proc = dataclasses.replace(m.processor, clock_ghz=wobble(m.processor.clock_ghz))
+        levels = tuple(
+            dataclasses.replace(
+                lvl, bandwidth=wobble(lvl.bandwidth), latency=wobble(lvl.latency)
+            )
+            for lvl in m.memory_levels
+        )
+        net = dataclasses.replace(
+            m.network,
+            latency=wobble(m.network.latency),
+            bandwidth=wobble(m.network.bandwidth),
+        )
+        machines.append(
+            dataclasses.replace(
+                m,
+                processor=proc,
+                memory_levels=levels,
+                network=net,
+                noise_level=0.0,
+            )
+        )
+    return Universe(ref=ref, machines=tuple(machines), applications=universe.applications)
+
+
+def _metric_stats(metric: int, cells: dict) -> MetricSensitivity:
+    """Fidelity stats from ``{(app, cpus): {system: (predicted, actual)}}``."""
+    taus, rhos, errors = [], [], []
+    for by_system in cells.values():
+        if len(by_system) >= 2:
+            agreement = rank_agreement(
+                {s: pair[0] for s, pair in by_system.items()},
+                {s: pair[1] for s, pair in by_system.items()},
+            )
+            taus.append(agreement["kendall_tau"])
+            rhos.append(agreement["spearman_rho"])
+        for predicted, actual in by_system.values():
+            errors.append((predicted - actual) / actual * 100.0)
+    err = np.asarray(errors, dtype=np.float64)
+    return MetricSensitivity(
+        metric=metric,
+        kendall_tau=float(np.mean(taus)) if taus else float("nan"),
+        spearman_rho=float(np.mean(rhos)) if rhos else float("nan"),
+        cases=len(taus),
+        mean_signed_error=float(err.mean()),
+        mean_abs_error=float(np.abs(err).mean()),
+        p5_signed_error=float(np.percentile(err, 5.0)),
+        p95_signed_error=float(np.percentile(err, 95.0)),
+    )
+
+
+def _sweep_point(amplitude: float, metrics, records, actuals=None) -> SweepPoint:
+    """Stats per metric; ``actuals`` (cell -> observed) overrides the run's
+    own observed times for the calibration join."""
+    stats: dict[int, MetricSensitivity] = {}
+    for metric in metrics:
+        cells: dict = {}
+        for rec in records:
+            if rec.metric != metric:
+                continue
+            actual = rec.actual_seconds
+            if actuals is not None:
+                key = (rec.application, rec.cpus, rec.system)
+                if key not in actuals:
+                    continue
+                actual = actuals[key]
+            cells.setdefault((rec.application, rec.cpus), {})[rec.system] = (
+                rec.predicted_seconds,
+                actual,
+            )
+        stats[metric] = _metric_stats(metric, cells)
+    return SweepPoint(amplitude=amplitude, metrics=stats)
+
+
+def run_sensitivity(
+    config: SensitivityConfig | None = None,
+    *,
+    workers: int = 1,
+    store=None,
+    universe_dir: str | os.PathLike | None = None,
+) -> SensitivityResult:
+    """Run the full noise + calibration sweep for ``config``.
+
+    Each sweep point mounts a derived universe (written as TOML under
+    ``universe_dir``, a temp dir by default) and runs one study over it;
+    the catalog's previously mounted universe, if any, is restored on
+    exit.  ``workers``/``store`` pass straight to
+    :func:`repro.study.runner.run_study`.
+    """
+    from repro.study.runner import StudyConfig, run_study
+
+    config = config or SensitivityConfig()
+    base = generate_universe(config.family, config.seed, config.cells)
+    previous_ref = CATALOG.universe_ref
+
+    def study_for(universe_path: str):
+        mount_universe(universe_path)
+        cfg = StudyConfig(
+            applications=tuple(a.label for a in base.applications),
+            systems=tuple(m.name for m in base.machines),
+            base_system=BASE_SYSTEM,
+            metrics=config.metrics,
+            sample_size=config.sample_size,
+            noise=True,
+        )
+        return run_study(cfg, workers=workers, store=store)
+
+    def write(tmp: str, name: str, universe: Universe) -> str:
+        path = os.path.join(tmp, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(
+                dumps_universe(universe.machines, universe.applications, ref=universe.ref)
+            )
+        return path
+
+    noise_points: list[SweepPoint] = []
+    calibration_points: list[SweepPoint] = []
+    try:
+        with tempfile.TemporaryDirectory(dir=universe_dir) as tmp:
+            true_records = None
+            for i, amplitude in enumerate(config.noise_amplitudes):
+                derived = _with_noise(base, amplitude, f"{base.ref}#noise{i}")
+                result = study_for(write(tmp, f"noise-{i}.toml", derived))
+                noise_points.append(
+                    _sweep_point(amplitude, config.metrics, result.records)
+                )
+                if amplitude == 0.0:
+                    true_records = result.records
+            if config.calibration_errors and true_records is None:
+                derived = _with_noise(base, 0.0, f"{base.ref}#true")
+                true_records = study_for(write(tmp, "true.toml", derived)).records
+            actuals = (
+                {
+                    (r.application, r.cpus, r.system): r.actual_seconds
+                    for r in true_records
+                    if r.metric == config.metrics[0]
+                }
+                if true_records is not None
+                else {}
+            )
+            for i, eps in enumerate(config.calibration_errors):
+                if eps == 0.0:
+                    calibration_points.append(
+                        _sweep_point(0.0, config.metrics, true_records)
+                    )
+                    continue
+                derived = _with_calibration_error(base, eps, f"{base.ref}#cal{i}")
+                result = study_for(write(tmp, f"cal-{i}.toml", derived))
+                calibration_points.append(
+                    _sweep_point(eps, config.metrics, result.records, actuals)
+                )
+    finally:
+        if previous_ref is not None:
+            mount_universe(previous_ref)
+        else:
+            CATALOG.unmount()
+
+    return SensitivityResult(
+        config=config,
+        universe_digest=base.digest(),
+        machine_count=len(base.machines),
+        application_count=len(base.applications),
+        cell_count=base.cell_count(),
+        noise=noise_points,
+        calibration=calibration_points,
+    )

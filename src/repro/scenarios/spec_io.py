@@ -1,0 +1,453 @@
+"""Declarative serialization of scenario specs: dicts and TOML, both ways.
+
+``repro-study catalog export`` writes the loaded catalog as a TOML
+document; ``catalog gen --out`` persists a generated universe; and a
+``--universe path.toml`` mounts one back.  The format is deliberately
+literal — one ``[[machine]]``/``[[application]]`` array entry per spec,
+nested tables mirroring the dataclass nesting — so a universe file is
+diffable and hand-editable the way ``--metric-specs`` TOML already is
+(see :func:`repro.core.registry.load_metric_specs`, the pattern this
+follows, including its strict unknown-key policy).
+
+Round-trip contract: ``loads_universe(dumps_universe(u))`` reproduces
+every spec *content-identically* (equal ``repr``, hence equal
+fingerprints).  Two details make that hold:
+
+* floats are emitted with :func:`repr` (shortest exact form — Python
+  floats round-trip through it losslessly; TOML accepts ``inf`` for the
+  main-memory level size);
+* numeric fields keep the exact type the spec holds — several built-in
+  sizes are ints, and ``repr`` (hence the fingerprint) distinguishes
+  ``32768`` from ``32768.0``, so float-typed fields are emitted and
+  reloaded without coercion.
+
+The writer is hand-rolled because the stdlib ships ``tomllib`` (read
+only); no third-party TOML emitter is available in this environment.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+from repro.apps.model import ApplicationModel, BasicBlock, CommEvent
+from repro.machines.spec import (
+    MachineSpec,
+    MemoryLevelSpec,
+    NetworkSpec,
+    ProcessorSpec,
+)
+from repro.memory.patterns import StrideHistogram
+from repro.network.model import CollectiveKind
+
+__all__ = [
+    "application_from_dict",
+    "application_to_dict",
+    "dumps_universe",
+    "load_universe",
+    "loads_universe",
+    "machine_from_dict",
+    "machine_to_dict",
+]
+
+
+# ---------------------------------------------------------------------------
+# dict views
+# ---------------------------------------------------------------------------
+def machine_to_dict(spec: MachineSpec) -> dict:
+    """Plain-data view of a machine spec (JSON- and TOML-serialisable)."""
+    return {
+        "name": spec.name,
+        "architecture": spec.architecture,
+        "vendor": spec.vendor,
+        "model": spec.model,
+        "cpus": int(spec.cpus),
+        "overlap_factor": spec.overlap_factor,
+        "noise_level": spec.noise_level,
+        "description": spec.description,
+        "processor": {
+            "clock_ghz": spec.processor.clock_ghz,
+            "flops_per_cycle": spec.processor.flops_per_cycle,
+            "ilp_efficiency": spec.processor.ilp_efficiency,
+            "dependent_fp_efficiency": spec.processor.dependent_fp_efficiency,
+        },
+        "memory_levels": [
+            {
+                "name": lvl.name,
+                "size_bytes": lvl.size_bytes,
+                "bandwidth": lvl.bandwidth,
+                "latency": lvl.latency,
+                "line_bytes": int(lvl.line_bytes),
+                "mlp": lvl.mlp,
+                "dependent_stream_factor": lvl.dependent_stream_factor,
+            }
+            for lvl in spec.memory_levels
+        ],
+        "network": {
+            "name": spec.network.name,
+            "latency": spec.network.latency,
+            "bandwidth": spec.network.bandwidth,
+            "collective_efficiency": spec.network.collective_efficiency,
+            "contention_factor": spec.network.contention_factor,
+        },
+    }
+
+
+def application_to_dict(app: ApplicationModel) -> dict:
+    """Plain-data view of an application model."""
+    return {
+        "name": app.name,
+        "testcase": app.testcase,
+        "description": app.description,
+        "cells": app.cells,
+        "bytes_per_cell": app.bytes_per_cell,
+        "timesteps": int(app.timesteps),
+        "cpu_counts": [int(c) for c in app.cpu_counts],
+        "serial_fraction": app.serial_fraction,
+        "imbalance": app.imbalance,
+        "blocks": [
+            {
+                "name": blk.name,
+                "fp_per_cell": blk.fp_per_cell,
+                "loads_per_cell": blk.loads_per_cell,
+                "stores_per_cell": blk.stores_per_cell,
+                "ws_scale": blk.ws_scale,
+                "ws_exponent": blk.ws_exponent,
+                "dependency_fraction": blk.dependency_fraction,
+                "chase_fraction": blk.chase_fraction,
+                "fp_ilp": blk.fp_ilp,
+                "stride": {
+                    "unit": blk.stride.unit,
+                    "short": blk.stride.short,
+                    "random": blk.stride.random,
+                    "short_stride_elems": int(blk.stride.short_stride_elems),
+                },
+            }
+            for blk in app.blocks
+        ],
+        "comms": [
+            {
+                "name": ev.name,
+                "kind": ev.kind if isinstance(ev.kind, str) else ev.kind.value,
+                "count": ev.count,
+                "size_scale": ev.size_scale,
+                "size_exponent": ev.size_exponent,
+                "neighbors": int(ev.neighbors),
+            }
+            for ev in app.comms
+        ],
+    }
+
+
+def _fields(entry: dict, where: str, *, strs=(), ints=(), floats=()) -> dict:
+    """Coerce and validate one flat table; unknown keys are errors."""
+    out: dict = {}
+    allowed = set(strs) | set(ints) | set(floats)
+    unknown = set(entry) - allowed
+    if unknown:
+        raise ValueError(f"unknown keys {sorted(unknown)} in {where}")
+    for key in strs:
+        if key in entry:
+            if not isinstance(entry[key], str):
+                raise ValueError(f"{where}.{key} must be a string")
+            out[key] = entry[key]
+    for key in ints:
+        if key in entry:
+            value = entry[key]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(f"{where}.{key} must be a number")
+            out[key] = int(value)
+    for key in floats:
+        if key in entry:
+            value = entry[key]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(f"{where}.{key} must be a number")
+            out[key] = value  # int vs float is preserved: it is part of repr identity
+    return out
+
+
+def _require(entry: dict, keys: tuple[str, ...], where: str) -> None:
+    missing = [key for key in keys if key not in entry]
+    if missing:
+        raise ValueError(f"missing keys {missing} in {where}")
+
+
+def machine_from_dict(entry: dict, where: str = "machine") -> MachineSpec:
+    """Rebuild a :class:`MachineSpec`; spec ``__post_init__`` re-validates."""
+    if not isinstance(entry, dict):
+        raise ValueError(f"{where} must be a table")
+    entry = dict(entry)
+    processor = entry.pop("processor", None)
+    levels = entry.pop("memory_levels", None)
+    network = entry.pop("network", None)
+    _require(entry, ("name", "architecture", "vendor", "model", "cpus"), where)
+    if not isinstance(processor, dict):
+        raise ValueError(f"{where}.processor table is required")
+    if not isinstance(levels, list) or not all(isinstance(l, dict) for l in levels):
+        raise ValueError(f"{where}.memory_levels must be an array of tables")
+    if not isinstance(network, dict):
+        raise ValueError(f"{where}.network table is required")
+    top = _fields(
+        entry,
+        where,
+        strs=("name", "architecture", "vendor", "model", "description"),
+        ints=("cpus",),
+        floats=("overlap_factor", "noise_level"),
+    )
+    _require(processor, ("clock_ghz", "flops_per_cycle", "ilp_efficiency"), f"{where}.processor")
+    proc = ProcessorSpec(
+        **_fields(
+            processor,
+            f"{where}.processor",
+            floats=(
+                "clock_ghz",
+                "flops_per_cycle",
+                "ilp_efficiency",
+                "dependent_fp_efficiency",
+            ),
+        )
+    )
+    lvls = []
+    for i, lvl in enumerate(levels):
+        lvl_where = f"{where}.memory_levels[{i}]"
+        _require(lvl, ("name", "size_bytes", "bandwidth", "latency"), lvl_where)
+        lvls.append(
+            MemoryLevelSpec(
+                **_fields(
+                    lvl,
+                    lvl_where,
+                    strs=("name",),
+                    ints=("line_bytes",),
+                    floats=(
+                        "size_bytes",
+                        "bandwidth",
+                        "latency",
+                        "mlp",
+                        "dependent_stream_factor",
+                    ),
+                )
+            )
+        )
+    _require(network, ("name", "latency", "bandwidth"), f"{where}.network")
+    net = NetworkSpec(
+        **_fields(
+            network,
+            f"{where}.network",
+            strs=("name",),
+            floats=(
+                "latency",
+                "bandwidth",
+                "collective_efficiency",
+                "contention_factor",
+            ),
+        )
+    )
+    return MachineSpec(
+        processor=proc, memory_levels=tuple(lvls), network=net, **top
+    )
+
+
+def application_from_dict(entry: dict, where: str = "application") -> ApplicationModel:
+    """Rebuild an :class:`ApplicationModel`; model validation re-runs."""
+    if not isinstance(entry, dict):
+        raise ValueError(f"{where} must be a table")
+    entry = dict(entry)
+    blocks = entry.pop("blocks", None)
+    comms = entry.pop("comms", [])
+    cpu_counts = entry.pop("cpu_counts", None)
+    _require(
+        entry, ("name", "testcase", "description", "cells", "bytes_per_cell", "timesteps"), where
+    )
+    if not isinstance(blocks, list) or not blocks:
+        raise ValueError(f"{where}.blocks must be a non-empty array of tables")
+    if not isinstance(comms, list):
+        raise ValueError(f"{where}.comms must be an array of tables")
+    if not isinstance(cpu_counts, list) or not all(
+        isinstance(c, int) and not isinstance(c, bool) for c in cpu_counts
+    ):
+        raise ValueError(f"{where}.cpu_counts must be an array of integers")
+    top = _fields(
+        entry,
+        where,
+        strs=("name", "testcase", "description"),
+        ints=("timesteps",),
+        floats=("cells", "bytes_per_cell", "serial_fraction", "imbalance"),
+    )
+    blks = []
+    for i, blk in enumerate(blocks):
+        blk_where = f"{where}.blocks[{i}]"
+        if not isinstance(blk, dict):
+            raise ValueError(f"{blk_where} must be a table")
+        blk = dict(blk)
+        stride = blk.pop("stride", None)
+        if not isinstance(stride, dict):
+            raise ValueError(f"{blk_where}.stride table is required")
+        _require(
+            blk, ("name", "fp_per_cell", "loads_per_cell", "stores_per_cell"), blk_where
+        )
+        _require(stride, ("unit", "short", "random"), f"{blk_where}.stride")
+        hist = StrideHistogram(
+            **_fields(
+                stride,
+                f"{blk_where}.stride",
+                ints=("short_stride_elems",),
+                floats=("unit", "short", "random"),
+            )
+        )
+        blks.append(
+            BasicBlock(
+                stride=hist,
+                **_fields(
+                    blk,
+                    blk_where,
+                    strs=("name",),
+                    floats=(
+                        "fp_per_cell",
+                        "loads_per_cell",
+                        "stores_per_cell",
+                        "ws_scale",
+                        "ws_exponent",
+                        "dependency_fraction",
+                        "chase_fraction",
+                        "fp_ilp",
+                    ),
+                ),
+            )
+        )
+    events = []
+    for i, ev in enumerate(comms):
+        ev_where = f"{where}.comms[{i}]"
+        if not isinstance(ev, dict):
+            raise ValueError(f"{ev_where} must be a table")
+        ev = dict(ev)
+        kind = ev.pop("kind", None)
+        if not isinstance(kind, str):
+            raise ValueError(f"{ev_where}.kind must be a string")
+        if kind != "p2p":
+            try:
+                kind = CollectiveKind(kind)
+            except ValueError:
+                valid = ["p2p"] + [k.value for k in CollectiveKind]
+                raise ValueError(
+                    f"{ev_where}.kind must be one of {valid}, got {kind!r}"
+                ) from None
+        _require(ev, ("name", "count", "size_scale"), ev_where)
+        events.append(
+            CommEvent(
+                kind=kind,
+                **_fields(
+                    ev,
+                    ev_where,
+                    strs=("name",),
+                    ints=("neighbors",),
+                    floats=("count", "size_scale", "size_exponent"),
+                ),
+            )
+        )
+    return ApplicationModel(
+        blocks=tuple(blks),
+        comms=tuple(events),
+        cpu_counts=tuple(cpu_counts),
+        **top,
+    )
+
+
+# ---------------------------------------------------------------------------
+# TOML writer / reader
+# ---------------------------------------------------------------------------
+def _toml_value(value) -> str:
+    if isinstance(value, str):
+        # JSON's quote/backslash/control escaping is valid TOML, but only
+        # with ensure_ascii off: ASCII-mode escapes astral characters as
+        # surrogate pairs, which TOML basic strings reject (strings are
+        # Unicode scalar values).  Raw UTF-8 is valid in both formats.
+        # Two deltas remain: TOML also forbids a literal DEL, and JSON
+        # leaves it unescaped.
+        return json.dumps(value, ensure_ascii=False).replace("\x7f", "\\u007f")
+    if isinstance(value, bool):
+        raise TypeError("no boolean fields exist in scenario specs")
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        return repr(value)  # shortest exact form; always floaty (has . or e)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_value(v) for v in value) + "]"
+    raise TypeError(f"cannot serialise {value!r} to TOML")
+
+
+def _emit_table(lines: list[str], header: str, table: dict) -> None:
+    lines.append(header)
+    for key, value in table.items():
+        if isinstance(value, (dict, list)) and not key == "cpu_counts":
+            continue  # nested tables are emitted by the caller
+        lines.append(f"{key} = {_toml_value(value)}")
+    lines.append("")
+
+
+def dumps_universe(
+    machines, applications, *, ref: str | None = None
+) -> str:
+    """TOML document for the given specs (catalog export / universe file)."""
+    lines: list[str] = [
+        "# repro scenario universe -- written by `repro-study catalog`;",
+        "# load with `--universe <this file>` or `catalog show`.",
+        "",
+    ]
+    if ref is not None:
+        lines += ["[universe]", f"ref = {_toml_value(ref)}", ""]
+    for spec in machines:
+        entry = machine_to_dict(spec) if isinstance(spec, MachineSpec) else spec
+        _emit_table(lines, "[[machine]]", entry)
+        _emit_table(lines, "[machine.processor]", entry["processor"])
+        for lvl in entry["memory_levels"]:
+            _emit_table(lines, "[[machine.memory_levels]]", lvl)
+        _emit_table(lines, "[machine.network]", entry["network"])
+    for app in applications:
+        entry = (
+            application_to_dict(app) if isinstance(app, ApplicationModel) else app
+        )
+        _emit_table(lines, "[[application]]", entry)
+        for blk in entry["blocks"]:
+            _emit_table(lines, "[[application.blocks]]", blk)
+            _emit_table(lines, "[application.blocks.stride]", blk["stride"])
+        for ev in entry["comms"]:
+            _emit_table(lines, "[[application.comms]]", ev)
+    return "\n".join(lines)
+
+
+def loads_universe(text: str, *, ref: str):
+    """Parse a universe TOML document into a mountable Universe."""
+    import tomllib
+
+    from repro.scenarios.catalog import Universe
+
+    try:
+        doc = tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise ValueError(f"invalid universe TOML ({ref}): {exc}") from None
+    unknown = set(doc) - {"universe", "machine", "application"}
+    if unknown:
+        raise ValueError(
+            f"unknown top-level keys {sorted(unknown)} in universe file {ref}"
+        )
+    machines = tuple(
+        machine_from_dict(entry, where=f"machine[{i}]")
+        for i, entry in enumerate(doc.get("machine", []))
+    )
+    applications = tuple(
+        application_from_dict(entry, where=f"application[{i}]")
+        for i, entry in enumerate(doc.get("application", []))
+    )
+    return Universe(ref=ref, machines=machines, applications=applications)
+
+
+def load_universe(path: str | os.PathLike):
+    """Read a universe TOML file; the file path becomes the universe ref."""
+    with open(path, "rb") as fh:
+        text = fh.read().decode("utf-8")
+    return loads_universe(text, ref=os.fspath(path))

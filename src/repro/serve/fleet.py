@@ -48,7 +48,7 @@ from repro.core.errors import (
     UnknownIdError,
 )
 from repro.events.types import Event, WorkerDied, WorkerRespawned
-from repro.machines.registry import BASE_SYSTEM
+from repro.scenarios import BASE_SYSTEM
 from repro.serve.admission import AdmissionQueue, ServiceTimeEwma
 from repro.serve.shard import DEFAULT_VNODES, ShardRing
 from repro.tracing.metasim import DEFAULT_SAMPLE_SIZE
@@ -151,6 +151,13 @@ def _build_service(config: dict, worker_id: str | None = None):
     from repro.serve.service import STAGES, PredictionService
     from repro.util.faults import FaultPlan
 
+    if config.get("universe"):
+        # Mount the front end's scenario universe before any id resolves:
+        # the ref (generator spec or TOML path) rebuilds the same catalog
+        # in this process under fork and spawn alike.
+        from repro.scenarios import mount_universe
+
+        mount_universe(config["universe"])
     faults = config.get("faults")
     if isinstance(faults, str):
         faults = FaultPlan.parse(faults)

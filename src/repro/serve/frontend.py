@@ -47,6 +47,11 @@ Routes:
     directory — every worker's writer stream plus the supervisor's own
     (worker deaths/respawns) folded into one audit surface;
     ``{"enabled": false}`` when the fleet runs without an event log.
+
+``GET /catalog``
+    The loaded scenario catalog (application labels, machine names,
+    metric numbers, base system, mounted universe) — answered by the
+    front end itself, which mounts the same universe as its workers.
 """
 
 from __future__ import annotations
@@ -56,12 +61,12 @@ import json
 import threading
 from urllib.parse import parse_qsl, urlsplit
 
-from repro.apps.suite import APPLICATIONS, get_application
 from repro.core.errors import OverloadedError, UnknownIdError
 from repro.core.registry import REGISTRY
 from repro.events.log import EventLog
 from repro.events.projections import ProjectionEngine
-from repro.machines.registry import MACHINES, TARGET_SYSTEMS
+from repro.scenarios import CATALOG, TARGET_SYSTEMS, get_application
+from repro.scenarios.builtin import builtin_applications
 from repro.serve.coalesce import SingleFlight
 from repro.serve.fleet import Fleet, error_payload
 from repro.serve.service import DEFAULT_DEADLINE_SECONDS, validate_query
@@ -217,6 +222,10 @@ class FleetFrontend:
                 return await self._readyz()
             if method == "GET" and url.path == "/events/stats":
                 return 200, await self._events_stats(), None
+            if method == "GET" and url.path == "/catalog":
+                from repro.serve.service import catalog_doc
+
+                return 200, catalog_doc(), None
             return (
                 404,
                 {
@@ -228,6 +237,7 @@ class FleetFrontend:
                         "GET /healthz",
                         "GET /readyz",
                         "GET /events/stats",
+                        "GET /catalog",
                     ],
                 },
                 None,
@@ -372,7 +382,9 @@ class FleetFrontend:
         else:
             applications = spec.get("applications")
             if applications is None:
-                applications = list(APPLICATIONS)
+                # Default axes stay the paper's own matrix even when a
+                # universe is mounted; generated ids must be named.
+                applications = list(builtin_applications())
             systems = list(spec.get("systems", spec.get("machines", TARGET_SYSTEMS)))
             metrics = [
                 REGISTRY.spec(key).number
@@ -383,28 +395,22 @@ class FleetFrontend:
             else:
                 rows = []
                 for label in applications:
-                    label = str(label)
-                    if label.partition("@")[0] not in APPLICATIONS:
-                        raise UnknownIdError(
-                            "application",
-                            label,
-                            tuple(APPLICATIONS),
-                            nearest_ids(label, APPLICATIONS),
-                        )
-                    app = get_application(label)
+                    app = get_application(str(label))
                     rows.extend((app.label, cpus) for cpus in app.cpu_counts)
         # Axis validation (cheap, front-end side; workers re-validate too).
         for label, cpus in rows:
-            if label.partition("@")[0] not in APPLICATIONS:
+            if not CATALOG.has_application(label):
+                known = CATALOG.application_ids()
                 raise UnknownIdError(
-                    "application", label, tuple(APPLICATIONS), nearest_ids(label, APPLICATIONS)
+                    "application", label, known, nearest_ids(label, known)
                 )
             if cpus <= 0:
                 raise ValueError(f"cpus must be > 0, got {cpus!r}")
         for system in systems:
-            if system not in MACHINES:
+            if not CATALOG.has_machine(system):
+                known = CATALOG.machine_ids()
                 raise UnknownIdError(
-                    "machine", system, tuple(MACHINES), nearest_ids(system, MACHINES)
+                    "machine", system, known, nearest_ids(system, known)
                 )
         return rows, systems, metrics, wanted, deadline_ms
 

@@ -30,6 +30,11 @@ admission queue:
     Live projection views over the service's event log (leaderboards,
     failure history, event counts); ``{"enabled": false}`` when the
     service runs without one.
+
+``GET /catalog``
+    The loaded scenario catalog: application labels, machine names,
+    metric numbers, the base system, and the mounted universe (if any)
+    — so clients can discover valid ids instead of guessing them.
 """
 
 from __future__ import annotations
@@ -44,7 +49,7 @@ from repro.core.errors import (
     ServiceUnavailableError,
     UnknownIdError,
 )
-from repro.serve.service import PredictionService
+from repro.serve.service import PredictionService, catalog_doc
 
 __all__ = ["PredictionHTTPServer", "make_server"]
 
@@ -81,13 +86,21 @@ class _Handler(BaseHTTPRequestHandler):
                 self._json(200 if ok else 503, body)
             elif url.path == "/events/stats":
                 self._json(200, self.server.service.events_stats())
+            elif url.path == "/catalog":
+                self._json(200, catalog_doc())
             else:
                 self._json(
                     404,
                     {
                         "error": "NotFound",
                         "message": f"no route {url.path!r}",
-                        "routes": ["/predict", "/healthz", "/readyz", "/events/stats"],
+                        "routes": [
+                            "/predict",
+                            "/healthz",
+                            "/readyz",
+                            "/events/stats",
+                            "/catalog",
+                        ],
                     },
                 )
         except Exception as exc:  # last-resort guard: still JSON, never a traceback page

@@ -44,7 +44,6 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.apps.execution import GroundTruthExecutor
-from repro.apps.suite import APPLICATIONS, get_application
 from repro.core.errors import (
     CircuitOpenError,
     DeadlineExceededError,
@@ -67,7 +66,7 @@ from repro.engine import (
 from repro.events.log import EventLog
 from repro.events.projections import ProjectionEngine
 from repro.events.types import BreakerTripped, PredictionEmitted
-from repro.machines.registry import BASE_SYSTEM, MACHINES, get_machine
+from repro.scenarios import BASE_SYSTEM, CATALOG, get_application, get_machine
 from repro.probes.suite import probe_machine
 from repro.serve.admission import AdmissionQueue
 from repro.serve.breaker import BreakerBoard
@@ -78,7 +77,13 @@ from repro.util.clock import Clock, as_clock
 from repro.util.deadline import Deadline
 from repro.util.validation import nearest_ids
 
-__all__ = ["PredictionService", "ServedPrediction", "STAGES", "validate_query"]
+__all__ = [
+    "PredictionService",
+    "ServedPrediction",
+    "STAGES",
+    "catalog_doc",
+    "validate_query",
+]
 
 #: Backend stages in pipeline order; each gets its own circuit breaker.
 STAGES = ("probe", "trace", "convolve")
@@ -90,6 +95,32 @@ DEFAULT_DEADLINE_SECONDS = 1.0
 #: Reserving the rest is what lets a request that lost a stage to a stall
 #: still serve a cheaper rung inside its deadline.
 DEFAULT_STAGE_FRACTION = 0.5
+
+
+def catalog_doc() -> dict:
+    """The ``GET /catalog`` body (shared by both HTTP front ends).
+
+    Everything a client may name in a request: application labels,
+    machine names and metric numbers, plus the mounted universe (if any)
+    so callers can discover generated ids without guessing.
+    """
+    from repro.core.registry import REGISTRY
+
+    universe = CATALOG.universe
+    return {
+        "applications": list(CATALOG.application_ids()),
+        "machines": list(CATALOG.machine_ids()),
+        "metrics": list(REGISTRY.numbers()),
+        "base_system": BASE_SYSTEM,
+        "universe": None
+        if universe is None
+        else {
+            "ref": universe.ref,
+            "digest": universe.digest(),
+            "machines": len(universe.machines),
+            "applications": len(universe.applications),
+        },
+    }
 
 
 def validate_query(
@@ -109,18 +140,12 @@ def validate_query(
     suggestions cover misspelled names too.
     """
     label = str(application)
-    if label.partition("@")[0] not in APPLICATIONS:
-        raise UnknownIdError(
-            "application", label, tuple(APPLICATIONS), nearest_ids(label, APPLICATIONS)
-        )
     try:
         app = get_application(label)
+    except UnknownIdError:  # unknown base label: catalog carries known + nearest
+        raise
     except KeyError as exc:  # bad @replica suffix on a known base label
         raise ValueError(exc.args[0] if exc.args else str(exc)) from None
-    if machine not in MACHINES:
-        raise UnknownIdError(
-            "machine", machine, tuple(MACHINES), nearest_ids(machine, MACHINES)
-        )
     target = get_machine(machine)
     metric_num = REGISTRY.spec(metric).number
     cpus_num = int(cpus)
@@ -295,9 +320,10 @@ class PredictionService:
     ):
         mode = str(Mode.coerce(mode))
         cache_model = str(CacheModel.coerce(cache_model))
-        if base_system not in MACHINES:
+        if not CATALOG.has_machine(base_system):
+            known = CATALOG.machine_ids()
             raise UnknownIdError(
-                "system", base_system, tuple(MACHINES), nearest_ids(base_system, MACHINES)
+                "system", base_system, known, nearest_ids(base_system, known)
             )
         if default_deadline <= 0:
             raise ValueError(
@@ -555,15 +581,10 @@ class PredictionService:
         labels: list[str] = []
         for label, cpus in rows:
             label = str(label)
-            if label.partition("@")[0] not in APPLICATIONS:
-                raise UnknownIdError(
-                    "application",
-                    label,
-                    tuple(APPLICATIONS),
-                    nearest_ids(label, APPLICATIONS),
-                )
             try:
                 app = get_application(label)
+            except UnknownIdError:  # unknown base label
+                raise
             except KeyError as exc:  # bad @replica suffix on a known base
                 raise ValueError(exc.args[0] if exc.args else str(exc)) from None
             cpus_num = int(cpus)
@@ -577,9 +598,10 @@ class PredictionService:
             if app.label not in labels:
                 labels.append(app.label)
         for system in systems:
-            if system not in MACHINES:
+            if not CATALOG.has_machine(system):
+                known = CATALOG.machine_ids()
                 raise UnknownIdError(
-                    "machine", system, tuple(MACHINES), nearest_ids(system, MACHINES)
+                    "machine", system, known, nearest_ids(system, known)
                 )
         metric_numbers = tuple(REGISTRY.spec(key).number for key in metrics)
         if not seen_rows or not systems or not metric_numbers:

@@ -310,11 +310,11 @@ def _run_serve_recovery(
 
 
 def _study_config():
-    from repro.apps.suite import APPLICATIONS
+    from repro.scenarios import list_applications
     from repro.study.runner import StudyConfig
 
     return StudyConfig(
-        applications=tuple(sorted(APPLICATIONS))[:3],
+        applications=tuple(sorted(list_applications()))[:3],
         systems=("ARL_Opteron", "ARL_Altix"),
         metrics=(1, 5, 9),
         sample_size=64,

@@ -16,9 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.apps.execution import GroundTruthExecutor
-from repro.apps.suite import get_application
 from repro.core.registry import REGISTRY
-from repro.machines.registry import get_machine
+from repro.scenarios import get_application, get_machine
 from repro.study.runner import StudyResult
 
 __all__ = ["MetricCost", "metric_costs", "TRACING_DILATION", "COUNTER_DILATION"]

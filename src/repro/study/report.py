@@ -9,10 +9,14 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.apps.suite import list_applications
 from repro.core.balanced import BalancedRating, optimise_weights
 from repro.core.predictor import PerformancePredictor
-from repro.machines.registry import BASE_SYSTEM, TARGET_SYSTEMS, get_machine
+from repro.scenarios import (
+    BASE_SYSTEM,
+    TARGET_SYSTEMS,
+    get_machine,
+    list_applications,
+)
 from repro.probes.suite import probe_machine
 from repro.study.analysis import (
     best_predictor_counts,

@@ -35,7 +35,6 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.apps.suite import APPLICATIONS, get_application
 from repro.core.errors import (
     ChunkTimeoutError,
     DeadlineExceededError,
@@ -47,7 +46,14 @@ from repro.core.errors import (
 from repro.core.options import CacheModel, Mode
 from repro.core.registry import REGISTRY
 from repro.engine import Engine, MatrixPlan, PredictionRecord
-from repro.machines.registry import BASE_SYSTEM, MACHINES, TARGET_SYSTEMS, get_machine
+from repro.scenarios import (
+    BASE_SYSTEM,
+    CATALOG,
+    TARGET_SYSTEMS,
+    get_application,
+    get_machine,
+)
+from repro.scenarios.builtin import builtin_applications
 from repro.probes.suite import probe_machine
 from repro.study.resilience import (
     CellFailure,
@@ -110,7 +116,7 @@ class StudyConfig:
     cache model raises :class:`ValueError` naming the offending key.
     """
 
-    applications: tuple[str, ...] = tuple(APPLICATIONS)
+    applications: tuple[str, ...] = tuple(builtin_applications())
     systems: tuple[str, ...] = TARGET_SYSTEMS
     base_system: str = BASE_SYSTEM
     metrics: tuple = tuple(spec.number for spec in REGISTRY.table3())
@@ -126,21 +132,20 @@ class StudyConfig:
 
     def __post_init__(self) -> None:
         for label in self.applications:
-            base_label = label.partition("@")[0]
-            if base_label not in APPLICATIONS:
-                known = ", ".join(APPLICATIONS)
+            if not CATALOG.has_application(label):
+                known = ", ".join(CATALOG.application_ids())
                 raise ValueError(
                     f"unknown application {label!r} in StudyConfig.applications; "
                     f"known: {known}"
                 )
         for system in self.systems:
-            if system not in MACHINES:
-                known = ", ".join(MACHINES)
+            if not CATALOG.has_machine(system):
+                known = ", ".join(CATALOG.machine_ids())
                 raise ValueError(
                     f"unknown system {system!r} in StudyConfig.systems; known: {known}"
                 )
-        if self.base_system not in MACHINES:
-            known = ", ".join(MACHINES)
+        if not CATALOG.has_machine(self.base_system):
+            known = ", ".join(CATALOG.machine_ids())
             raise ValueError(
                 f"unknown base system {self.base_system!r}; known: {known}"
             )
@@ -412,14 +417,24 @@ def _run_chunk(
     return records, observed, timer.breakdown()
 
 
-def _warm_worker(store_root: str | None, system_names: tuple[str, ...]) -> None:
-    """Pool initializer: pre-populate the worker's probe cache.
+def _warm_worker(
+    store_root: str | None,
+    system_names: tuple[str, ...],
+    universe_ref: str | None = None,
+) -> None:
+    """Pool initializer: mount the parent's universe, pre-warm probes.
 
     Probing is pure deterministic compute, so each fresh process used to
     redo it per chunk — the root cause of ``workers=4`` losing to serial.
     Warming once per worker makes every subsequent chunk's probe stage a
-    dictionary lookup.
+    dictionary lookup.  When the parent has a scenario universe mounted,
+    its ref (a generator spec or TOML path — always resolvable from any
+    process) is re-mounted here first so chunk ids resolve identically.
     """
+    if universe_ref is not None:
+        from repro.scenarios import mount_universe
+
+        mount_universe(universe_ref)
     store = TraceStore(store_root) if store_root else None
     for name in system_names:
         probe_machine(get_machine(name), store=store)
@@ -462,14 +477,15 @@ def _get_pool(workers: int, store_root: str | None, cfg: StudyConfig) -> Process
     """
     global _POOL, _POOL_KEY
     systems = tuple(dict.fromkeys((cfg.base_system,) + tuple(cfg.systems)))
-    key = (workers, store_root, systems)
+    universe_ref = CATALOG.universe_ref
+    key = (workers, store_root, systems, universe_ref)
     broken = _POOL is not None and getattr(_POOL, "_broken", False)
     if _POOL is None or _POOL_KEY != key or broken:
         _shutdown_pool()
         _POOL = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_warm_worker,
-            initargs=(store_root, systems),
+            initargs=(store_root, systems, universe_ref),
         )
         _POOL_KEY = key
     return _POOL

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.machines.registry import MACHINES, get_machine
+from repro.scenarios import CATALOG, get_machine
 from repro.probes.suite import probe_machine
 from repro.study.paper_data import (
     PAPER_RUNTIMES,
@@ -64,7 +64,7 @@ def table1_architectures() -> Table:
         formats=[None, None, ".3f", None],
     )
     seen = set()
-    for spec in MACHINES.values():
+    for spec in CATALOG.machine_map().values():
         key = (spec.vendor, spec.model, spec.processor.clock_ghz, spec.network.name)
         if key in seen:
             continue
@@ -80,7 +80,7 @@ def table2_systems() -> Table:
         columns=["System", "Architecture", "Compute Processors"],
         formats=[None, None, "d"],
     )
-    for spec in MACHINES.values():
+    for spec in CATALOG.machine_map().values():
         table.add_row(spec.name, spec.architecture, spec.cpus)
     return table
 
@@ -198,7 +198,7 @@ def appendix_runtimes(result: StudyResult, application: str) -> Table:
     paper = PAPER_RUNTIMES.get(application, {})
     cpu_counts = paper.get("cpu_counts")
     if cpu_counts is None:
-        from repro.apps.suite import get_application
+        from repro.scenarios import get_application
 
         cpu_counts = get_application(application).cpu_counts
     columns = ["Machine"] + [f"{c}-CPUs" for c in cpu_counts] + [

@@ -237,7 +237,7 @@ def test_store_action_rejected_for_other_artifacts(capsys):
     with pytest.raises(SystemExit):
         main(["table4", "migrate"])
     assert (
-        "only applies to the 'store', 'events' or 'sim' artifact"
+        "only applies to the 'store', 'events', 'sim' or 'catalog' artifact"
         in capsys.readouterr().err
     )
 

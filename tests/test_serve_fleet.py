@@ -188,6 +188,14 @@ def test_point_validation_is_frontend_side(fleet_server):
     status, body, _ = get(fleet_server, "/nope")
     assert status == 404
     assert "POST /predict/batch" in body["routes"]
+    assert "GET /catalog" in body["routes"]
+
+    status, body, _ = get(fleet_server, "/catalog")
+    assert status == 200
+    assert body["base_system"] == "NAVO_690"
+    assert body["universe"] is None
+    assert "AVUS-standard" in body["applications"]
+    assert "ARL_Xeon" in body["machines"]
 
 
 def test_healthz_aggregates_the_fleet(fleet_server):
